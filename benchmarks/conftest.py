@@ -1,0 +1,33 @@
+"""Benchmark-suite helpers.
+
+Every table/figure benchmark writes its formatted report into
+``results/`` so the regenerated artifacts persist beyond the
+pytest-benchmark timing summary.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def write_report(report_dir):
+    """Persist a named report and echo it to stdout (visible with -s)."""
+
+    def _write(name: str, text: str) -> Path:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}]\n{text}")
+        return path
+
+    return _write

@@ -1,0 +1,43 @@
+"""Ablation: traditional dense CNN accelerator on SSCN (Secs. I-II).
+
+Quantifies the degradation the paper motivates ESCA with: a dense
+(zero-skipping) accelerator must stream the full 192^3 feature map and
+computes the dilated convolution, most of which is wasted work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.arch import EscaAccelerator
+from repro.baselines import DenseAcceleratorModel, workload_from_tensor
+from repro.geometry.datasets import load_sample
+
+
+def run_comparison():
+    grid = load_sample("shapenet", seed=0).grid
+    rng = np.random.default_rng(0)
+    tensor = grid.with_features(rng.standard_normal((grid.nnz, 16)))
+    workload = workload_from_tensor(tensor, 16, 16)
+
+    esca = EscaAccelerator().run_layer(tensor, out_channels=16)
+    dense = DenseAcceleratorModel()
+    dense_seconds = dense.layer_seconds(workload)
+    rows = [
+        ("ESCA", f"{esca.total_seconds * 1e3:.3f}", "0%"),
+        (
+            "Dense accel",
+            f"{dense_seconds * 1e3:.3f}",
+            f"{dense.wasted_work_fraction(workload):.1%}",
+        ),
+    ]
+    return rows, dense_seconds / esca.total_seconds
+
+
+def test_bench_ablation_dense_accel(benchmark, write_report):
+    rows, slowdown = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    report = format_table(["Platform", "Layer ms", "Wasted MACs"], rows)
+    report += f"\nDense accelerator slowdown vs ESCA: {slowdown:.1f}x"
+    write_report("ablation_dense_accel", report)
+    # The degradation the paper claims is at least an order of magnitude.
+    assert slowdown > 10

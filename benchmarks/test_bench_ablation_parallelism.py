@@ -1,0 +1,58 @@
+"""Ablation: computing-array parallelism (Sec. III-D/E).
+
+The paper fixes 16x16 (IC x OC). This bench sweeps the array size and
+reports cycles, DSP usage, power, and energy per inference for a
+CC-bound layer, exposing the knee that motivates 16x16 at the paper's
+workload sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.arch import AcceleratorConfig, EscaAccelerator
+from repro.geometry.datasets import load_sample
+from repro.hwmodel import PowerModel, estimate_resources
+
+
+@pytest.fixture(scope="module")
+def tensor64():
+    grid = load_sample("shapenet", seed=0).grid
+    rng = np.random.default_rng(0)
+    return grid.with_features(rng.standard_normal((grid.nnz, 64)))
+
+
+def run_sweep(tensor):
+    rows = []
+    for par in (8, 16, 32):
+        config = AcceleratorConfig(ic_parallelism=par, oc_parallelism=par)
+        result = EscaAccelerator(config).run_layer(tensor, out_channels=64)
+        watts = PowerModel().total_watts(config)
+        dsp = estimate_resources(config).total.dsp
+        energy_mj = watts * result.time_seconds * 1e3
+        rows.append(
+            (
+                f"{par}x{par}",
+                int(dsp),
+                result.total_cycles,
+                f"{result.time_seconds * 1e3:.3f}",
+                f"{result.effective_gops():.1f}",
+                f"{watts:.2f}",
+                f"{energy_mj:.3f}",
+            )
+        )
+    return rows
+
+
+def test_bench_ablation_parallelism(benchmark, write_report, tensor64):
+    rows = benchmark.pedantic(run_sweep, args=(tensor64,), rounds=1,
+                              iterations=1)
+    report = format_table(
+        ["Array", "DSP", "Cycles", "Core ms", "GOPS", "Power W",
+         "Energy mJ"],
+        rows,
+    )
+    write_report("ablation_parallelism", report)
+    cycles = [row[2] for row in rows]
+    # Bigger arrays strictly reduce cycles on a CC-bound layer.
+    assert cycles == sorted(cycles, reverse=True)

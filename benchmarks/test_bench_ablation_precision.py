@@ -1,0 +1,54 @@
+"""Ablation: fixed-point precision sweep (justifies INT8/INT16).
+
+The paper quantizes weights to 8 bits and activations to 16 bits without
+an ablation; this bench produces the supporting table: output SNR and
+worst-case relative error per bit-width combination on a representative
+Sub-Conv layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.geometry.datasets import load_sample
+from repro.quant import find_point, sweep_precision
+
+
+def run_sweep():
+    grid = load_sample("shapenet", seed=0).grid
+    rng = np.random.default_rng(0)
+    tensor = grid.with_features(rng.standard_normal((grid.nnz, 16)))
+    weights = rng.standard_normal((27, 16, 16)) * 0.2
+    return sweep_precision(
+        tensor, weights, weight_bits=(4, 6, 8, 12), activation_bits=(8, 16)
+    )
+
+
+def test_bench_ablation_precision(benchmark, write_report):
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        (
+            f"INT{p.weight_bits}",
+            f"INT{p.activation_bits}",
+            f"{p.snr_db:.1f}",
+            f"{p.max_rel_error:.4f}",
+            "<- paper" if (p.weight_bits, p.activation_bits) == (8, 16) else "",
+        )
+        for p in points
+    ]
+    report = format_table(
+        ["Weights", "Activations", "SNR (dB)", "Max rel err", ""], rows
+    )
+    write_report("ablation_precision", report)
+
+    paper_point = find_point(points, 8, 16)
+    assert paper_point is not None
+    # The paper's configuration is high fidelity...
+    assert paper_point.snr_db > 35.0
+    assert paper_point.max_rel_error < 0.02
+    # ...and dominates the cheaper 4-bit weights decisively.
+    int4 = find_point(points, 4, 16)
+    assert int4.snr_db < paper_point.snr_db - 15.0
+    # More weight bits keep improving SNR at fixed activation bits.
+    snr_by_wbits = [find_point(points, w, 16).snr_db for w in (4, 6, 8, 12)]
+    assert snr_by_wbits == sorted(snr_by_wbits)

@@ -1,0 +1,52 @@
+"""Benchmark: energy per inference (CPU / GPU / ESCA).
+
+Combines the latency and power models into J/inference for one SS U-Net
+pass — the deployment metric behind Table III's 51x power-efficiency
+headline.
+"""
+
+import pytest
+
+from repro.analysis.energy import energy_comparison, energy_ratio
+from repro.analysis.experiments import default_unet
+from repro.analysis.reporting import format_table
+from repro.arch import EscaAccelerator
+from repro.baselines.platform import workloads_from_executions
+from repro.geometry.datasets import load_sample
+from repro.nn.unet import collect_subconv_workloads
+
+
+def run_energy():
+    sample = load_sample("shapenet", seed=0)
+    net = default_unet()
+    accel = EscaAccelerator()
+    network = accel.run_network(net, sample.grid)
+    executions = collect_subconv_workloads(net, sample.grid)
+    workloads = workloads_from_executions(executions, accel.config.kernel_size)
+    return energy_comparison(network, workloads, config=accel.config)
+
+
+def test_bench_energy(benchmark, write_report):
+    rows = benchmark.pedantic(run_energy, rounds=1, iterations=1)
+    report = format_table(
+        ["Platform", "Inference ms", "Power W", "Energy mJ"],
+        [
+            (
+                row.platform,
+                f"{row.seconds * 1e3:.2f}",
+                f"{row.power_watts:.2f}",
+                f"{row.energy_millijoules:.2f}",
+            )
+            for row in rows
+        ],
+    )
+    gpu_ratio = energy_ratio(rows, "Tesla P100 (GPU)")
+    cpu_ratio = energy_ratio(rows, "Xeon Gold 6148 (CPU)")
+    report += (
+        f"\nGPU uses {gpu_ratio:.0f}x and CPU {cpu_ratio:.0f}x "
+        "the energy of ESCA per inference"
+    )
+    write_report("energy_per_inference", report)
+    # Energy ordering mirrors the paper's power-efficiency story.
+    assert gpu_ratio > 10
+    assert cpu_ratio > 10

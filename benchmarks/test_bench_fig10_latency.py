@@ -1,0 +1,16 @@
+"""Benchmark regenerating Fig. 10: per-layer time on CPU / GPU / ESCA."""
+
+import pytest
+
+from repro.analysis import run_fig10
+
+
+def test_bench_fig10_latency(benchmark, write_report):
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    write_report("fig10_latency", result.format())
+    cpu = result.entry("CPU").layer_seconds
+    gpu = result.entry("GPU").layer_seconds
+    esca = result.entry("ESCA").layer_seconds
+    assert cpu > gpu > esca
+    assert cpu / esca == pytest.approx(8.41, rel=0.15)
+    assert gpu / esca == pytest.approx(1.89, rel=0.15)

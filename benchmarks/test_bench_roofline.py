@@ -1,0 +1,52 @@
+"""Benchmark: roofline placement of every SS U-Net layer.
+
+Shows in one table why the network-level GOPS sits far below the 138.24
+GOPS peak: the shallow layers are matching-bound (limited by the SDMU
+scan, below both roofs) while the deep layers ride the compute roof.
+"""
+
+import pytest
+
+from repro.analysis.experiments import default_unet
+from repro.analysis.reporting import format_table
+from repro.analysis.roofline import ridge_intensity, roofline_report
+from repro.arch import EscaAccelerator
+from repro.geometry.datasets import load_sample
+
+
+def run_roofline():
+    sample = load_sample("shapenet", seed=0)
+    accel = EscaAccelerator()
+    network = accel.run_network(default_unet(), sample.grid)
+    return roofline_report(network, config=accel.config), accel.config
+
+
+def test_bench_roofline(benchmark, write_report):
+    points, config = benchmark.pedantic(run_roofline, rounds=1, iterations=1)
+    rows = [
+        (
+            p.name,
+            f"{p.operational_intensity:.1f}",
+            f"{p.achieved_gops:.1f}",
+            f"{p.roof_gops:.1f}",
+            f"{p.roof_fraction:.0%}",
+            p.bound,
+        )
+        for p in points
+    ]
+    report = format_table(
+        ["Layer", "Ops/byte", "Achieved GOPS", "Roof GOPS", "Of roof",
+         "Bound"],
+        rows,
+    )
+    report += (
+        f"\ncompute roof {config.peak_gops:.1f} GOPS; ridge at "
+        f"{ridge_intensity(config):.0f} ops/byte"
+        "\nnote: 'Achieved' is core (burst) throughput; the memory roof"
+        " limits *sustained* system throughput because the paper's design"
+        " does not overlap transfers, so tiny layers can burst above it."
+    )
+    write_report("roofline", report)
+    # No layer beats the compute roof; at least one approaches it.
+    assert all(p.achieved_gops <= config.peak_gops * 1.001 for p in points)
+    assert max(p.achieved_gops for p in points) > 0.7 * config.peak_gops

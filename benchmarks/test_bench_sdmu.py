@@ -1,0 +1,79 @@
+"""Microbenchmarks of the SDMU and its software substrates.
+
+Measures matching throughput (SRFs and matches per wall-second of
+simulation), rulebook construction, encoding, and the quantized
+convolution reference — the hot paths of the repository.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import AcceleratorConfig, EscaAccelerator, Sdmu
+from repro.arch.encoding import EncodedFeatureMap
+from repro.geometry import Voxelizer, make_shapenet_like_cloud
+from repro.geometry.datasets import load_sample
+from repro.nn import build_submanifold_rulebook
+from repro.quant import QuantizedSubConv
+from tests.conftest import random_sparse_tensor
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return load_sample("shapenet", seed=0).grid
+
+
+def test_bench_sdmu_drain(benchmark, grid):
+    """Full SDMU matching pass over the ShapeNet-like sample."""
+    config = AcceleratorConfig()
+
+    def drain():
+        encoded = EncodedFeatureMap(grid, config.tile_shape, kernel_size=3)
+        sdmu = Sdmu(encoded, config)
+        popped = 0
+        cycle = 0
+        while not sdmu.is_idle() or cycle == 0:
+            if sdmu.pop_match() is not None:
+                popped += 1
+            sdmu.advance(cycle)
+            cycle += 1
+        return popped
+
+    popped = benchmark.pedantic(drain, rounds=1, iterations=1)
+    assert popped > 0
+
+
+def test_bench_rulebook_construction(benchmark, grid):
+    rulebook = benchmark(build_submanifold_rulebook, grid, 3)
+    assert rulebook.total_matches > 0
+
+
+def test_bench_encoding(benchmark, grid):
+    encoded = benchmark(EncodedFeatureMap, grid, (8, 8, 8))
+    assert encoded.columns.num_columns > 0
+
+
+def test_bench_voxelization(benchmark):
+    cloud = make_shapenet_like_cloud(seed=0)
+    voxelizer = Voxelizer(resolution=192, normalize=False)
+    grid = benchmark(voxelizer.voxelize, cloud)
+    assert grid.nnz > 0
+
+
+def test_bench_quantized_subconv_reference(benchmark, grid):
+    rng = np.random.default_rng(0)
+    tensor = grid.with_features(rng.standard_normal((grid.nnz, 16)))
+    weights = rng.standard_normal((27, 16, 16)) * 0.2
+    qconv = QuantizedSubConv(weights)
+    out = benchmark(qconv.forward, tensor)
+    assert out.nnz == tensor.nnz
+
+
+def test_bench_cycle_sim_small_layer(benchmark):
+    """Wall-clock cost of the cycle-accurate simulator itself."""
+    tensor = random_sparse_tensor(seed=0, shape=(16, 16, 16), nnz=60, channels=8)
+    accel = EscaAccelerator()
+    result = benchmark.pedantic(
+        accel.run_layer, args=(tensor,), kwargs={"out_channels": 8},
+        rounds=2, iterations=1,
+    )
+    assert result.total_cycles > 0

@@ -1,0 +1,27 @@
+"""Benchmark regenerating Table I: analysis of the zero removing strategy.
+
+Prints/persists the measured active-tile counts and removing ratios next
+to the paper's, and times the strategy itself on the 192^3 feature maps.
+"""
+
+import pytest
+
+from repro.analysis import run_table1
+from repro.arch import ZeroRemover
+from repro.geometry.datasets import load_sample
+
+
+def test_bench_table1_zero_removing(benchmark, write_report):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    write_report("table1_zero_removing", result.format())
+    for row in result.rows:
+        assert row.removing_ratio > 0.99
+
+
+@pytest.mark.parametrize("tile_size", [4, 8, 12, 16])
+def test_bench_zero_removal_speed(benchmark, tile_size):
+    """Raw speed of the tile partition at each Table I tile size."""
+    grid = load_sample("shapenet", seed=0).grid
+    remover = ZeroRemover((tile_size, tile_size, tile_size))
+    result = benchmark(remover.remove, grid)
+    assert result.active_tiles > 0

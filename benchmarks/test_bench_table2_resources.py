@@ -1,0 +1,22 @@
+"""Benchmark regenerating Table II: frequency and resource utilization."""
+
+import pytest
+
+from repro.analysis import run_table2
+from repro.arch import AcceleratorConfig
+from repro.hwmodel import estimate_resources
+
+
+def test_bench_table2_resources(benchmark, write_report):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    write_report("table2_resources", result.format())
+    by_name = {row.resource: row for row in result.rows}
+    assert by_name["DSP"].used == 256
+    assert by_name["BRAM"].used == pytest.approx(365.5)
+
+
+def test_bench_resource_estimation_speed(benchmark):
+    """The analytical model must be cheap enough for design-space sweeps."""
+    config = AcceleratorConfig()
+    breakdown = benchmark(estimate_resources, config)
+    assert breakdown.fits()

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Table III: GPU / FPGA [19] / ESCA comparison.
+
+Simulates the full SS U-Net through the cycle-accurate accelerator and
+evaluates the calibrated GPU model on the identical effective workload.
+"""
+
+import pytest
+
+from repro.analysis import run_table3
+
+
+def test_bench_table3_comparison(benchmark, write_report):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    write_report("table3_comparison", result.format())
+    ours = result.row("ours")
+    gpu = result.row("GPU")
+    assert ours.performance_gops == pytest.approx(17.73, rel=0.15)
+    assert gpu.performance_gops == pytest.approx(9.40, rel=0.15)
+    assert result.performance_ratio_vs_gpu == pytest.approx(1.88, rel=0.2)
+    assert result.efficiency_ratio_vs_gpu == pytest.approx(51, rel=0.2)

@@ -1,0 +1,88 @@
+"""Design-space exploration of the ESCA architecture.
+
+Uses the validated analytical cycle model plus the resource/power models
+to sweep the three main design knobs the paper fixes:
+
+* tile size (zero removing granularity, Sec. III-A),
+* computing-array parallelism (Sec. III-D),
+* SRF scan cadence (mask-read pipelining, Fig. 7(b)),
+
+and prints the latency / resources / power trade-off for each point,
+exactly the kind of study the cycle model makes cheap.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import numpy as np
+
+from repro import AcceleratorConfig, AnalyticalModel
+from repro.analysis.reporting import format_table
+from repro.arch.config import SdmuTiming
+from repro.geometry.datasets import load_sample
+from repro.hwmodel import PowerModel, estimate_resources
+
+
+def main() -> None:
+    grid = load_sample("shapenet", seed=0).grid
+    rng = np.random.default_rng(0)
+    tensor = grid.with_features(rng.standard_normal((grid.nnz, 16)))
+    in_ch, out_ch = 16, 16
+    print(
+        f"workload: full-resolution {in_ch}->{out_ch} Sub-Conv, "
+        f"{grid.nnz} sites\n"
+    )
+
+    rows = []
+    for tile in (4, 8, 16):
+        for par in (8, 16, 32):
+            for cadence in (1, 3):
+                config = AcceleratorConfig(
+                    tile_shape=(tile, tile, tile),
+                    ic_parallelism=par,
+                    oc_parallelism=par,
+                    timing=SdmuTiming(srf_cadence_cycles=cadence),
+                )
+                model = AnalyticalModel(config)
+                cycles = model.estimate_layer(tensor, in_ch, out_ch)
+                resources = estimate_resources(config)
+                watts = PowerModel().total_watts(config)
+                ms = cycles / config.clock_hz * 1e3
+                fits = "yes" if resources.fits() else "NO"
+                rows.append(
+                    (
+                        f"{tile}^3",
+                        f"{par}x{par}",
+                        cadence,
+                        cycles,
+                        f"{ms:.3f}",
+                        int(resources.total.dsp),
+                        f"{resources.total.bram36:.1f}",
+                        f"{watts:.2f}",
+                        fits,
+                    )
+                )
+    print(
+        format_table(
+            ["Tile", "Array", "Cadence", "Cycles", "ms", "DSP", "BRAM",
+             "Power W", "Fits ZCU102"],
+            rows,
+        )
+    )
+
+    best = min(rows, key=lambda r: r[3])
+    paper_point = next(
+        r for r in rows if r[0] == "8^3" and r[1] == "16x16" and r[2] == 3
+    )
+    print(
+        f"\nfastest point: tile {best[0]}, array {best[1]}, cadence "
+        f"{best[2]} at {best[4]} ms"
+    )
+    print(
+        f"paper's point: tile {paper_point[0]}, array {paper_point[1]}, "
+        f"cadence {paper_point[2]} at {paper_point[4]} ms — chosen for its "
+        "resource/power balance on this matching-bound workload"
+    )
+
+
+if __name__ == "__main__":
+    main()

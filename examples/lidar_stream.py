@@ -1,0 +1,59 @@
+"""Streaming LiDAR-style frames through ESCA (the Fig. 1 application).
+
+A rotating scene is voxelized and executed frame by frame, reporting
+per-frame latency, sustained FPS, and tail latency — the numbers an
+autonomous-driving deployment actually cares about.
+
+Run:  python examples/lidar_stream.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.geometry import make_shapenet_like_cloud
+from repro.runtime import RotatingSceneSource, StreamingRunner
+
+
+def main() -> None:
+    source = RotatingSceneSource(
+        base_cloud=make_shapenet_like_cloud(seed=0, category="chair"),
+        num_frames=12,
+        step_rad=0.2,
+        seed=0,
+    )
+    runner = StreamingRunner(in_channels=1, out_channels=16)
+    stats = runner.run(source)
+
+    rows = [
+        (
+            frame.frame_id,
+            frame.nnz,
+            frame.active_tiles,
+            frame.matches,
+            f"{frame.core_seconds * 1e3:.3f}",
+            f"{frame.total_seconds * 1e3:.3f}",
+        )
+        for frame in stats.frames
+    ]
+    print("streaming a rotating scene (one 1->16 Sub-Conv per frame):\n")
+    print(
+        format_table(
+            ["Frame", "Sites", "Active tiles", "Matches", "Core ms",
+             "Total ms"],
+            rows,
+        )
+    )
+    print(
+        f"\nsustained: {stats.fps:.1f} FPS | "
+        f"p50 latency {stats.latency_percentile(50) * 1e3:.3f} ms | "
+        f"p95 latency {stats.latency_percentile(95) * 1e3:.3f} ms | "
+        f"{stats.mean_gops():.2f} effective GOPS"
+    )
+    print(
+        "\nnote: per-frame occupancy varies with rotation (tile counts "
+        "change as the object aligns differently with the 8^3 tiling), "
+        "but the zero removing strategy keeps every frame's latency "
+        "around a millisecond."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Metrics, report formatting, and the per-table/figure experiment harness."""
+
+from repro.analysis.metrics import (
+    effective_gops,
+    gops_per_watt,
+    relative_error,
+    speedup,
+)
+from repro.analysis.reporting import format_ratio, format_table
+from repro.analysis.roofline import (
+    RooflinePoint,
+    ridge_intensity,
+    roofline_point,
+    roofline_report,
+)
+from repro.analysis.visualize import (
+    occupancy_summary,
+    render_projection,
+    render_tile_map,
+)
+from repro.analysis.campaigns import (
+    MetricSummary,
+    Table1Statistics,
+    ThroughputStatistics,
+    run_table1_statistics,
+    run_throughput_statistics,
+)
+from repro.analysis.experiments import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    Fig10Result,
+    Table1Result,
+    Table2Result,
+    Table3Result,
+    run_fig10,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+__all__ = [
+    "speedup",
+    "effective_gops",
+    "gops_per_watt",
+    "relative_error",
+    "format_table",
+    "format_ratio",
+    "render_projection",
+    "render_tile_map",
+    "occupancy_summary",
+    "RooflinePoint",
+    "roofline_point",
+    "roofline_report",
+    "ridge_intensity",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "Table1Result",
+    "Table2Result",
+    "Table3Result",
+    "Fig10Result",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_fig10",
+    "MetricSummary",
+    "Table1Statistics",
+    "ThroughputStatistics",
+    "run_table1_statistics",
+    "run_throughput_statistics",
+]

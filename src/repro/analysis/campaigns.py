@@ -1,0 +1,128 @@
+"""Multi-seed experiment campaigns (statistical robustness).
+
+The paper reports single-sample numbers; a reproduction should show the
+spread.  A campaign re-runs an experiment across synthetic-sample seeds
+and aggregates mean / standard deviation / extrema per metric, which the
+statistics benchmark turns into Table I-with-error-bars and a
+GOPS-stability report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.experiments import PAPER_TABLE1
+from repro.arch.accelerator import AnalyticalModel
+from repro.arch.config import AcceleratorConfig
+from repro.arch.tiling import ZeroRemover
+from repro.geometry.datasets import load_sample
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Aggregate of one scalar metric across seeds."""
+
+    name: str
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    samples: int
+
+    @classmethod
+    def from_values(cls, name: str, values: Sequence[float]) -> "MetricSummary":
+        if not values:
+            raise ValueError(f"metric {name!r} has no samples")
+        arr = np.asarray(values, dtype=np.float64)
+        return cls(
+            name=name,
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if len(arr) > 1 else 0.0,
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            samples=len(arr),
+        )
+
+    def format(self) -> str:
+        return f"{self.mean:.2f} +- {self.std:.2f} (n={self.samples})"
+
+
+@dataclass
+class Table1Statistics:
+    """Active-tile statistics across seeds, per dataset and tile size."""
+
+    summaries: Dict[Tuple[str, int], MetricSummary]
+    seeds: Tuple[int, ...]
+
+    def summary(self, dataset: str, tile_size: int) -> MetricSummary:
+        return self.summaries[(dataset, tile_size)]
+
+    def within_band(self, low: float = 0.4, high: float = 1.8) -> bool:
+        """Whether every mean lies within [low, high] x paper value."""
+        for (dataset, tile_size), summary in self.summaries.items():
+            paper = PAPER_TABLE1[dataset][tile_size][0]
+            if not low * paper <= summary.mean <= high * paper:
+                return False
+        return True
+
+
+def run_table1_statistics(
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    datasets: Sequence[str] = ("shapenet", "nyu"),
+    tile_sizes: Sequence[int] = (4, 8, 12, 16),
+) -> Table1Statistics:
+    """Table I across seeds: mean/std active tiles per configuration."""
+    values: Dict[Tuple[str, int], List[float]] = {
+        (dataset, tile): [] for dataset in datasets for tile in tile_sizes
+    }
+    remover = ZeroRemover()
+    for dataset in datasets:
+        for seed in seeds:
+            grid = load_sample(dataset, seed=seed).grid
+            for tile in tile_sizes:
+                result = remover.remove_cubic(grid, tile)
+                values[(dataset, tile)].append(float(result.active_tiles))
+    summaries = {
+        key: MetricSummary.from_values(f"{key[0]}@{key[1]}", vals)
+        for key, vals in values.items()
+    }
+    return Table1Statistics(summaries=summaries, seeds=tuple(seeds))
+
+
+@dataclass
+class ThroughputStatistics:
+    """Analytical layer-throughput spread across seeds."""
+
+    cycles: MetricSummary
+    matches: MetricSummary
+    seeds: Tuple[int, ...]
+
+
+def run_throughput_statistics(
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    dataset: str = "shapenet",
+    in_channels: int = 16,
+    out_channels: int = 16,
+    config: AcceleratorConfig | None = None,
+) -> ThroughputStatistics:
+    """Spread of the analytical per-layer cycle estimate across seeds."""
+    config = config or AcceleratorConfig()
+    model = AnalyticalModel(config)
+    cycle_values: List[float] = []
+    match_values: List[float] = []
+    for seed in seeds:
+        grid = load_sample(dataset, seed=seed).grid
+        scanned, matches = model.workload_statistics(grid.occupancy())
+        cycles = model.estimate_cycles(
+            scanned, matches, in_channels, out_channels
+        )
+        cycle_values.append(float(cycles))
+        match_values.append(float(matches))
+    return ThroughputStatistics(
+        cycles=MetricSummary.from_values("cycles", cycle_values),
+        matches=MetricSummary.from_values("matches", match_values),
+        seeds=tuple(seeds),
+    )

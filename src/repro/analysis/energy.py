@@ -1,0 +1,88 @@
+"""Energy-per-inference analysis across platforms.
+
+Table III compares power and GOPS/W; deployments usually care about
+energy per processed frame (J/inference), which combines the power and
+latency models already in the repository.  This module produces that
+comparison for an arbitrary Sub-Conv workload set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.arch.accelerator import NetworkRunResult
+from repro.arch.config import AcceleratorConfig
+from repro.baselines.cpu import CpuExecutionModel
+from repro.baselines.gpu import GpuExecutionModel
+from repro.baselines.platform import PlatformModel, SubConvWorkload
+from repro.hwmodel.power import PowerModel
+
+
+@dataclass(frozen=True)
+class EnergyRow:
+    """Energy accounting of one platform on one workload set."""
+
+    platform: str
+    seconds: float
+    power_watts: float
+
+    @property
+    def energy_joules(self) -> float:
+        return self.seconds * self.power_watts
+
+    @property
+    def energy_millijoules(self) -> float:
+        return self.energy_joules * 1e3
+
+
+def esca_energy(
+    network: NetworkRunResult,
+    config: Optional[AcceleratorConfig] = None,
+    power_model: Optional[PowerModel] = None,
+) -> EnergyRow:
+    """Energy of a simulated ESCA network run."""
+    config = config or AcceleratorConfig()
+    power = (power_model or PowerModel()).total_watts(config)
+    return EnergyRow(
+        platform="ESCA",
+        seconds=network.total_seconds,
+        power_watts=power,
+    )
+
+
+def platform_energy(
+    model: PlatformModel, workloads: Sequence[SubConvWorkload]
+) -> EnergyRow:
+    """Energy of a baseline platform on the same effective workloads."""
+    seconds = model.network_seconds(list(workloads))
+    return EnergyRow(
+        platform=model.name,
+        seconds=seconds,
+        power_watts=model.power_watts,
+    )
+
+
+def energy_comparison(
+    network: NetworkRunResult,
+    workloads: Sequence[SubConvWorkload],
+    config: Optional[AcceleratorConfig] = None,
+) -> List[EnergyRow]:
+    """CPU / GPU / ESCA energy for one inference of the workload set."""
+    rows = [
+        platform_energy(CpuExecutionModel(), workloads),
+        platform_energy(GpuExecutionModel(), workloads),
+        esca_energy(network, config=config),
+    ]
+    return rows
+
+
+def energy_ratio(rows: Sequence[EnergyRow], platform: str) -> float:
+    """Energy of ``platform`` relative to ESCA (``> 1`` means worse)."""
+    by_name = {row.platform: row for row in rows}
+    if "ESCA" not in by_name or platform not in by_name:
+        raise KeyError(f"need ESCA and {platform!r} rows")
+    esca = by_name["ESCA"].energy_joules
+    if esca == 0:
+        raise ValueError("ESCA energy is zero")
+    return by_name[platform].energy_joules / esca

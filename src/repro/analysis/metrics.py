@@ -1,0 +1,31 @@
+"""Small metric helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+
+def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
+    """How many times faster the candidate is than the baseline."""
+    if candidate_seconds <= 0:
+        raise ValueError(f"candidate time must be positive, got {candidate_seconds}")
+    return baseline_seconds / candidate_seconds
+
+
+def effective_gops(effective_ops: int, seconds: float) -> float:
+    """Effective (nonzero-MAC) throughput in GOPS."""
+    if seconds <= 0:
+        raise ValueError(f"time must be positive, got {seconds}")
+    return effective_ops / seconds / 1e9
+
+
+def gops_per_watt(gops: float, watts: float) -> float:
+    """Power efficiency as reported in Table III."""
+    if watts <= 0:
+        raise ValueError(f"power must be positive, got {watts}")
+    return gops / watts
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / |reference| (0 when both are 0)."""
+    if reference == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - reference) / abs(reference)

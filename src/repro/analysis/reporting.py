@@ -1,0 +1,35 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], indent: str = ""
+) -> str:
+    """Render an aligned ASCII table (all cells stringified)."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(indent + header_line)
+    lines.append(indent + "  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            indent + "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_ratio(measured: float, paper: float, unit: str = "") -> str:
+    """``measured (paper: x)`` with a compact numeric format."""
+    suffix = f" {unit}" if unit else ""
+    return f"{measured:.2f}{suffix} (paper: {paper:.2f}{suffix})"

@@ -1,0 +1,84 @@
+"""Roofline analysis of the accelerator.
+
+Places every simulated layer on the classic roofline: achievable
+throughput is ``min(peak_gops, operational_intensity * bandwidth)``,
+where operational intensity is effective ops per byte moved over the
+PS<->PL link.  This makes the two regimes of the ESCA design visible in
+one table — the matching-bound shallow layers sit far below both roofs
+(the SDMU scan, not the MAC array or DRAM, limits them), while the deep
+layers ride the compute roof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.arch.accelerator import LayerRunResult, NetworkRunResult
+from repro.arch.config import AcceleratorConfig
+from repro.arch.overhead import SystemOverheadModel
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer's position on the roofline."""
+
+    name: str
+    operational_intensity: float  # effective ops per transferred byte
+    achieved_gops: float          # core throughput of the simulated run
+    roof_gops: float              # min(compute roof, memory roof at this OI)
+    bound: str                    # "compute" | "memory"
+
+    @property
+    def roof_fraction(self) -> float:
+        """Fraction of the attainable roof actually achieved."""
+        if self.roof_gops == 0:
+            return 0.0
+        return self.achieved_gops / self.roof_gops
+
+
+def roofline_point(
+    run: LayerRunResult,
+    config: Optional[AcceleratorConfig] = None,
+    overheads: Optional[SystemOverheadModel] = None,
+) -> RooflinePoint:
+    """Roofline placement of one simulated layer run."""
+    config = config or run.config
+    overheads = overheads or SystemOverheadModel()
+    total_bytes = run.transfer.total_bytes
+    if total_bytes <= 0:
+        raise ValueError("layer moved no bytes; roofline is undefined")
+    intensity = run.effective_ops / total_bytes
+    bandwidth = overheads.effective_bandwidth_bytes_per_s
+    memory_roof = intensity * bandwidth / 1e9
+    compute_roof = config.peak_gops
+    roof = min(compute_roof, memory_roof)
+    return RooflinePoint(
+        name=run.layer_name,
+        operational_intensity=intensity,
+        achieved_gops=run.effective_gops(),
+        roof_gops=roof,
+        bound="compute" if memory_roof >= compute_roof else "memory",
+    )
+
+
+def roofline_report(
+    network: NetworkRunResult,
+    config: Optional[AcceleratorConfig] = None,
+    overheads: Optional[SystemOverheadModel] = None,
+) -> List[RooflinePoint]:
+    """Roofline placement of every layer of a network run."""
+    return [
+        roofline_point(run, config=config, overheads=overheads)
+        for run in network.layers
+    ]
+
+
+def ridge_intensity(
+    config: Optional[AcceleratorConfig] = None,
+    overheads: Optional[SystemOverheadModel] = None,
+) -> float:
+    """Operational intensity where the memory roof meets the compute roof."""
+    config = config or AcceleratorConfig()
+    overheads = overheads or SystemOverheadModel()
+    return config.peak_gops * 1e9 / overheads.effective_bandwidth_bytes_per_s

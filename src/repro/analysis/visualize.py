@@ -1,0 +1,92 @@
+"""ASCII visualization of sparse feature maps and tile grids.
+
+Console-friendly renderings used by the examples and documentation:
+occupancy projections of a voxel grid (what Fig. 3's feature maps look
+like) and active-tile maps (the zero removing strategy at a glance).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.arch.tiling import TileGrid
+from repro.sparse.coo import SparseTensor3D
+
+_DENSITY_RAMP = " .:-=+*#%@"
+
+
+def _axis_index(axis: str) -> int:
+    try:
+        return {"x": 0, "y": 1, "z": 2}[axis]
+    except KeyError:
+        raise ValueError(f"axis must be 'x', 'y' or 'z', got {axis!r}") from None
+
+
+def _downsample_counts(counts: np.ndarray, max_size: int) -> np.ndarray:
+    """Shrink a 2D count map by integer box-summing to fit the console."""
+    if max_size <= 0:
+        raise ValueError(f"max_size must be positive, got {max_size}")
+    factor = max(1, -(-max(counts.shape) // max_size))
+    if factor == 1:
+        return counts
+    pad_r = (-counts.shape[0]) % factor
+    pad_c = (-counts.shape[1]) % factor
+    padded = np.pad(counts, ((0, pad_r), (0, pad_c)))
+    reshaped = padded.reshape(
+        padded.shape[0] // factor, factor, padded.shape[1] // factor, factor
+    )
+    return reshaped.sum(axis=(1, 3))
+
+
+def render_projection(
+    tensor: SparseTensor3D, axis: str = "z", max_size: int = 64
+) -> str:
+    """Occupancy projection of the grid along ``axis`` as ASCII art.
+
+    Density maps onto the ramp ``" .:-=+*#%@"``; empty rows/columns are
+    kept so spatial proportions read correctly.
+    """
+    ax = _axis_index(axis)
+    keep = [a for a in range(3) if a != ax]
+    shape_2d: Tuple[int, int] = (tensor.shape[keep[0]], tensor.shape[keep[1]])
+    counts = np.zeros(shape_2d, dtype=np.int64)
+    if tensor.nnz:
+        np.add.at(counts, (tensor.coords[:, keep[0]], tensor.coords[:, keep[1]]), 1)
+    counts = _downsample_counts(counts, max_size)
+    peak = counts.max()
+    if peak == 0:
+        return "\n".join(" " * counts.shape[1] for _ in range(counts.shape[0]))
+    levels = np.minimum(
+        (counts * (len(_DENSITY_RAMP) - 1) + peak - 1) // peak,
+        len(_DENSITY_RAMP) - 1,
+    )
+    return "\n".join(
+        "".join(_DENSITY_RAMP[level] for level in row) for row in levels
+    )
+
+
+def render_tile_map(grid: TileGrid, axis: str = "z") -> str:
+    """Active-tile map projected along ``axis`` ('#' active, '.' empty).
+
+    A cell is '#' when any tile along the projected axis is active — the
+    visual counterpart of Table I's active-tile counts.
+    """
+    ax = _axis_index(axis)
+    keep = [a for a in range(3) if a != ax]
+    dims = (grid.grid_dims[keep[0]], grid.grid_dims[keep[1]])
+    active = np.zeros(dims, dtype=bool)
+    for tile in grid.active_tiles:
+        active[tile.index[keep[0]], tile.index[keep[1]]] = True
+    return "\n".join(
+        "".join("#" if cell else "." for cell in row) for row in active
+    )
+
+
+def occupancy_summary(tensor: SparseTensor3D) -> str:
+    """One-line textual summary used by the examples."""
+    return (
+        f"{tensor.nnz} active sites in {tensor.shape[0]}x{tensor.shape[1]}"
+        f"x{tensor.shape[2]} ({tensor.sparsity:.4%} sparse)"
+    )

@@ -1,0 +1,69 @@
+"""On-chip buffer models (mask / activation / weight / output buffers).
+
+These track capacity and access counts during simulation and provide the
+block-RAM estimates consumed by the Table II resource model.  The basic
+storage unit on the ZCU102 is the 36 Kb block RAM, splittable into two
+independent 18 Kb halves — which is why Table II reports a fractional
+count (365.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BRAM36_BITS = 36 * 1024
+
+
+@dataclass
+class BufferModel:
+    """One on-chip buffer.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    depth:
+        Number of addressable words.
+    width_bits:
+        Word width in bits.
+    banks:
+        Independent banks (the activation buffer is banked per decoder
+        lane so all ``K^2`` columns fetch in parallel).
+    """
+
+    name: str
+    depth: int
+    width_bits: int
+    banks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0 or self.width_bits <= 0 or self.banks <= 0:
+            raise ValueError(
+                f"buffer {self.name!r}: depth/width/banks must be positive"
+            )
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.depth * self.width_bits * self.banks
+
+    def record_read(self, count: int = 1) -> None:
+        self.reads += count
+
+    def record_write(self, count: int = 1) -> None:
+        self.writes += count
+
+    def bram36(self) -> float:
+        """Estimated 36 Kb BRAM usage (0.5 granularity, per bank).
+
+        Each bank needs at least half a BRAM36 (one 18 Kb primitive);
+        beyond that, usage grows with capacity in half-block steps.
+        """
+        per_bank_bits = self.depth * self.width_bits
+        half_blocks = max(1, -(-per_bank_bits // (BRAM36_BITS // 2)))
+        return 0.5 * half_blocks * self.banks
+
+    def utilization_of(self, used_words: int) -> float:
+        """Fraction of the buffer filled by ``used_words`` entries."""
+        return min(1.0, used_words / (self.depth * self.banks))

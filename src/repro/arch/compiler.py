@@ -1,0 +1,355 @@
+"""Network compiler: mapping layers onto finite on-chip buffers.
+
+The cycle-accurate model assumes a layer's weights, activations and
+masks fit on chip, which holds for the paper's SS U-Net configuration.
+Real deployments must handle layers that exceed the buffer plan of
+Table II; this module provides that mapping layer:
+
+* **Channel passes** — when a layer's weights exceed the weight buffer,
+  the output channels are split into passes (each pass produces complete
+  partial sums for its OC slice, so no psum spilling is needed); if a
+  single OC slice still does not fit, input channels are split as well
+  and partial sums are re-accumulated across IC passes.
+* **Tile chunks** — when the active sites exceed the activation/output
+  buffers, the active tiles are processed in chunks.
+* **Command stream** — every plan lowers to LOAD/RUN/STORE commands with
+  byte and cycle costs, which double-checks the transfer accounting of
+  :mod:`repro.arch.overhead` and feeds deployment-latency estimates.
+
+Everything here is derived from :class:`AcceleratorConfig` and the
+buffer geometry of :func:`repro.hwmodel.resources.buffer_plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.arch.config import AcceleratorConfig
+from repro.arch.tiling import TileGrid
+from repro.nn.rulebook import build_submanifold_rulebook
+from repro.sparse.coo import SparseTensor3D
+
+
+@dataclass(frozen=True)
+class BufferBudget:
+    """On-chip capacities in *words* of the respective datapaths.
+
+    One weight word feeds the array one cycle of one OC lane
+    (``ic_parallelism`` INT8 weights); one activation word is one site's
+    ``ic_parallelism``-channel INT16 slice; one output word is one site's
+    ``oc_parallelism``-channel slice.
+    """
+
+    weight_words: int
+    activation_words_per_bank: int
+    output_words: int
+    mask_bits: int
+
+    @classmethod
+    def from_config(cls, config: AcceleratorConfig) -> "BufferBudget":
+        return cls(
+            weight_words=config.weight_buffer_depth,
+            activation_words_per_bank=config.activation_buffer_depth // 4,
+            output_words=config.output_buffer_depth,
+            mask_bits=config.mask_buffer_kib * 1024 * 8,
+        )
+
+
+@dataclass(frozen=True)
+class ChannelPass:
+    """One (IC slice, OC slice) pass of a layer."""
+
+    ic_start: int
+    ic_stop: int
+    oc_start: int
+    oc_stop: int
+
+    @property
+    def ic_size(self) -> int:
+        return self.ic_stop - self.ic_start
+
+    @property
+    def oc_size(self) -> int:
+        return self.oc_stop - self.oc_start
+
+
+@dataclass(frozen=True)
+class Command:
+    """One step of the lowered execution schedule."""
+
+    kind: str  # load_weights | load_masks | load_activations | run | store_outputs
+    bytes: int
+    cycles: int
+    detail: str = ""
+
+
+@dataclass
+class TileChunk:
+    """A contiguous group of active tiles processed together."""
+
+    tile_indices: List[int]
+    nnz: int
+    matches: int
+    scanned_positions: int
+
+
+@dataclass
+class LayerPlan:
+    """Mapping of one Sub-Conv layer onto the accelerator."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    passes: List[ChannelPass]
+    chunks: List[TileChunk]
+    commands: List[Command] = field(default_factory=list)
+
+    @property
+    def num_passes(self) -> int:
+        return len(self.passes)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(cmd.bytes for cmd in self.commands)
+
+    @property
+    def total_run_cycles(self) -> int:
+        return sum(cmd.cycles for cmd in self.commands if cmd.kind == "run")
+
+    def ic_passes(self) -> int:
+        return len({(p.ic_start, p.ic_stop) for p in self.passes})
+
+    def oc_passes(self) -> int:
+        return len({(p.oc_start, p.oc_stop) for p in self.passes})
+
+
+class CompilationError(ValueError):
+    """Raised when a layer cannot be mapped onto the configuration."""
+
+
+class NetworkCompiler:
+    """Plans layers onto the accelerator's finite buffers."""
+
+    def __init__(
+        self,
+        config: Optional[AcceleratorConfig] = None,
+        budget: Optional[BufferBudget] = None,
+    ) -> None:
+        self.config = config or AcceleratorConfig()
+        self.budget = budget or BufferBudget.from_config(self.config)
+
+    # ------------------------------------------------------------------
+    # Channel splitting
+    # ------------------------------------------------------------------
+    def weight_words(self, ic_size: int, oc_size: int) -> int:
+        """Weight-buffer words for an (ic_size, oc_size) channel slice."""
+        k3 = self.config.kernel_size ** 3
+        ic_steps = -(-ic_size // self.config.ic_parallelism)
+        return k3 * oc_size * ic_steps
+
+    def plan_channel_passes(
+        self, in_channels: int, out_channels: int
+    ) -> List[ChannelPass]:
+        """Split channels so each pass's weights fit the weight buffer.
+
+        OC is split first (cheap: each pass owns its outputs); IC is
+        split only when a single-OC-lane slice still overflows, in which
+        case later IC passes re-accumulate onto the same outputs.
+        """
+        cfg = self.config
+        # Largest OC slice that fits with the full IC range, but never
+        # below one array width (shrinking further would starve the OC
+        # lanes — splitting IC is preferable at that point).
+        oc_floor = min(out_channels, cfg.oc_parallelism)
+        oc_tile = out_channels
+        while oc_tile > oc_floor and self.weight_words(in_channels, oc_tile) > \
+                self.budget.weight_words:
+            oc_tile = max(oc_floor, self._shrink(oc_tile, cfg.oc_parallelism))
+        ic_tile = in_channels
+        if self.weight_words(ic_tile, oc_tile) > self.budget.weight_words:
+            # One OC array-width with full IC still overflows: split IC;
+            # later IC passes re-accumulate onto the same output slice.
+            ic_floor = min(in_channels, cfg.ic_parallelism)
+            while ic_tile > ic_floor and self.weight_words(ic_tile, oc_tile) > \
+                    self.budget.weight_words:
+                ic_tile = max(ic_floor, self._shrink(ic_tile, cfg.ic_parallelism))
+            if self.weight_words(ic_tile, oc_tile) > self.budget.weight_words:
+                raise CompilationError(
+                    f"layer {in_channels}x{out_channels} cannot fit the "
+                    f"weight buffer ({self.budget.weight_words} words) even "
+                    f"at minimum slice size "
+                    f"({self.weight_words(ic_tile, oc_tile)} words needed)"
+                )
+        passes = []
+        for ic_start in range(0, in_channels, ic_tile):
+            ic_stop = min(in_channels, ic_start + ic_tile)
+            for oc_start in range(0, out_channels, oc_tile):
+                oc_stop = min(out_channels, oc_start + oc_tile)
+                passes.append(ChannelPass(ic_start, ic_stop, oc_start, oc_stop))
+        return passes
+
+    @staticmethod
+    def _shrink(size: int, step: int) -> int:
+        """Next smaller slice size, aligned down to ``step`` when possible."""
+        if size > step:
+            return (size - 1) // step * step
+        return size // 2
+
+    # ------------------------------------------------------------------
+    # Tile chunking
+    # ------------------------------------------------------------------
+    def plan_tile_chunks(
+        self, tensor: SparseTensor3D, in_channels: int
+    ) -> List[TileChunk]:
+        """Group active tiles so activations/outputs fit per chunk.
+
+        Matches are attributed to the chunk of their *output* site via
+        the reference rulebook, so per-chunk cycle estimates are exact.
+        """
+        grid = TileGrid(tensor, self.config.tile_shape)
+        tiles = grid.active_tiles
+        if not tiles:
+            return []
+        ic_steps = max(1, -(-in_channels // self.config.ic_parallelism))
+        act_capacity_sites = self.budget.activation_words_per_bank // ic_steps
+        out_capacity_sites = self.budget.output_words
+        capacity = max(1, min(act_capacity_sites, out_capacity_sites))
+        rulebook = build_submanifold_rulebook(tensor, self.config.kernel_size)
+        per_output = rulebook.matches_per_output()
+        tile_volume = grid.tile_volume()
+
+        chunks: List[TileChunk] = []
+        current: List[int] = []
+        current_nnz = 0
+        current_matches = 0
+        for index, tile in enumerate(tiles):
+            tile_matches = int(per_output[tile.rows].sum())
+            if current and current_nnz + tile.nnz > capacity:
+                chunks.append(
+                    TileChunk(
+                        tile_indices=current,
+                        nnz=current_nnz,
+                        matches=current_matches,
+                        scanned_positions=len(current) * tile_volume,
+                    )
+                )
+                current, current_nnz, current_matches = [], 0, 0
+            if tile.nnz > capacity:
+                raise CompilationError(
+                    f"a single tile holds {tile.nnz} sites but buffers fit "
+                    f"only {capacity}; decrease tile size or channel width"
+                )
+            current.append(index)
+            current_nnz += tile.nnz
+            current_matches += tile_matches
+        if current:
+            chunks.append(
+                TileChunk(
+                    tile_indices=current,
+                    nnz=current_nnz,
+                    matches=current_matches,
+                    scanned_positions=len(current) * tile_volume,
+                )
+            )
+        return chunks
+
+    # ------------------------------------------------------------------
+    # Lowering
+    # ------------------------------------------------------------------
+    def plan_layer(
+        self,
+        tensor: SparseTensor3D,
+        out_channels: int,
+        name: str = "subconv",
+    ) -> LayerPlan:
+        """Full mapping of one Sub-Conv layer: passes, chunks, commands."""
+        cfg = self.config
+        in_channels = tensor.num_channels
+        passes = self.plan_channel_passes(in_channels, out_channels)
+        chunks = self.plan_tile_chunks(tensor, in_channels)
+        plan = LayerPlan(
+            name=name,
+            in_channels=in_channels,
+            out_channels=out_channels,
+            passes=passes,
+            chunks=chunks,
+        )
+        k3 = cfg.kernel_size ** 3
+        act_bytes_per_site = in_channels * cfg.activation_bits // 8
+        out_bytes_per_site = out_channels * cfg.activation_bits // 8
+        commands: List[Command] = []
+        for chunk_id, chunk in enumerate(chunks):
+            commands.append(
+                Command(
+                    kind="load_masks",
+                    bytes=chunk.scanned_positions // 8,
+                    cycles=0,
+                    detail=f"chunk {chunk_id}: {len(chunk.tile_indices)} tiles",
+                )
+            )
+            commands.append(
+                Command(
+                    kind="load_activations",
+                    bytes=chunk.nnz * act_bytes_per_site,
+                    cycles=0,
+                    detail=f"chunk {chunk_id}: {chunk.nnz} sites",
+                )
+            )
+            for pass_id, channel_pass in enumerate(passes):
+                weight_bytes = (
+                    k3 * channel_pass.ic_size * channel_pass.oc_size
+                    * cfg.weight_bits // 8
+                )
+                commands.append(
+                    Command(
+                        kind="load_weights",
+                        bytes=weight_bytes,
+                        cycles=0,
+                        detail=f"chunk {chunk_id} pass {pass_id}",
+                    )
+                )
+                run_cycles = self._run_cycles(chunk, channel_pass)
+                commands.append(
+                    Command(
+                        kind="run",
+                        bytes=0,
+                        cycles=run_cycles,
+                        detail=(
+                            f"chunk {chunk_id} pass {pass_id}: "
+                            f"IC[{channel_pass.ic_start}:{channel_pass.ic_stop}] "
+                            f"OC[{channel_pass.oc_start}:{channel_pass.oc_stop}]"
+                        ),
+                    )
+                )
+            commands.append(
+                Command(
+                    kind="store_outputs",
+                    bytes=chunk.nnz * out_bytes_per_site,
+                    cycles=0,
+                    detail=f"chunk {chunk_id}",
+                )
+            )
+        plan.commands = commands
+        return plan
+
+    def _run_cycles(self, chunk: TileChunk, channel_pass: ChannelPass) -> int:
+        cfg = self.config
+        sdmu = chunk.scanned_positions * cfg.srf_cadence
+        cc = chunk.matches * cfg.cc_cycles_per_match(
+            channel_pass.ic_size, channel_pass.oc_size
+        )
+        return max(sdmu, chunk.matches, cc) + 8
+
+    def plan_network(
+        self, layers: List[Tuple[SparseTensor3D, int, str]]
+    ) -> List[LayerPlan]:
+        """Plan a list of ``(tensor, out_channels, name)`` layers."""
+        return [
+            self.plan_layer(tensor, out_channels, name=name)
+            for tensor, out_channels, name in layers
+        ]

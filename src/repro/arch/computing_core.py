@@ -1,0 +1,169 @@
+"""Computing core (CC) — the 16x16 MAC array plus accumulator (Sec. III-D).
+
+One *match* carries the activation vector of one neighbor voxel; the
+computing array broadcasts the ``n+1`` input-channel activations to all
+``m+1`` computing units, each producing the partial sum of one output
+channel (Fig. 8).  Channel dimensions beyond the array parallelism are
+covered by loop unrolling over ``ceil(Cin/16) * ceil(Cout/16)`` passes,
+which is the per-match occupancy of the array.
+
+The arithmetic is the integer contract of :mod:`repro.quant`: INT16
+activations x INT8 weights accumulated in wide integer accumulators, so
+the simulator's outputs can be compared bit-exactly against the quantized
+reference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.arch.config import AcceleratorConfig
+from repro.arch.sdmu import Match
+from repro.sim.trace import StatsCounter, Utilization
+
+
+class ComputingCore:
+    """Cycle-accurate computing core.
+
+    Parameters
+    ----------
+    config:
+        Accelerator configuration (array parallelism, bit widths).
+    activations_q:
+        ``(N, Cin)`` integer activation matrix (the activation buffer).
+    weights_q:
+        ``(K^3, Cin, Cout)`` integer weight tensor (the weight buffer).
+    num_outputs:
+        Number of output rows (equals N for submanifold convolution).
+    """
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        activations_q: np.ndarray,
+        weights_q: np.ndarray,
+        num_outputs: int,
+    ) -> None:
+        activations_q = np.asarray(activations_q)
+        weights_q = np.asarray(weights_q)
+        if activations_q.ndim != 2:
+            raise ValueError(
+                f"activations must be (N, Cin), got {activations_q.shape}"
+            )
+        if weights_q.ndim != 3:
+            raise ValueError(
+                f"weights must be (K^3, Cin, Cout), got {weights_q.shape}"
+            )
+        if activations_q.shape[1] != weights_q.shape[1]:
+            raise ValueError(
+                f"channel mismatch: activations Cin={activations_q.shape[1]}, "
+                f"weights Cin={weights_q.shape[1]}"
+            )
+        self.config = config
+        self.activations = activations_q.astype(np.int64)
+        self.weights = weights_q.astype(np.int64)
+        self.in_channels = int(weights_q.shape[1])
+        self.out_channels = int(weights_q.shape[2])
+        self.accumulators = np.zeros(
+            (int(num_outputs), self.out_channels), dtype=np.int64
+        )
+        self.cycles_per_match = config.cc_cycles_per_match(
+            self.in_channels, self.out_channels
+        )
+        self._busy_remaining = 0
+        self._current: Optional[Match] = None
+        self._current_output_row: int = -1
+        self.stats = StatsCounter()
+        self.util = Utilization()
+
+    # ------------------------------------------------------------------
+    # Cycle behaviour
+    # ------------------------------------------------------------------
+    @property
+    def can_accept(self) -> bool:
+        """Whether the array can latch a new match this cycle."""
+        return self._busy_remaining == 0
+
+    def accept(self, match: Match, output_row: int) -> None:
+        """Latch one match; the array is busy for the unrolled passes.
+
+        The multiply-accumulate arithmetic is applied immediately (it is
+        timing-independent: integer accumulation commutes), while the
+        occupancy is modeled by :meth:`tick`.
+        """
+        if not self.can_accept:
+            raise RuntimeError("computing core accept() while busy")
+        self._current = match
+        self._current_output_row = int(output_row)
+        self._busy_remaining = self.cycles_per_match
+        activation = self.activations[match.activation_row]
+        weight_plane = self.weights[match.weight_index]
+        self.accumulators[output_row] += activation @ weight_plane
+        self.stats.add("matches_processed")
+        self.stats.add(
+            "effective_macs", self.in_channels * self.out_channels
+        )
+
+    def tick(self) -> None:
+        """Advance one cycle of array occupancy."""
+        if self._busy_remaining > 0:
+            self._busy_remaining -= 1
+            self.util.record(True)
+            if self._busy_remaining == 0:
+                self._current = None
+        else:
+            self.util.record(False)
+
+    def is_idle(self) -> bool:
+        return self._busy_remaining == 0
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def effective_macs(self) -> int:
+        return self.stats.get("effective_macs")
+
+    @property
+    def effective_ops(self) -> int:
+        """Two ops (multiply + add) per MAC, the paper's GOPS convention."""
+        return 2 * self.effective_macs
+
+
+class OutputWriter:
+    """Streams finished output rows to the output buffer.
+
+    Writing one output row takes ``ceil(Cout / oc_parallelism)`` cycles
+    (one array-width beat per pass); writes overlap with computation but
+    back-to-back group completions can stall the core.
+    """
+
+    def __init__(self, config: AcceleratorConfig, out_channels: int) -> None:
+        self.cycles_per_row = max(
+            1, -(-int(out_channels) // config.oc_parallelism)
+        )
+        self._busy_remaining = 0
+        self.rows_written = 0
+        self.util = Utilization()
+
+    @property
+    def can_accept(self) -> bool:
+        return self._busy_remaining == 0
+
+    def accept_row(self) -> None:
+        if not self.can_accept:
+            raise RuntimeError("output writer accept while busy")
+        self._busy_remaining = self.cycles_per_row
+        self.rows_written += 1
+
+    def tick(self) -> None:
+        if self._busy_remaining > 0:
+            self._busy_remaining -= 1
+            self.util.record(True)
+        else:
+            self.util.record(False)
+
+    def is_idle(self) -> bool:
+        return self._busy_remaining == 0

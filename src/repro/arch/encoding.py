@@ -1,0 +1,259 @@
+"""Index-mask / valid-data encoding scheme (Sec. III-B, Fig. 4).
+
+The feature map is encoded into two data types:
+
+* **Index mask** — one bit per voxel position of the active tiles,
+  telling whether the activation there is nonzero
+  (:class:`IndexMask`).
+* **Valid data** — the nonzero activations, stored densely in
+  feature-map-column order (:class:`ColumnStore`), plus the weights.
+
+The column store is what gives the SDMU's *state index* ``(A, B)`` its
+meaning: for a feature-map column (a line along the innermost axis),
+``A`` is the running count of nonzero activations up to the bottom of the
+current sparse receptive field — i.e. one past the highest activation-
+buffer address of the match group — and ``B`` is the number of
+activations inside the SRF window, so the *address fragment*
+``(A, A-B)`` delimits exactly the activations to fetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.tiling import TileGrid
+from repro.sparse.coo import SparseTensor3D
+
+
+class IndexMask:
+    """One-bit-per-voxel sparsity map of the feature map.
+
+    Stored densely over the grid for O(1) lookup; the *storage cost*
+    reported to the resource model counts only the active tiles, which is
+    what the hardware keeps in its mask buffer after zero removing.
+    """
+
+    def __init__(self, tensor: SparseTensor3D) -> None:
+        self.shape = tensor.shape
+        self._bits = np.zeros(tensor.shape, dtype=bool)
+        if tensor.nnz:
+            coords = tensor.coords
+            self._bits[coords[:, 0], coords[:, 1], coords[:, 2]] = True
+
+    def is_active(self, x: int, y: int, z: int) -> bool:
+        """Mask bit at ``(x, y, z)``; out-of-bounds positions read as 0."""
+        if not (0 <= x < self.shape[0] and 0 <= y < self.shape[1]
+                and 0 <= z < self.shape[2]):
+            return False
+        return bool(self._bits[x, y, z])
+
+    def column_bits(self, x: int, y: int, z_lo: int, z_hi: int) -> np.ndarray:
+        """Mask bits of one SRF column: positions ``z_lo..z_hi`` inclusive.
+
+        Out-of-bounds positions contribute 0 bits, exactly as the
+        hardware's boundary handling zero-pads the mask stream.
+        """
+        length = z_hi - z_lo + 1
+        bits = np.zeros(length, dtype=bool)
+        if not (0 <= x < self.shape[0] and 0 <= y < self.shape[1]):
+            return bits
+        lo = max(z_lo, 0)
+        hi = min(z_hi, self.shape[2] - 1)
+        if lo > hi:
+            return bits
+        bits[lo - z_lo: hi - z_lo + 1] = self._bits[x, y, lo: hi + 1]
+        return bits
+
+    def popcount(self) -> int:
+        return int(self._bits.sum())
+
+
+class ColumnStore:
+    """Nonzero activations stored densely per feature-map column.
+
+    A *column* is the set of sites sharing ``(x, y)``, ordered by ``z``
+    (the SDMU's scan axis).  This is the activation-buffer layout that
+    makes the prefix counter ``A`` a valid buffer address.
+    """
+
+    def __init__(self, tensor: SparseTensor3D) -> None:
+        self.tensor = tensor
+        self._columns: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        coords = tensor.coords
+        if len(coords):
+            # coords are lexicographically sorted, so per-(x, y) groups are
+            # contiguous and already z-ascending.
+            xy = coords[:, :2]
+            change = np.any(np.diff(xy, axis=0) != 0, axis=1)
+            starts = np.concatenate([[0], np.where(change)[0] + 1])
+            ends = np.concatenate([starts[1:], [len(coords)]])
+            for start, end in zip(starts, ends):
+                key = (int(coords[start, 0]), int(coords[start, 1]))
+                zs = coords[start:end, 2].copy()
+                rows = np.arange(start, end, dtype=np.int64)
+                self._columns[key] = (zs, rows)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    def column(self, x: int, y: int) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        return self._columns.get((int(x), int(y)))
+
+    def prefix_count(self, x: int, y: int, z: int) -> int:
+        """Number of nonzeros in column ``(x, y)`` with ``z' <= z``.
+
+        This is the state index ``A`` when ``z`` is the bottom of the SRF
+        window: the running count "cumulated for each SRF" (Sec. III-C).
+        """
+        entry = self._columns.get((int(x), int(y)))
+        if entry is None:
+            return 0
+        zs, _ = entry
+        return int(np.searchsorted(zs, z, side="right"))
+
+    def count_in(self, x: int, y: int, z_lo: int, z_hi: int) -> int:
+        """State index ``B``: activations with ``z_lo <= z <= z_hi``."""
+        entry = self._columns.get((int(x), int(y)))
+        if entry is None:
+            return 0
+        zs, _ = entry
+        return int(
+            np.searchsorted(zs, z_hi, side="right")
+            - np.searchsorted(zs, z_lo, side="left")
+        )
+
+    def rows_in(
+        self, x: int, y: int, z_lo: int, z_hi: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Address-fragment fetch: ``(rows, zs)`` inside the window."""
+        entry = self._columns.get((int(x), int(y)))
+        if entry is None:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        zs, rows = entry
+        lo = int(np.searchsorted(zs, z_lo, side="left"))
+        hi = int(np.searchsorted(zs, z_hi, side="right"))
+        return rows[lo:hi], zs[lo:hi]
+
+    def total_entries(self) -> int:
+        return self.tensor.nnz
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Encoded sizes, feeding the buffer/BRAM model (Table II)."""
+
+    mask_bits: int
+    activation_words: int
+    activation_bits_per_word: int
+    num_columns: int
+
+    @property
+    def mask_kib(self) -> float:
+        return self.mask_bits / 8.0 / 1024.0
+
+    @property
+    def activation_kib(self) -> float:
+        return self.activation_words * self.activation_bits_per_word / 8.0 / 1024.0
+
+
+class EncodedFeatureMap:
+    """A feature map after zero removing + index-mask/valid-data encoding.
+
+    This is the data structure the accelerator actually consumes; it
+    bundles the tile grid (scan order), the index mask (judging), and the
+    column store (state-index addressing).
+    """
+
+    def __init__(
+        self,
+        tensor: SparseTensor3D,
+        tile_shape: Tuple[int, int, int],
+        kernel_size: int = 3,
+        activation_bits: int = 16,
+    ) -> None:
+        if kernel_size % 2 == 0 or kernel_size <= 0:
+            raise ValueError(f"kernel_size must be odd positive, got {kernel_size}")
+        self.tensor = tensor
+        self.kernel_size = int(kernel_size)
+        self.half = self.kernel_size // 2
+        self.grid = TileGrid(tensor, tile_shape)
+        self.mask = IndexMask(tensor)
+        self.columns = ColumnStore(tensor)
+        self.activation_bits = int(activation_bits)
+
+    # ------------------------------------------------------------------
+    # SDMU-facing queries
+    # ------------------------------------------------------------------
+    def column_offsets(self) -> List[Tuple[int, int]]:
+        """The ``K^2`` SRF column offsets ``(dx, dy)`` in decoder-lane order."""
+        rng = range(-self.half, self.half + 1)
+        return [(dx, dy) for dx in rng for dy in rng]
+
+    def state_index(
+        self, center: Tuple[int, int, int], offset: Tuple[int, int], active: bool
+    ) -> Tuple[int, int]:
+        """State index ``(A, B)`` of one SRF column (Sec. III-C).
+
+        ``A`` accumulates per feature-map column as the SRF slides; ``B``
+        is the in-window count when the SRF is active, else 0 (the paper's
+        convention for non-active states).
+        """
+        x, y, z = center
+        cx, cy = x + offset[0], y + offset[1]
+        a = self.columns.prefix_count(cx, cy, z + self.half)
+        if not active:
+            return a, 0
+        b = self.columns.count_in(cx, cy, z - self.half, z + self.half)
+        return a, b
+
+    def address_fragment(
+        self, center: Tuple[int, int, int], offset: Tuple[int, int], active: bool
+    ) -> Tuple[int, int]:
+        """Address fragment ``(A, A-B)``: fetch rows ``[A-B, A)``."""
+        a, b = self.state_index(center, offset, active)
+        return a, a - b
+
+    def fetch_column_matches(
+        self, center: Tuple[int, int, int], offset: Tuple[int, int]
+    ) -> List[Tuple[int, int]]:
+        """Matches of one SRF column: ``(activation_row, weight_index)``.
+
+        The weight index follows the ``kernel_offsets`` ordering used by
+        the reference rulebook, so SDMU output is directly comparable.
+        """
+        x, y, z = center
+        dx, dy = offset
+        rows, zs = self.columns.rows_in(x + dx, y + dy, z - self.half, z + self.half)
+        k = self.kernel_size
+        lane_base = ((dx + self.half) * k + (dy + self.half)) * k
+        return [
+            (int(row), lane_base + int(zv - z + self.half))
+            for row, zv in zip(rows, zs)
+        ]
+
+    def match_group(
+        self, center: Tuple[int, int, int]
+    ) -> List[List[Tuple[int, int]]]:
+        """The full match group of one active SRF, per decoder lane."""
+        return [
+            self.fetch_column_matches(center, offset)
+            for offset in self.column_offsets()
+        ]
+
+    # ------------------------------------------------------------------
+    # Storage accounting
+    # ------------------------------------------------------------------
+    def storage_report(self) -> StorageReport:
+        """Sizes of the encoded representation kept on chip."""
+        mask_bits = self.grid.num_active_tiles * self.grid.tile_volume()
+        return StorageReport(
+            mask_bits=mask_bits,
+            activation_words=self.tensor.nnz,
+            activation_bits_per_word=self.activation_bits * self.tensor.num_channels,
+            num_columns=self.columns.num_columns,
+        )

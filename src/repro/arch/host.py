@@ -1,0 +1,87 @@
+"""Host-side (PS / ARM) execution model for non-Sub-Conv layers.
+
+The paper's accelerator targets the ``3^3`` submanifold convolutions;
+the SS U-Net's strided downsampling convolutions, transposed upsampling
+convolutions, and the ``1^3`` classifier head run on the Zynq PS (ARM
+Cortex-A53) in a deployment like the paper's.  This model estimates
+their cost so :meth:`EscaAccelerator.run_network` can optionally report
+a true end-to-end latency — an extension beyond the paper's published
+numbers (which the ESCA calibration constants already absorb; see
+EXPERIMENTS.md).
+
+Rates are set to conservative Cortex-A53 values: NEON GEMM throughput of
+about 1.2 effective GOPS and ~8 M coordinate-hash probes per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.nn.rulebook import build_sparse_conv_rulebook, build_submanifold_rulebook
+from repro.nn.unet import LayerExecution
+
+
+@dataclass(frozen=True)
+class HostLayerRun:
+    """Estimated host-side execution of one non-Sub-Conv layer."""
+
+    name: str
+    kind: str
+    matches: int
+    effective_ops: int
+    seconds: float
+
+
+class HostExecutionModel:
+    """ARM-side timing model for the layers ESCA does not accelerate."""
+
+    def __init__(
+        self,
+        gemm_ops_per_s: float = 1.2e9,
+        probe_rate_per_s: float = 8.0e6,
+        dispatch_seconds: float = 0.02e-3,
+    ) -> None:
+        if gemm_ops_per_s <= 0 or probe_rate_per_s <= 0:
+            raise ValueError("rates must be positive")
+        if dispatch_seconds < 0:
+            raise ValueError("dispatch_seconds must be non-negative")
+        self.gemm_ops_per_s = gemm_ops_per_s
+        self.probe_rate_per_s = probe_rate_per_s
+        self.dispatch_seconds = dispatch_seconds
+
+    def run_layer(self, execution: LayerExecution) -> HostLayerRun:
+        """Estimate one recorded layer execution."""
+        tensor = execution.input_tensor
+        if execution.kind == "subconv":
+            rulebook = build_submanifold_rulebook(tensor, execution.kernel_size)
+            matches = rulebook.total_matches
+            probes = tensor.nnz * execution.kernel_size ** 3
+        elif execution.kind in ("sparseconv", "invconv"):
+            # For "invconv" the recorded tensor is the fine reference set,
+            # whose forward rulebook is exactly the transposed matching.
+            rulebook, _ = build_sparse_conv_rulebook(
+                tensor,
+                kernel_size=execution.kernel_size,
+                stride=execution.stride,
+            )
+            matches = rulebook.total_matches
+            probes = tensor.nnz * execution.kernel_size ** 3
+        else:
+            raise ValueError(f"unknown layer kind {execution.kind!r}")
+        ops = 2 * matches * execution.in_channels * execution.out_channels
+        seconds = (
+            self.dispatch_seconds
+            + probes / self.probe_rate_per_s
+            + ops / self.gemm_ops_per_s
+        )
+        return HostLayerRun(
+            name=execution.name,
+            kind=execution.kind,
+            matches=matches,
+            effective_ops=ops,
+            seconds=seconds,
+        )
+
+    def run_layers(self, executions: List[LayerExecution]) -> List[HostLayerRun]:
+        return [self.run_layer(execution) for execution in executions]

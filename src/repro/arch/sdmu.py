@@ -1,0 +1,349 @@
+"""Sparse data matching unit (SDMU) — cycle-accurate model.
+
+Implements the matching pipeline of Sec. III-C / Figs. 6-7:
+
+1. **Read masks** — the scanner walks every voxel position of the active
+   tiles in order; the read stage occupies ``srf_cadence`` cycles per SRF
+   (the paper reads the K mask columns sequentially; Fig. 7(b) shows a
+   3-cycle cadence for K=3).
+2. **Judge state + generate state index** — the mask judger checks the
+   center bit.  Active SRFs get their per-lane state indexes ``(A, B)``
+   and address fragments ``(A, A-B)``; non-active SRFs skip fetching.
+3. **Fetch activations** — per-lane banked buffers each deliver
+   ``fetch_port_width`` activations per cycle into the lane's FIFO;
+   the stage occupies the maximum per-lane occupancy and stalls on FIFO
+   backpressure.
+4. **MUX** — drains one match per cycle toward the computing core, in
+   calculation order: match groups are completed in SRF order, lanes in
+   decoder order within a group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.arch.config import AcceleratorConfig
+from repro.arch.encoding import EncodedFeatureMap
+from repro.arch.timeline import MatchingTimeline
+from repro.sim.fifo import HardwareFifo
+from repro.sim.trace import StatsCounter, Utilization
+
+
+@dataclass(frozen=True)
+class Match:
+    """One (activation, weight) pair of a match group: ``(A_a, W_b)_c``."""
+
+    srf_seq: int
+    lane: int
+    activation_row: int
+    weight_index: int
+
+
+@dataclass
+class MatchGroup:
+    """All matches of one active SRF, split per decoder lane."""
+
+    srf_seq: int
+    output_row: int
+    center: Tuple[int, int, int]
+    lane_matches: List[List[Match]]
+
+    @property
+    def total_matches(self) -> int:
+        return sum(len(lane) for lane in self.lane_matches)
+
+    @property
+    def max_lane_depth(self) -> int:
+        return max((len(lane) for lane in self.lane_matches), default=0)
+
+    def lane_counts(self) -> List[int]:
+        return [len(lane) for lane in self.lane_matches]
+
+
+@dataclass
+class _FetchState:
+    group: MatchGroup
+    next_index: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.next_index:
+            self.next_index = [0] * len(self.group.lane_matches)
+
+    def done(self) -> bool:
+        return all(
+            idx >= len(lane)
+            for idx, lane in zip(self.next_index, self.group.lane_matches)
+        )
+
+
+class SrfScanner:
+    """Iterates SRF center positions over the active tiles in scan order.
+
+    The scan is x-major / z-innermost so that the innermost axis matches
+    the column orientation of the encoding (state index ``A`` accumulates
+    along z).  ``tile_subset`` restricts the scan to selected active
+    tiles (by position in the active-tile list), which is how chunked
+    execution scans one chunk while neighbor data in halo tiles stays
+    visible through the global encoding.
+    """
+
+    def __init__(
+        self,
+        encoded: EncodedFeatureMap,
+        tile_subset: Optional[List[int]] = None,
+    ) -> None:
+        self.encoded = encoded
+        all_tiles = encoded.grid.active_tiles
+        if tile_subset is None:
+            self.tiles = all_tiles
+        else:
+            for index in tile_subset:
+                if not 0 <= index < len(all_tiles):
+                    raise ValueError(
+                        f"tile index {index} out of range "
+                        f"(0..{len(all_tiles) - 1})"
+                    )
+            self.tiles = [all_tiles[index] for index in sorted(tile_subset)]
+        self.total_positions = len(self.tiles) * encoded.grid.tile_volume()
+
+    def __iter__(self) -> Iterator[Tuple[int, Tuple[int, int, int]]]:
+        seq = 0
+        shape = self.encoded.tensor.shape
+        for tile in self.tiles:
+            ox, oy, oz = tile.origin
+            tx, ty, tz = self.encoded.grid.tile_shape
+            for x in range(ox, min(ox + tx, shape[0])):
+                for y in range(oy, min(oy + ty, shape[1])):
+                    for z in range(oz, min(oz + tz, shape[2])):
+                        yield seq, (x, y, z)
+                        seq += 1
+
+
+class Sdmu:
+    """Cycle-accurate SDMU: scanner, mask judger, fetcher, FIFO group, MUX.
+
+    The unit is advanced by :meth:`advance` once per cycle, *after* the
+    downstream computing core (reverse pipeline order gives synchronous
+    semantics).  ``pop_match`` is called by the pipeline to move one match
+    from the FIFO group to the computing core.
+    """
+
+    def __init__(
+        self,
+        encoded: EncodedFeatureMap,
+        config: AcceleratorConfig,
+        timeline: Optional[MatchingTimeline] = None,
+        tile_subset: Optional[List[int]] = None,
+    ):
+        if encoded.kernel_size != config.kernel_size:
+            raise ValueError(
+                f"encoding kernel {encoded.kernel_size} != config kernel "
+                f"{config.kernel_size}"
+            )
+        self.encoded = encoded
+        self.config = config
+        self.timeline = timeline
+        self.tile_subset = tile_subset
+        self.lanes = config.decoder_lanes
+        self.fifos = [
+            HardwareFifo(config.fifo_depth, name=f"lane{i}")
+            for i in range(self.lanes)
+        ]
+        self.scanner = SrfScanner(encoded, tile_subset=tile_subset)
+        self._scan_iter = iter(self.scanner)
+        self._scan_exhausted = False
+
+        # Pipeline registers.
+        self._read_stage: Optional[Tuple[int, Tuple[int, int, int]]] = None
+        self._read_remaining = 0
+        self._judge_stage: Optional[Tuple[int, Tuple[int, int, int]]] = None
+        self._fetch_state: Optional[_FetchState] = None
+
+        # MUX state: groups awaiting drain, in SRF order.
+        self._group_queue: List[MatchGroup] = []
+        self._mux_group: Optional[MatchGroup] = None
+        self._mux_lane = 0
+        self._mux_lane_remaining: List[int] = []
+
+        self.stats = StatsCounter()
+        self.read_util = Utilization()
+        self.fetch_util = Utilization()
+        self.mux_util = Utilization()
+
+    # ------------------------------------------------------------------
+    # Functional helpers (also used directly by tests)
+    # ------------------------------------------------------------------
+    def build_match_group(
+        self, seq: int, center: Tuple[int, int, int]
+    ) -> MatchGroup:
+        """Assemble the match group of an active SRF from the encoding."""
+        lane_matches: List[List[Match]] = []
+        for lane, raw in enumerate(self.encoded.match_group(center)):
+            lane_matches.append(
+                [
+                    Match(
+                        srf_seq=seq,
+                        lane=lane,
+                        activation_row=row,
+                        weight_index=widx,
+                    )
+                    for row, widx in raw
+                ]
+            )
+        output_row = self.encoded.tensor.row_of(center)
+        if output_row is None:
+            raise ValueError(f"active SRF at inactive site {center}")
+        return MatchGroup(
+            srf_seq=seq,
+            output_row=output_row,
+            center=center,
+            lane_matches=lane_matches,
+        )
+
+    # ------------------------------------------------------------------
+    # Cycle behaviour
+    # ------------------------------------------------------------------
+    def pop_match(self) -> Optional[Tuple[Match, MatchGroup]]:
+        """MUX output: the next ``(match, group)`` in calculation order.
+
+        Returns ``None`` when no match is available this cycle (either no
+        pending group, or the fetch stage has not pushed the next match
+        yet).  One call per cycle at most.
+        """
+        group = self._current_mux_group()
+        if group is None:
+            self.mux_util.record(False)
+            return None
+        # Skip exhausted lanes.
+        while (
+            self._mux_lane < self.lanes
+            and self._mux_lane_remaining[self._mux_lane] == 0
+        ):
+            self._mux_lane += 1
+        if self._mux_lane >= self.lanes:
+            # Group fully drained; switch next cycle.
+            self._mux_group = None
+            self.mux_util.record(False)
+            return None
+        fifo = self.fifos[self._mux_lane]
+        if fifo.is_empty:
+            # The fetch stage has not pushed this match yet.
+            self.mux_util.record(False)
+            self.stats.add("mux_wait_on_fetch")
+            return None
+        match: Match = fifo.pop()
+        self._mux_lane_remaining[self._mux_lane] -= 1
+        self.stats.add("matches_popped")
+        self.mux_util.record(True)
+        if all(count == 0 for count in self._mux_lane_remaining):
+            self._mux_group = None
+        return match, group
+
+    def _current_mux_group(self) -> Optional[MatchGroup]:
+        if self._mux_group is None and self._group_queue:
+            self._mux_group = self._group_queue.pop(0)
+            self._mux_lane = 0
+            self._mux_lane_remaining = self._mux_group.lane_counts()
+        return self._mux_group
+
+    def advance(self, cycle: int) -> None:
+        """One clock edge: fetch -> judge -> read (reverse order)."""
+        self._advance_fetch(cycle)
+        self._advance_judge(cycle)
+        self._advance_read(cycle)
+        for fifo in self.fifos:
+            fifo.observe()
+
+    def _advance_fetch(self, cycle: int) -> None:
+        state = self._fetch_state
+        if state is None:
+            self.fetch_util.record(False)
+            return
+        if self.timeline is not None:
+            self.timeline.record(state.group.srf_seq, "fetch", cycle)
+        pushed_any = False
+        stalled = False
+        for lane, matches in enumerate(state.group.lane_matches):
+            idx = state.next_index[lane]
+            budget = self.config.timing.fetch_port_width
+            while budget > 0 and idx < len(matches):
+                if not self.fifos[lane].try_push(matches[idx]):
+                    stalled = True
+                    break
+                idx += 1
+                budget -= 1
+                pushed_any = True
+                self.stats.add("matches_pushed")
+            state.next_index[lane] = idx
+        if stalled:
+            self.stats.add("fetch_fifo_stalls")
+        self.fetch_util.record(pushed_any)
+        if state.done():
+            self._fetch_state = None
+            self.stats.add("groups_fetched")
+
+    def _advance_judge(self, cycle: int) -> None:
+        if self._judge_stage is None:
+            return
+        seq, center = self._judge_stage
+        if self.timeline is not None:
+            self.timeline.record(seq, "judge", cycle)
+        active = self.encoded.mask.is_active(*center)
+        if not active:
+            self.stats.add("srf_skipped")
+            self._judge_stage = None
+            return
+        if self._fetch_state is not None:
+            # Fetch stage busy; judge holds (pipeline backpressure).
+            self.stats.add("judge_stalls")
+            return
+        group = self.build_match_group(seq, center)
+        self.stats.add("srf_active")
+        self.stats.add("matches_generated", group.total_matches)
+        self._fetch_state = _FetchState(group=group)
+        self._group_queue.append(group)
+        self._judge_stage = None
+
+    def _advance_read(self, cycle: int) -> None:
+        if self._read_stage is None:
+            if self._scan_exhausted:
+                self.read_util.record(False)
+                return
+            nxt = next(self._scan_iter, None)
+            if nxt is None:
+                self._scan_exhausted = True
+                self.read_util.record(False)
+                return
+            self._read_stage = nxt
+            self._read_remaining = self.config.srf_cadence
+        self.read_util.record(True)
+        if self.timeline is not None:
+            self.timeline.record(self._read_stage[0], "read", cycle)
+        self._read_remaining -= 1
+        if self._read_remaining <= 0:
+            if self._judge_stage is None:
+                self._judge_stage = self._read_stage
+                self._read_stage = None
+                self.stats.add("srf_read")
+            else:
+                self.stats.add("read_stalls")
+                self._read_remaining = 1  # retry the handoff next cycle
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    def is_idle(self) -> bool:
+        """All SRFs scanned, matched, and drained through the MUX."""
+        return (
+            self._scan_exhausted
+            and self._read_stage is None
+            and self._judge_stage is None
+            and self._fetch_state is None
+            and self._mux_group is None
+            and not self._group_queue
+            and all(fifo.is_empty for fifo in self.fifos)
+        )
+
+    def fifo_max_occupancy(self) -> int:
+        return max(fifo.stats.max_occupancy for fifo in self.fifos)

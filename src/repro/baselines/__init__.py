@@ -1,0 +1,36 @@
+"""Baseline execution models for the Table III / Fig. 10 comparisons.
+
+The paper compares ESCA against a Tesla P100 GPU and a Xeon Gold 6148 CPU
+running the SS U-Net, plus the FPGA PointNet accelerator of Zheng et al.
+[19] (published numbers).  None of that hardware is available here, so
+:class:`GpuExecutionModel` and :class:`CpuExecutionModel` reproduce the
+*mechanism* of each platform's inefficiency on SSCN — per-kernel launch
+overhead, hash-based rulebook matching, and low-efficiency gather-GEMM —
+with constants calibrated to the paper's published operating points
+(GPU: 9.40 GOPS / 90.56 W on the network, 1.89x ESCA per layer;
+CPU: 8.41x ESCA per layer).  See DESIGN.md's substitution table.
+"""
+
+from repro.baselines.platform import PlatformModel, SubConvWorkload, workload_from_tensor
+from repro.baselines.cpu import CpuExecutionModel
+from repro.baselines.gpu import GpuExecutionModel
+from repro.baselines.dense_accel import DenseAcceleratorModel
+from repro.baselines.comparators import (
+    PUBLISHED_ESCA,
+    PUBLISHED_FPGA_POINTNET,
+    PUBLISHED_GPU_P100,
+    PublishedResult,
+)
+
+__all__ = [
+    "PlatformModel",
+    "SubConvWorkload",
+    "workload_from_tensor",
+    "GpuExecutionModel",
+    "CpuExecutionModel",
+    "DenseAcceleratorModel",
+    "PublishedResult",
+    "PUBLISHED_GPU_P100",
+    "PUBLISHED_FPGA_POINTNET",
+    "PUBLISHED_ESCA",
+]

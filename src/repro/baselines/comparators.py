@@ -1,0 +1,62 @@
+"""Published literature numbers used in Table III.
+
+The FPGA PointNet accelerator of Zheng et al. [19] appears in Table III
+as published numbers only (the paper did not re-run it), and the paper's
+own GPU measurement and ESCA row are kept here as the reference the
+reproduction is compared against in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PublishedResult:
+    """One row of Table III as published."""
+
+    label: str
+    device: str
+    frequency_mhz: float | None
+    model: str
+    precision: str
+    power_watts: float
+    performance_gops: float
+
+    @property
+    def power_efficiency(self) -> float:
+        """GOPS per watt."""
+        if self.power_watts <= 0:
+            return 0.0
+        return self.performance_gops / self.power_watts
+
+
+PUBLISHED_GPU_P100 = PublishedResult(
+    label="GPU",
+    device="Tesla P100",
+    frequency_mhz=None,
+    model="SS U-Net",
+    precision="FP32",
+    power_watts=90.56,
+    performance_gops=9.40,
+)
+
+PUBLISHED_FPGA_POINTNET = PublishedResult(
+    label="[19]",
+    device="Zynq XC7Z045",
+    frequency_mhz=100.0,
+    model="O-PointNet",
+    precision="INT16",
+    power_watts=2.15,
+    performance_gops=1.21,
+)
+
+PUBLISHED_ESCA = PublishedResult(
+    label="ours (paper)",
+    device="Zynq ZCU102",
+    frequency_mhz=270.0,
+    model="SS U-Net",
+    precision="INT8/INT16",
+    power_watts=3.45,
+    performance_gops=17.73,
+)

@@ -1,0 +1,47 @@
+"""Xeon Gold 6148 execution model for SSCN.
+
+Same phase decomposition as the GPU model (matching + gather-GEMM) with
+CPU-typical rates: serial hash probing with cache-unfriendly access, and
+modest effective GEMM throughput on the small, gather-bound per-offset
+matrix products.  Calibrated so one full-resolution Sub-Conv layer runs
+~8.41x slower than ESCA, the speedup the paper reports in Fig. 10.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.platform import PlatformModel, SubConvWorkload
+
+
+class CpuExecutionModel(PlatformModel):
+    """Calibrated Xeon Gold 6148 timing model."""
+
+    name = "Xeon Gold 6148 (CPU)"
+
+    def __init__(
+        self,
+        dispatch_seconds: float = 0.05e-3,
+        probe_rate_per_s: float = 25.0e6,
+        effective_gemm_ops_per_s: float = 2.16e9,
+        power_watts: float = 150.0,
+    ) -> None:
+        if dispatch_seconds < 0:
+            raise ValueError("dispatch_seconds must be non-negative")
+        if probe_rate_per_s <= 0 or effective_gemm_ops_per_s <= 0:
+            raise ValueError("rates must be positive")
+        self.dispatch_seconds = dispatch_seconds
+        self.probe_rate_per_s = probe_rate_per_s
+        self.effective_gemm_ops_per_s = effective_gemm_ops_per_s
+        self.power_watts = power_watts
+
+    def matching_seconds(self, workload: SubConvWorkload) -> float:
+        return workload.matching_probes / self.probe_rate_per_s
+
+    def compute_seconds(self, workload: SubConvWorkload) -> float:
+        return workload.effective_ops / self.effective_gemm_ops_per_s
+
+    def layer_seconds(self, workload: SubConvWorkload) -> float:
+        return (
+            self.dispatch_seconds
+            + self.matching_seconds(workload)
+            + self.compute_seconds(workload)
+        )

@@ -1,0 +1,66 @@
+"""Traditional dense-CNN accelerator applied to SSCN (degradation study).
+
+Secs. I-II of the paper argue that CNN accelerators (Eyeriss, GoSPA, ...)
+degrade severely on submanifold sparse convolution because they cannot
+perform the matching operation: they must (a) stream the *dense* feature
+map from DRAM position by position, and (b) compute the *dilated*
+traditional convolution, whose outputs at non-submanifold sites are
+wasted work.
+
+This model quantifies both effects for an accelerator with the same MAC
+array and clock as ESCA:
+
+* streaming the dense ``X*Y*Z*Cin`` INT16 feature map at DRAM bandwidth;
+* computing one MAC per (input nonzero, kernel offset) pair — i.e. a
+  zero-skipping dense accelerator — of which only the submanifold
+  fraction is useful.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import AcceleratorConfig
+from repro.baselines.platform import PlatformModel, SubConvWorkload
+
+
+class DenseAcceleratorModel(PlatformModel):
+    """Zero-skipping dense CNN accelerator running a Sub-Conv workload."""
+
+    name = "Dense CNN accelerator (Eyeriss-like)"
+
+    def __init__(
+        self,
+        config: AcceleratorConfig | None = None,
+        dram_bandwidth_bytes_per_s: float = 19.2e9,
+        power_watts: float = 3.45,
+    ) -> None:
+        if dram_bandwidth_bytes_per_s <= 0:
+            raise ValueError("DRAM bandwidth must be positive")
+        self.config = config or AcceleratorConfig()
+        self.dram_bandwidth_bytes_per_s = dram_bandwidth_bytes_per_s
+        self.power_watts = power_watts
+
+    def stream_seconds(self, workload: SubConvWorkload) -> float:
+        """Time to stream the dense feature map (no index mask available)."""
+        dense_bytes = (
+            workload.volume * workload.in_channels
+            * self.config.activation_bits // 8
+        )
+        return dense_bytes / self.dram_bandwidth_bytes_per_s
+
+    def compute_seconds(self, workload: SubConvWorkload) -> float:
+        """Dilated-convolution MACs on the zero-skipping array."""
+        dilated_pairs = workload.nnz * workload.kernel_volume
+        macs = dilated_pairs * workload.in_channels * workload.out_channels
+        macs_per_second = self.config.macs_per_cycle * self.config.clock_hz
+        return macs / macs_per_second
+
+    def layer_seconds(self, workload: SubConvWorkload) -> float:
+        """Streaming and compute overlap; the slower one dominates."""
+        return max(self.stream_seconds(workload), self.compute_seconds(workload))
+
+    def wasted_work_fraction(self, workload: SubConvWorkload) -> float:
+        """Fraction of performed MACs that land on non-submanifold outputs."""
+        dilated_pairs = workload.nnz * workload.kernel_volume
+        if dilated_pairs == 0:
+            return 0.0
+        return 1.0 - workload.matches / dilated_pairs

@@ -1,0 +1,60 @@
+"""Tesla P100 execution model for SSCN (SpConv-style).
+
+GPU execution of a Sub-Conv layer decomposes into three phases the paper
+identifies as the bottleneck (Secs. I-II: "the matching operation also
+limits their performance"):
+
+1. **Kernel launch / framework overhead** per layer — fixed.
+2. **Rulebook construction**: building and probing a coordinate hash for
+   every (site, offset) pair.  GPUs execute this at a modest effective
+   probe rate because of atomics and irregular memory access.
+3. **Gather-GEMM-scatter**: the effective (nonzero) MACs run at a small
+   fraction of peak FP32 throughput because gathers/scatters break
+   coalescing and the per-offset GEMMs are small.
+
+Constants are calibrated to the published operating point — 9.40 GOPS /
+90.56 W for the SS U-Net on a P100 (Table III) and ~1.89x ESCA on one
+full-resolution Sub-Conv layer (Fig. 10) — and recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.platform import PlatformModel, SubConvWorkload
+
+
+class GpuExecutionModel(PlatformModel):
+    """Calibrated P100 timing model."""
+
+    name = "Tesla P100 (GPU)"
+
+    def __init__(
+        self,
+        launch_seconds: float = 0.30e-3,
+        probe_rate_per_s: float = 92.7e6,
+        effective_gemm_ops_per_s: float = 15.06e9,
+        power_watts: float = 90.56,
+    ) -> None:
+        if launch_seconds < 0:
+            raise ValueError("launch_seconds must be non-negative")
+        if probe_rate_per_s <= 0 or effective_gemm_ops_per_s <= 0:
+            raise ValueError("rates must be positive")
+        self.launch_seconds = launch_seconds
+        self.probe_rate_per_s = probe_rate_per_s
+        self.effective_gemm_ops_per_s = effective_gemm_ops_per_s
+        self.power_watts = power_watts
+
+    def matching_seconds(self, workload: SubConvWorkload) -> float:
+        """Rulebook build: one hash probe per (site, kernel offset)."""
+        return workload.matching_probes / self.probe_rate_per_s
+
+    def compute_seconds(self, workload: SubConvWorkload) -> float:
+        """Gather-GEMM-scatter over the effective ops."""
+        return workload.effective_ops / self.effective_gemm_ops_per_s
+
+    def layer_seconds(self, workload: SubConvWorkload) -> float:
+        return (
+            self.launch_seconds
+            + self.matching_seconds(workload)
+            + self.compute_seconds(workload)
+        )

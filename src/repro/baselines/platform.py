@@ -1,0 +1,110 @@
+"""Common workload abstraction shared by all platform models.
+
+Every platform (ESCA, GPU, CPU, dense accelerator) executes the identical
+*effective* workload of a Sub-Conv layer: the matches of the matching
+operation and the implied multiply-accumulates.  This module extracts
+that description from a sparse tensor so the comparison benchmarks are
+apples-to-apples by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.nn.rulebook import build_submanifold_rulebook
+from repro.nn.unet import LayerExecution
+from repro.sparse.coo import SparseTensor3D
+
+
+@dataclass(frozen=True)
+class SubConvWorkload:
+    """The platform-independent description of one Sub-Conv layer."""
+
+    name: str
+    nnz: int
+    matches: int
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    volume: int
+
+    @property
+    def kernel_volume(self) -> int:
+        return self.kernel_size ** 3
+
+    @property
+    def effective_macs(self) -> int:
+        return self.matches * self.in_channels * self.out_channels
+
+    @property
+    def effective_ops(self) -> int:
+        """2 ops per nonzero MAC — the GOPS convention of the paper."""
+        return 2 * self.effective_macs
+
+    @property
+    def matching_probes(self) -> int:
+        """Neighbor queries of the matching operation (nnz x K^3)."""
+        return self.nnz * self.kernel_volume
+
+
+def workload_from_tensor(
+    tensor: SparseTensor3D,
+    in_channels: int,
+    out_channels: int,
+    kernel_size: int = 3,
+    name: str = "subconv",
+) -> SubConvWorkload:
+    """Build the workload description of one Sub-Conv layer."""
+    rulebook = build_submanifold_rulebook(tensor, kernel_size)
+    return SubConvWorkload(
+        name=name,
+        nnz=tensor.nnz,
+        matches=rulebook.total_matches,
+        in_channels=int(in_channels),
+        out_channels=int(out_channels),
+        kernel_size=int(kernel_size),
+        volume=tensor.volume,
+    )
+
+
+def workloads_from_executions(
+    executions: List[LayerExecution], kernel_size: int = 3
+) -> List[SubConvWorkload]:
+    """Workloads of every recorded Sub-Conv execution with kernel ``K``."""
+    return [
+        workload_from_tensor(
+            ex.input_tensor,
+            ex.in_channels,
+            ex.out_channels,
+            kernel_size=ex.kernel_size,
+            name=ex.name,
+        )
+        for ex in executions
+        if ex.kernel_size == kernel_size
+    ]
+
+
+class PlatformModel:
+    """Base interface: seconds to execute one Sub-Conv layer."""
+
+    name: str = "platform"
+    power_watts: float = float("nan")
+
+    def layer_seconds(self, workload: SubConvWorkload) -> float:
+        raise NotImplementedError
+
+    def network_seconds(self, workloads: List[SubConvWorkload]) -> float:
+        return sum(self.layer_seconds(w) for w in workloads)
+
+    def network_gops(self, workloads: List[SubConvWorkload]) -> float:
+        seconds = self.network_seconds(workloads)
+        if seconds <= 0:
+            return 0.0
+        ops = sum(w.effective_ops for w in workloads)
+        return ops / seconds / 1e9
+
+    def gops_per_watt(self, gops: float) -> float:
+        if self.power_watts <= 0:
+            return 0.0
+        return gops / self.power_watts

@@ -1,0 +1,77 @@
+"""Command-line report generator: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro                 # all four experiments
+    python -m repro table1 fig10    # a subset
+    python -m repro --seed 3 table1 # different synthetic sample
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.analysis import run_fig10, run_table1, run_table2, run_table3
+
+_EXPERIMENTS: Dict[str, Callable[[int], str]] = {
+    "table1": lambda seed: run_table1(seed=seed).format(),
+    "table2": lambda seed: run_table2().format(),
+    "table3": lambda seed: run_table3(seed=seed).format(),
+    "fig10": lambda seed: run_fig10(seed=seed).format(),
+}
+
+_TITLES = {
+    "table1": "Table I — Analysis of zero removing strategy",
+    "table2": "Table II — FPGA frequency and resource utilization",
+    "table3": "Table III — Comparison with other implementations",
+    "fig10": "Fig. 10 — Time consumption per Sub-Conv layer",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Regenerate the evaluation of 'An Efficient FPGA Accelerator "
+            "for Point Cloud' (SOCC 2022)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=(
+            "which artifacts to regenerate: "
+            + ", ".join(sorted(_EXPERIMENTS))
+            + ", or 'all' (default: all)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="synthetic-sample seed (default 0)"
+    )
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    selected = args.experiments or ["all"]
+    unknown = [name for name in selected if name not in (*_EXPERIMENTS, "all")]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {unknown}; choose from "
+            f"{sorted(_EXPERIMENTS)} or 'all'"
+        )
+    if "all" in selected:
+        selected = sorted(_EXPERIMENTS)
+    for name in selected:
+        print(f"=== {_TITLES[name]} ===")
+        print(_EXPERIMENTS[name](args.seed))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

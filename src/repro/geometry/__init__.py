@@ -1,0 +1,25 @@
+"""Point-cloud geometry substrate.
+
+Provides the :class:`PointCloud` container, the :class:`Voxelizer` that
+turns metric point clouds into :class:`~repro.sparse.SparseTensor3D`
+feature maps (``192^3`` in the paper), and synthetic generators standing
+in for the ShapeNet and NYU Depth v2 samples (see DESIGN.md for the
+substitution rationale).
+"""
+
+from repro.geometry.point_cloud import PointCloud
+from repro.geometry.voxelizer import Voxelizer
+from repro.geometry.synthetic import (
+    make_nyu_like_cloud,
+    make_shapenet_like_cloud,
+)
+from repro.geometry.datasets import DatasetCatalog, load_sample
+
+__all__ = [
+    "PointCloud",
+    "Voxelizer",
+    "make_shapenet_like_cloud",
+    "make_nyu_like_cloud",
+    "DatasetCatalog",
+    "load_sample",
+]

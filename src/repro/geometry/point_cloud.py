@@ -1,0 +1,113 @@
+"""The :class:`PointCloud` container and basic geometric transforms."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class PointCloud:
+    """A set of 3D points with optional per-point features.
+
+    Parameters
+    ----------
+    points:
+        ``(N, 3)`` float array of metric coordinates.
+    features:
+        Optional ``(N, C)`` float array (e.g. intensity, color).
+    """
+
+    def __init__(self, points: np.ndarray, features: Optional[np.ndarray] = None):
+        points = np.asarray(points, dtype=np.float64)
+        if points.size == 0:
+            points = points.reshape(0, 3)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError(f"points must be (N, 3), got {points.shape}")
+        if features is not None:
+            features = np.asarray(features, dtype=np.float64)
+            if features.ndim == 1:
+                features = features.reshape(-1, 1)
+            if len(features) != len(points):
+                raise ValueError(
+                    f"points ({len(points)}) and features ({len(features)}) disagree"
+                )
+        self.points = points
+        self.features = features
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:
+        channels = 0 if self.features is None else self.features.shape[1]
+        return f"PointCloud(n={len(self)}, feature_channels={channels})"
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(min_xyz, max_xyz)`` of the cloud; zeros for an empty cloud."""
+        if len(self) == 0:
+            zero = np.zeros(3)
+            return zero, zero
+        return self.points.min(axis=0), self.points.max(axis=0)
+
+    def normalized_to_unit_cube(self, margin: float = 0.0) -> "PointCloud":
+        """Uniformly rescale into ``[margin, 1 - margin]^3``, centered.
+
+        The aspect ratio is preserved (single scale factor), matching how
+        ShapeNet models are conventionally normalized before voxelization.
+        """
+        if not 0.0 <= margin < 0.5:
+            raise ValueError(f"margin must be in [0, 0.5), got {margin}")
+        if len(self) == 0:
+            return PointCloud(self.points.copy(), self.features)
+        lo, hi = self.bounds()
+        extent = float((hi - lo).max())
+        if extent == 0.0:
+            centered = np.full_like(self.points, 0.5)
+            return PointCloud(centered, self.features)
+        scale = (1.0 - 2.0 * margin) / extent
+        center = (lo + hi) / 2.0
+        points = (self.points - center) * scale + 0.5
+        return PointCloud(points, self.features)
+
+    def transformed(self, rotation: np.ndarray, translation: np.ndarray) -> "PointCloud":
+        """Apply ``p @ R.T + t``."""
+        rotation = np.asarray(rotation, dtype=np.float64)
+        translation = np.asarray(translation, dtype=np.float64)
+        if rotation.shape != (3, 3):
+            raise ValueError(f"rotation must be (3, 3), got {rotation.shape}")
+        points = self.points @ rotation.T + translation.reshape(1, 3)
+        return PointCloud(points, self.features)
+
+    def rotated_z(self, angle_rad: float) -> "PointCloud":
+        """Rotate about the +z axis."""
+        c, s = np.cos(angle_rad), np.sin(angle_rad)
+        rotation = np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+        return self.transformed(rotation, np.zeros(3))
+
+    def jittered(self, sigma: float, rng: np.random.Generator) -> "PointCloud":
+        """Add isotropic Gaussian noise of standard deviation ``sigma``."""
+        noise = rng.normal(scale=sigma, size=self.points.shape)
+        return PointCloud(self.points + noise, self.features)
+
+    def subsampled(self, n: int, rng: np.random.Generator) -> "PointCloud":
+        """Random subset of at most ``n`` points (without replacement)."""
+        if n >= len(self):
+            return PointCloud(self.points.copy(), self.features)
+        idx = rng.choice(len(self), size=n, replace=False)
+        features = None if self.features is None else self.features[idx]
+        return PointCloud(self.points[idx], features)
+
+    def merged_with(self, other: "PointCloud") -> "PointCloud":
+        """Union of two clouds (features must both exist or both be None)."""
+        if (self.features is None) != (other.features is None):
+            raise ValueError("cannot merge clouds with and without features")
+        points = np.concatenate([self.points, other.points], axis=0)
+        features = (
+            None
+            if self.features is None
+            else np.concatenate([self.features, other.features], axis=0)
+        )
+        return PointCloud(points, features)

@@ -1,0 +1,328 @@
+"""Synthetic stand-ins for the ShapeNet and NYU Depth v2 samples.
+
+The paper's Table I reports, for one representative sample of each
+dataset voxelized at ``192^3``, the number of *active tiles* at tile sizes
+4/8/12/16.  Those counts constrain the spatial statistics of the inputs
+tightly:
+
+* ~99.9 % sparsity (a few thousand occupied voxels out of 7.1 M);
+* occupied voxels clustered on thin surfaces (planes, struts, shells);
+* the object occupying only a fraction of the grid extent — 198 active
+  4-tiles together with 14 active 16-tiles is only possible when thin
+  structures span a bounding box of roughly 40-60 voxels.
+
+The generators below synthesize such clouds from parametric primitives
+(planes, boxes, cylinders, struts).  Default parameters were calibrated so
+the active-tile counts land close to Table I; EXPERIMENTS.md records the
+measured values next to the paper's.  All generation is deterministic in
+``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.geometry.point_cloud import PointCloud
+
+SHAPENET_CATEGORIES = ("chair", "table", "airplane", "lamp")
+
+
+# ----------------------------------------------------------------------
+# Primitive surface samplers (all in an object-local frame, roughly
+# inside [0, 1]^3; density is points per unit area decided by callers)
+# ----------------------------------------------------------------------
+def sample_plane(
+    rng: np.random.Generator,
+    origin: np.ndarray,
+    u_edge: np.ndarray,
+    v_edge: np.ndarray,
+    n_points: int,
+) -> np.ndarray:
+    """Uniform samples on the parallelogram ``origin + s*u + t*v``."""
+    s = rng.random(n_points)
+    t = rng.random(n_points)
+    return (
+        np.asarray(origin)[None, :]
+        + s[:, None] * np.asarray(u_edge)[None, :]
+        + t[:, None] * np.asarray(v_edge)[None, :]
+    )
+
+
+def sample_strut(
+    rng: np.random.Generator,
+    start: np.ndarray,
+    end: np.ndarray,
+    radius: float,
+    n_points: int,
+) -> np.ndarray:
+    """Samples on a thin cylindrical strut from ``start`` to ``end``."""
+    start = np.asarray(start, dtype=np.float64)
+    end = np.asarray(end, dtype=np.float64)
+    axis = end - start
+    length = np.linalg.norm(axis)
+    if length == 0.0:
+        return np.tile(start, (n_points, 1))
+    axis = axis / length
+    # Build an orthonormal frame around the axis.
+    helper = np.array([1.0, 0.0, 0.0])
+    if abs(axis @ helper) > 0.9:
+        helper = np.array([0.0, 1.0, 0.0])
+    u = np.cross(axis, helper)
+    u /= np.linalg.norm(u)
+    v = np.cross(axis, u)
+    t = rng.random(n_points) * length
+    theta = rng.random(n_points) * 2.0 * np.pi
+    return (
+        start[None, :]
+        + t[:, None] * axis[None, :]
+        + radius * np.cos(theta)[:, None] * u[None, :]
+        + radius * np.sin(theta)[:, None] * v[None, :]
+    )
+
+
+def sample_cylinder(
+    rng: np.random.Generator,
+    center: np.ndarray,
+    axis: np.ndarray,
+    radius: float,
+    height: float,
+    n_points: int,
+) -> np.ndarray:
+    """Samples on the lateral surface of a cylinder."""
+    center = np.asarray(center, dtype=np.float64)
+    half = np.asarray(axis, dtype=np.float64)
+    half = half / np.linalg.norm(half) * (height / 2.0)
+    return sample_strut(rng, center - half, center + half, radius, n_points)
+
+
+def sample_sphere(
+    rng: np.random.Generator, center: np.ndarray, radius: float, n_points: int
+) -> np.ndarray:
+    """Uniform samples on a sphere surface."""
+    direction = rng.normal(size=(n_points, 3))
+    direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+    return np.asarray(center)[None, :] + radius * direction
+
+
+def sample_box_surface(
+    rng: np.random.Generator,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    n_points: int,
+) -> np.ndarray:
+    """Uniform samples on the six faces of an axis-aligned box."""
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    size = hi - lo
+    areas = np.array(
+        [
+            size[1] * size[2],
+            size[1] * size[2],
+            size[0] * size[2],
+            size[0] * size[2],
+            size[0] * size[1],
+            size[0] * size[1],
+        ]
+    )
+    total = areas.sum()
+    if total == 0.0:
+        return np.tile(lo, (n_points, 1))
+    face_ids = rng.choice(6, size=n_points, p=areas / total)
+    points = lo[None, :] + rng.random((n_points, 3)) * size[None, :]
+    points[face_ids == 0, 0] = lo[0]
+    points[face_ids == 1, 0] = hi[0]
+    points[face_ids == 2, 1] = lo[1]
+    points[face_ids == 3, 1] = hi[1]
+    points[face_ids == 4, 2] = lo[2]
+    points[face_ids == 5, 2] = hi[2]
+    return points
+
+
+# Scene placement: tile sizes 4/8/12/16 share LCM 48, so objects are
+# anchored (with a small inset) to a 48-voxel block boundary of the 192
+# grid.  Table I's coarse-tile counts (e.g. NYU's 9 active 16-tiles for a
+# ~44-voxel plane, i.e. exactly 3x3x1) are only reachable with such
+# near-aligned placement; see EXPERIMENTS.md.
+_SCENE_BLOCK = 48.0 / 192.0
+_SCENE_INSET = 2.0 / 192.0
+
+
+def _place_in_scene(
+    points: np.ndarray,
+    grid_fraction: float,
+    noise_sigma: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Scale an object-frame cloud and anchor it to a scene block."""
+    points = points - points.min(axis=0, keepdims=True)
+    extent = points.max(axis=0)
+    scale = grid_fraction - 2.0 * _SCENE_INSET
+    points = points * (scale / max(float(extent.max()), 1e-9))
+    blocks = rng.integers(1, 3, size=3)  # block index per axis in {1, 2}
+    origin = blocks * _SCENE_BLOCK + _SCENE_INSET
+    points = points + origin[None, :]
+    if noise_sigma > 0.0:
+        points = points + rng.normal(scale=noise_sigma, size=points.shape)
+    np.clip(points, 0.0, 1.0 - 1e-9, out=points)
+    return points
+
+
+# ----------------------------------------------------------------------
+# ShapeNet-like object builders (object frame: roughly [0, 1]^3, z up)
+# ----------------------------------------------------------------------
+def _chair_points(rng: np.random.Generator, n_points: int) -> np.ndarray:
+    """Seat plane + (short) back plane + four legs."""
+    parts = []
+    n_seat = int(n_points * 0.45)
+    n_back = int(n_points * 0.27)
+    n_leg = max(1, (n_points - n_seat - n_back) // 4)
+    parts.append(
+        sample_plane(rng, [0.05, 0.05, 0.42], [0.9, 0, 0], [0, 0.9, 0], n_seat)
+    )
+    parts.append(
+        sample_plane(rng, [0.05, 0.9, 0.42], [0.9, 0, 0], [0, 0, 0.3], n_back)
+    )
+    for x, y in ((0.12, 0.12), (0.88, 0.12), (0.12, 0.88), (0.88, 0.88)):
+        parts.append(sample_strut(rng, [x, y, 0.0], [x, y, 0.42], 0.008, n_leg))
+    return np.concatenate(parts, axis=0)
+
+
+def _table_points(rng: np.random.Generator, n_points: int) -> np.ndarray:
+    """Tabletop + four legs."""
+    parts = []
+    n_top = int(n_points * 0.62)
+    n_leg = max(1, (n_points - n_top) // 4)
+    parts.append(
+        sample_plane(rng, [0.0, 0.0, 0.72], [1.0, 0, 0], [0, 1.0, 0], n_top)
+    )
+    for x, y in ((0.08, 0.08), (0.92, 0.08), (0.08, 0.92), (0.92, 0.92)):
+        parts.append(sample_strut(rng, [x, y, 0.0], [x, y, 0.72], 0.025, n_leg))
+    return np.concatenate(parts, axis=0)
+
+
+def _airplane_points(rng: np.random.Generator, n_points: int) -> np.ndarray:
+    """Fuselage + main wings + tail plane + fin."""
+    parts = []
+    n_fuse = int(n_points * 0.35)
+    n_wing = int(n_points * 0.38)
+    n_tail = int(n_points * 0.15)
+    n_fin = max(1, n_points - n_fuse - n_wing - n_tail)
+    parts.append(
+        sample_cylinder(rng, [0.5, 0.5, 0.5], [1, 0, 0], 0.06, 0.95, n_fuse)
+    )
+    parts.append(
+        sample_plane(rng, [0.35, 0.0, 0.5], [0.22, 0, 0], [0, 1.0, 0], n_wing)
+    )
+    parts.append(
+        sample_plane(rng, [0.86, 0.3, 0.5], [0.12, 0, 0], [0, 0.4, 0], n_tail)
+    )
+    parts.append(
+        sample_plane(rng, [0.88, 0.5, 0.5], [0.1, 0, 0], [0, 0, 0.25], n_fin)
+    )
+    return np.concatenate(parts, axis=0)
+
+
+def _lamp_points(rng: np.random.Generator, n_points: int) -> np.ndarray:
+    """Base disc + pole + shade."""
+    parts = []
+    n_base = int(n_points * 0.2)
+    n_pole = int(n_points * 0.25)
+    n_shade = max(1, n_points - n_base - n_pole)
+    parts.append(
+        sample_plane(rng, [0.3, 0.3, 0.0], [0.4, 0, 0], [0, 0.4, 0], n_base)
+    )
+    parts.append(sample_strut(rng, [0.5, 0.5, 0.0], [0.5, 0.5, 0.75], 0.02, n_pole))
+    parts.append(
+        sample_cylinder(rng, [0.5, 0.5, 0.85], [0, 0, 1], 0.18, 0.22, n_shade)
+    )
+    return np.concatenate(parts, axis=0)
+
+
+_CATEGORY_BUILDERS: Dict[str, Callable[[np.random.Generator, int], np.ndarray]] = {
+    "chair": _chair_points,
+    "table": _table_points,
+    "airplane": _airplane_points,
+    "lamp": _lamp_points,
+}
+
+
+def make_shapenet_like_cloud(
+    seed: int = 0,
+    category: Optional[str] = None,
+    n_points: int = 3800,
+    grid_fraction: float = 0.21,
+    noise_sigma: float = 0.0015,
+) -> PointCloud:
+    """A synthetic CAD-like object cloud in ``[0, 1]^3``.
+
+    Parameters
+    ----------
+    seed:
+        Deterministic generator seed.
+    category:
+        One of :data:`SHAPENET_CATEGORIES`; chosen from the seed when
+        ``None``.
+    n_points:
+        Number of surface samples.
+    grid_fraction:
+        Fraction of the scene extent occupied by the object (Table I's
+        active-tile counts imply roughly 0.2-0.3 at ``192^3``).
+    noise_sigma:
+        Sensor-noise jitter in scene units.
+
+    The returned cloud lies in ``[0, 1]^3``; voxelize it with
+    ``Voxelizer(normalize=False)`` so the object keeps its calibrated
+    footprint instead of being stretched to fill the grid.
+    """
+    if not 0.0 < grid_fraction <= 1.0:
+        raise ValueError(f"grid_fraction must be in (0, 1], got {grid_fraction}")
+    rng = np.random.default_rng(seed)
+    if category is None:
+        category = SHAPENET_CATEGORIES[int(rng.integers(len(SHAPENET_CATEGORIES)))]
+    if category not in _CATEGORY_BUILDERS:
+        raise ValueError(
+            f"unknown category {category!r}; expected one of {SHAPENET_CATEGORIES}"
+        )
+    points = _CATEGORY_BUILDERS[category](rng, n_points)
+    points = _place_in_scene(points, grid_fraction, noise_sigma, rng)
+    return PointCloud(points)
+
+
+def make_nyu_like_cloud(
+    seed: int = 0,
+    n_points: int = 3000,
+    grid_fraction: float = 0.23,
+    noise_sigma: float = 0.0015,
+) -> PointCloud:
+    """A synthetic indoor RGB-D style scene crop in ``[0, 1]^3``.
+
+    Mimics the statistics of a voxelized NYU Depth v2 sample: Table I's
+    counts (161/33/19/9 active tiles at 4/8/12/16) are those of a single
+    dominant floor patch of roughly 44 voxels extent carrying a small
+    box-shaped object and a small cylindrical object — coarse-tile counts
+    collapse faster than for the ShapeNet-like object because nearly all
+    points lie on one plane.
+    """
+    if not 0.0 < grid_fraction <= 1.0:
+        raise ValueError(f"grid_fraction must be in (0, 1], got {grid_fraction}")
+    rng = np.random.default_rng(seed)
+    parts = []
+    n_floor = int(n_points * 0.62)
+    n_box = int(n_points * 0.26)
+    n_obj = max(1, n_points - n_floor - n_box)
+    # Dominant floor patch.
+    parts.append(
+        sample_plane(rng, [0.0, 0.0, 0.0], [1.0, 0, 0], [0, 1.0, 0], n_floor)
+    )
+    # A crate-like box resting on the floor and a small cylindrical object.
+    parts.append(
+        sample_box_surface(rng, [0.58, 0.58, 0.0], [0.82, 0.8, 0.2], n_box)
+    )
+    parts.append(
+        sample_cylinder(rng, [0.25, 0.72, 0.08], [0, 0, 1], 0.05, 0.16, n_obj)
+    )
+    points = np.concatenate(parts, axis=0)
+    points = _place_in_scene(points, grid_fraction, noise_sigma, rng)
+    return PointCloud(points)

@@ -1,0 +1,76 @@
+"""Voxelization of metric point clouds into sparse feature maps.
+
+The paper normalizes each point cloud to a ``192^3`` grid after
+voxelization (Sec. IV-B).  :class:`Voxelizer` reproduces that flow: points
+are normalized to the unit cube, scaled by the resolution, truncated to
+integer voxel coordinates, and duplicate hits are aggregated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.point_cloud import PointCloud
+from repro.sparse.coo import SparseTensor3D
+
+
+class Voxelizer:
+    """Maps a :class:`PointCloud` onto a cubic voxel grid.
+
+    Parameters
+    ----------
+    resolution:
+        Grid side length (the paper uses 192).
+    normalize:
+        When ``True`` (default), the cloud is first normalized to the unit
+        cube, so any metric scale is accepted.  When ``False``, points are
+        assumed to already lie in ``[0, 1)^3``.
+    reduce:
+        Aggregation for multiple points hitting the same voxel
+        (``"mean"``, ``"sum"`` or ``"max"``).
+    occupancy_only:
+        When ``True``, the produced features are a single all-ones channel
+        regardless of any per-point features.
+    """
+
+    def __init__(
+        self,
+        resolution: int = 192,
+        normalize: bool = True,
+        reduce: str = "mean",
+        occupancy_only: bool = False,
+    ) -> None:
+        if resolution <= 0:
+            raise ValueError(f"resolution must be positive, got {resolution}")
+        self.resolution = int(resolution)
+        self.normalize = bool(normalize)
+        self.reduce = reduce
+        self.occupancy_only = bool(occupancy_only)
+
+    def voxelize(self, cloud: PointCloud) -> SparseTensor3D:
+        """Produce the sparse occupancy/feature grid for ``cloud``."""
+        shape = (self.resolution, self.resolution, self.resolution)
+        if len(cloud) == 0:
+            return SparseTensor3D.empty(shape)
+        working = cloud.normalized_to_unit_cube() if self.normalize else cloud
+        scaled = working.points * self.resolution
+        voxels = np.floor(scaled).astype(np.int64)
+        # Points exactly on the upper boundary land on resolution; clamp.
+        np.clip(voxels, 0, self.resolution - 1, out=voxels)
+        if self.occupancy_only or cloud.features is None:
+            features: Optional[np.ndarray] = None
+        else:
+            features = working.features
+        return SparseTensor3D.from_points(voxels, features, shape, reduce=self.reduce)
+
+    def voxel_size(self, cloud: PointCloud) -> float:
+        """Metric edge length of one voxel for ``cloud`` (after normalization)."""
+        if not self.normalize:
+            return 1.0 / self.resolution
+        lo, hi = cloud.bounds()
+        extent = float((hi - lo).max())
+        if extent == 0.0:
+            return 1.0 / self.resolution
+        return extent / self.resolution

@@ -1,0 +1,27 @@
+"""FPGA device catalogs and analytical resource/power models.
+
+These stand in for the Vivado implementation reports behind Table II (see
+DESIGN.md, substitution table): resource counts follow structurally from
+the architecture configuration; coefficients are calibrated against the
+published utilization of the ZCU102 implementation.
+"""
+
+from repro.hwmodel.devices import FpgaDevice, ZC7045, ZCU102, device_by_name
+from repro.hwmodel.resources import (
+    ResourceBreakdown,
+    ResourceEstimate,
+    estimate_resources,
+)
+from repro.hwmodel.power import PowerBreakdown, PowerModel
+
+__all__ = [
+    "FpgaDevice",
+    "ZCU102",
+    "ZC7045",
+    "device_by_name",
+    "ResourceEstimate",
+    "ResourceBreakdown",
+    "estimate_resources",
+    "PowerModel",
+    "PowerBreakdown",
+]

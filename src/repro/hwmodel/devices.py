@@ -1,0 +1,62 @@
+"""FPGA device catalog.
+
+Capacities are the published totals of the devices referenced by the
+paper: the Zynq UltraScale+ ZCU102 board (XCZU9EG, the paper's platform)
+and the Zynq-7000 ZC7045 used by the comparator design [19].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Resource capacity of one FPGA device."""
+
+    name: str
+    luts: int
+    ffs: int
+    bram36: int
+    dsps: int
+
+    def utilization(
+        self, lut: float, ff: float, bram36: float, dsp: float
+    ) -> dict:
+        """Fractional utilization of each resource class."""
+        return {
+            "LUT": lut / self.luts,
+            "FF": ff / self.ffs,
+            "BRAM": bram36 / self.bram36,
+            "DSP": dsp / self.dsps,
+        }
+
+
+ZCU102 = FpgaDevice(
+    name="Zynq UltraScale+ ZCU102 (XCZU9EG)",
+    luts=274_080,
+    ffs=548_160,
+    bram36=912,
+    dsps=2_520,
+)
+
+ZC7045 = FpgaDevice(
+    name="Zynq-7000 ZC7045 (XC7Z045)",
+    luts=218_600,
+    ffs=437_200,
+    bram36=545,
+    dsps=900,
+)
+
+_CATALOG = {device.name: device for device in (ZCU102, ZC7045)}
+_ALIASES = {"zcu102": ZCU102, "zc7045": ZC7045}
+
+
+def device_by_name(name: str) -> FpgaDevice:
+    """Look up a device by full name or short alias (case-insensitive)."""
+    if name in _CATALOG:
+        return _CATALOG[name]
+    key = name.lower()
+    if key in _ALIASES:
+        return _ALIASES[key]
+    raise KeyError(f"unknown device {name!r}; known: {sorted(_ALIASES)}")

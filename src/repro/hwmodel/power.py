@@ -1,0 +1,82 @@
+"""Analytical power model (Table III's 3.45 W operating point).
+
+Power is modeled as device static power plus per-resource dynamic power
+proportional to clock frequency and an activity factor:
+
+``P = P_static + f * (c_dsp * DSP + c_bram * BRAM + c_lut * LUT + c_ff * FF)
+      * activity + P_clock_network``
+
+Coefficients are calibrated so that the paper's configuration (256 DSP,
+365.5 BRAM, 17.6 k LUT, 12.1 k FF at 270 MHz) dissipates 3.45 W, the
+value Table III reports for the ZCU102 implementation.  The functional
+form keeps frequency and parallelism sweeps meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.config import AcceleratorConfig
+from repro.hwmodel.resources import ResourceBreakdown, estimate_resources
+
+# Calibrated dynamic coefficients, watts per unit per MHz at activity 1.0.
+_DSP_W_PER_MHZ = 8.15e-6
+_BRAM_W_PER_MHZ = 11.1e-6
+_LUT_W_PER_MHZ = 7.4e-8
+_FF_W_PER_MHZ = 3.7e-8
+_STATIC_W = 0.62
+_CLOCK_NETWORK_W_PER_MHZ = 2.6e-3
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Watts per contribution."""
+
+    static: float
+    dsp: float
+    bram: float
+    logic: float
+    clock_network: float
+
+    @property
+    def total(self) -> float:
+        return self.static + self.dsp + self.bram + self.logic + self.clock_network
+
+
+class PowerModel:
+    """Estimates total on-chip power of one ESCA instance."""
+
+    def __init__(self, activity: float = 1.0) -> None:
+        if not 0.0 < activity <= 1.0:
+            raise ValueError(f"activity must be in (0, 1], got {activity}")
+        self.activity = activity
+
+    def estimate(
+        self,
+        config: Optional[AcceleratorConfig] = None,
+        resources: Optional[ResourceBreakdown] = None,
+    ) -> PowerBreakdown:
+        config = config or AcceleratorConfig()
+        resources = resources or estimate_resources(config)
+        total = resources.total
+        f_mhz = config.clock_hz / 1e6
+        scale = f_mhz * self.activity
+        return PowerBreakdown(
+            static=_STATIC_W,
+            dsp=_DSP_W_PER_MHZ * total.dsp * scale,
+            bram=_BRAM_W_PER_MHZ * total.bram36 * scale,
+            logic=(_LUT_W_PER_MHZ * total.lut + _FF_W_PER_MHZ * total.ff) * scale,
+            clock_network=_CLOCK_NETWORK_W_PER_MHZ * f_mhz,
+        )
+
+    def total_watts(self, config: Optional[AcceleratorConfig] = None) -> float:
+        return self.estimate(config).total
+
+    def gops_per_watt(
+        self, gops: float, config: Optional[AcceleratorConfig] = None
+    ) -> float:
+        watts = self.total_watts(config)
+        if watts <= 0:
+            return 0.0
+        return gops / watts

@@ -1,0 +1,179 @@
+"""Analytical FPGA resource estimation (Table II).
+
+Every component of the architecture contributes LUT/FF/BRAM/DSP according
+to its configuration:
+
+* the computing array consumes one DSP48 per MAC lane
+  (``ic_parallelism * oc_parallelism``, 256 at the paper's 16x16);
+* the on-chip buffers consume block RAM according to their geometry
+  (:class:`repro.arch.buffers.BufferModel`; the 0.5 granularity comes
+  from the 18 Kb half-block primitive, hence Table II's 365.5);
+* control and datapath glue consume LUTs/FFs with per-unit coefficients
+  calibrated against the published implementation (17614 LUT / 12142 FF).
+
+Because every term is parameterized by :class:`AcceleratorConfig`, the
+model extrapolates to the parallelism/tile/FIFO sweeps used in the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.arch.buffers import BufferModel
+from repro.arch.config import AcceleratorConfig
+from repro.hwmodel.devices import FpgaDevice, ZCU102
+
+# Calibrated per-unit glue-logic coefficients (LUTs / FFs).
+_LUT_PER_MAC = 20          # multiplier operand muxing + partial-sum wiring
+_FF_PER_MAC = 16           # operand/result pipeline registers
+_LUT_PER_LANE = 460        # state index generator + address generator
+_FF_PER_LANE = 230         # per-lane counters (A, B) and fragment regs
+_LUT_MASK_JUDGER = 620
+_FF_MASK_JUDGER = 250
+_LUT_MUX_BASE = 64         # K^2-to-1 match mux, per lane below
+_LUT_PER_MUX_INPUT = 70
+_FF_MUX = 181
+_LUT_CONTROLLER = 1300
+_FF_CONTROLLER = 800
+_LUT_ACCUMULATOR_PER_OC = 95   # 32-bit adder + writeback per OC lane
+_FF_ACCUMULATOR_PER_OC = 60
+_LUT_AXI_DMA = 2600
+_FF_AXI_DMA = 2300
+_LUT_PER_BUFFER_CTRL = 60
+_FF_PER_BUFFER_CTRL = 55
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """LUT/FF/BRAM/DSP consumption of one component (or a total)."""
+
+    lut: float
+    ff: float
+    bram36: float
+    dsp: float
+
+    def __add__(self, other: "ResourceEstimate") -> "ResourceEstimate":
+        return ResourceEstimate(
+            lut=self.lut + other.lut,
+            ff=self.ff + other.ff,
+            bram36=self.bram36 + other.bram36,
+            dsp=self.dsp + other.dsp,
+        )
+
+
+@dataclass
+class ResourceBreakdown:
+    """Per-component resource estimates plus the total and utilization."""
+
+    components: Dict[str, ResourceEstimate]
+    device: FpgaDevice
+
+    @property
+    def total(self) -> ResourceEstimate:
+        total = ResourceEstimate(0, 0, 0, 0)
+        for estimate in self.components.values():
+            total = total + estimate
+        return total
+
+    def utilization(self) -> Dict[str, float]:
+        total = self.total
+        return self.device.utilization(total.lut, total.ff, total.bram36, total.dsp)
+
+    def fits(self) -> bool:
+        """Whether the design fits on the device."""
+        return all(frac <= 1.0 for frac in self.utilization().values())
+
+
+def buffer_plan(config: AcceleratorConfig) -> List[BufferModel]:
+    """On-chip buffer geometry derived from the configuration.
+
+    Widths follow the datapath: activations are ``ic_parallelism`` INT16
+    words per access, weights ``ic_parallelism`` INT8 words, partial sums
+    ``oc_parallelism`` INT32 words.  The activation buffer is banked per
+    decoder lane so all ``K^2`` columns fetch concurrently; the mask
+    buffer is ping-ponged so the next tile's masks load during compute.
+    """
+    lanes = config.decoder_lanes
+    act_width = config.ic_parallelism * config.activation_bits
+    weight_width = config.ic_parallelism * config.weight_bits
+    psum_width = config.oc_parallelism * config.accumulator_bits
+    mask_words = (config.mask_buffer_kib * 1024 * 8) // 32
+    return [
+        BufferModel("mask", depth=int(mask_words), width_bits=32, banks=2),
+        BufferModel(
+            "weight", depth=config.weight_buffer_depth, width_bits=weight_width
+        ),
+        BufferModel(
+            "activation",
+            depth=config.activation_buffer_depth // 4,
+            width_bits=act_width,
+            banks=lanes,
+        ),
+        BufferModel(
+            "output", depth=config.output_buffer_depth, width_bits=act_width
+        ),
+        BufferModel(
+            "psum", depth=config.output_buffer_depth, width_bits=psum_width
+        ),
+        BufferModel(
+            "fifo_group", depth=config.fifo_depth, width_bits=64, banks=lanes
+        ),
+        BufferModel("dma_staging", depth=8192, width_bits=weight_width, banks=2),
+        BufferModel("bn_params", depth=1024, width_bits=48),
+        BufferModel("instruction", depth=512, width_bits=32),
+    ]
+
+
+def estimate_resources(
+    config: Optional[AcceleratorConfig] = None,
+    device: Optional[FpgaDevice] = None,
+) -> ResourceBreakdown:
+    """Estimate the FPGA resources of one ESCA instance."""
+    config = config or AcceleratorConfig()
+    device = device or ZCU102
+    lanes = config.decoder_lanes
+    macs = config.macs_per_cycle
+    buffers = buffer_plan(config)
+
+    components: Dict[str, ResourceEstimate] = {}
+    components["computing_array"] = ResourceEstimate(
+        lut=_LUT_PER_MAC * macs,
+        ff=_FF_PER_MAC * macs,
+        bram36=0.0,
+        dsp=float(macs),
+    )
+    components["accumulator"] = ResourceEstimate(
+        lut=_LUT_ACCUMULATOR_PER_OC * config.oc_parallelism,
+        ff=_FF_ACCUMULATOR_PER_OC * config.oc_parallelism,
+        bram36=0.0,
+        dsp=0.0,
+    )
+    components["sdmu_decoder"] = ResourceEstimate(
+        lut=_LUT_PER_LANE * lanes + _LUT_MASK_JUDGER,
+        ff=_FF_PER_LANE * lanes + _FF_MASK_JUDGER,
+        bram36=0.0,
+        dsp=0.0,
+    )
+    components["mux"] = ResourceEstimate(
+        lut=_LUT_MUX_BASE + _LUT_PER_MUX_INPUT * lanes,
+        ff=_FF_MUX,
+        bram36=0.0,
+        dsp=0.0,
+    )
+    components["main_controller"] = ResourceEstimate(
+        lut=_LUT_CONTROLLER, ff=_FF_CONTROLLER, bram36=0.0, dsp=0.0
+    )
+    components["axi_dma"] = ResourceEstimate(
+        lut=_LUT_AXI_DMA, ff=_FF_AXI_DMA, bram36=0.0, dsp=0.0
+    )
+    buffer_bram = sum(buffer.bram36() for buffer in buffers)
+    total_banks = sum(buffer.banks for buffer in buffers)
+    components["buffers"] = ResourceEstimate(
+        lut=_LUT_PER_BUFFER_CTRL * total_banks,
+        ff=_FF_PER_BUFFER_CTRL * total_banks,
+        bram36=buffer_bram,
+        dsp=0.0,
+    )
+    return ResourceBreakdown(components=components, device=device)

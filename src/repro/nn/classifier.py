@@ -1,0 +1,100 @@
+"""A submanifold sparse CNN classifier (shape classification).
+
+The paper evaluates on the SS U-Net (segmentation), but SSCNs [12] cover
+classification as well; this model provides a second benchmark network:
+a VGG-style stack of Sub-Conv blocks with strided downsampling, finished
+by global pooling and a linear head.  Its Sub-Conv layers run on the
+ESCA simulator exactly like the U-Net's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.functional import global_avg_pool, global_max_pool
+from repro.nn.layers import BatchNormSparse, ReLUSparse, SparseConv3d, SubmanifoldConv3d
+from repro.nn.network import Module, Parameter, Sequential
+from repro.nn.init import kaiming_uniform
+from repro.sparse.coo import SparseTensor3D
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """Hyperparameters of the SSCN classifier."""
+
+    in_channels: int = 1
+    num_classes: int = 10
+    base_channels: int = 16
+    stages: int = 3
+    kernel_size: int = 3
+    pooling: str = "max"  # "max" or "avg"
+    seed: int = 0
+
+    def channel_plan(self) -> Tuple[int, ...]:
+        return tuple(self.base_channels * (i + 1) for i in range(self.stages))
+
+
+class SSCNClassifier(Module):
+    """Sub-Conv stages with strided downsampling, pooled linear head."""
+
+    def __init__(self, config: Optional[ClassifierConfig] = None) -> None:
+        super().__init__()
+        self.config = config or ClassifierConfig()
+        cfg = self.config
+        if cfg.stages < 1:
+            raise ValueError(f"need at least one stage, got {cfg.stages}")
+        if cfg.pooling not in ("max", "avg"):
+            raise ValueError(f"pooling must be 'max' or 'avg', got {cfg.pooling!r}")
+        rng = np.random.default_rng(cfg.seed)
+        plan = cfg.channel_plan()
+
+        self.stages: List[Sequential] = []
+        in_ch = cfg.in_channels
+        for stage, out_ch in enumerate(plan):
+            block = Sequential(
+                SubmanifoldConv3d(
+                    in_ch, out_ch, kernel_size=cfg.kernel_size, rng=rng,
+                    name=f"stage{stage}.conv",
+                ),
+                BatchNormSparse(out_ch, rng=rng, name=f"stage{stage}.bn"),
+                ReLUSparse(),
+            )
+            self.stages.append(self.register_child(f"stage{stage}", block))
+            if stage != cfg.stages - 1:
+                down = SparseConv3d(out_ch, out_ch, rng=rng, name=f"pool{stage}")
+                self.register_child(f"pool{stage}", down)
+            in_ch = out_ch
+
+        head_weight = kaiming_uniform(
+            rng, (plan[-1], cfg.num_classes), fan_in=plan[-1]
+        )
+        self.head_weight = self.register_parameter(
+            "head_weight", Parameter(head_weight, name="head.weight")
+        )
+        self.head_bias = self.register_parameter(
+            "head_bias", Parameter(np.zeros(cfg.num_classes), name="head.bias")
+        )
+
+    def forward(self, tensor: SparseTensor3D, **kwargs) -> np.ndarray:
+        """Class logits ``(num_classes,)`` for one voxelized object."""
+        cfg = self.config
+        record = kwargs.get("record")
+        current = tensor
+        for stage in range(cfg.stages):
+            current = self.stages[stage](current, record=record)
+            if stage != cfg.stages - 1:
+                down = self._children[f"pool{stage}"]
+                current = down(current, record=record)
+        pooled = (
+            global_max_pool(current)
+            if cfg.pooling == "max"
+            else global_avg_pool(current)
+        )
+        return pooled @ self.head_weight.value + self.head_bias.value
+
+    def predict(self, tensor: SparseTensor3D) -> int:
+        """Argmax class for one object."""
+        return int(np.argmax(self.forward(tensor)))

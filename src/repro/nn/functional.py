@@ -1,0 +1,218 @@
+"""Functional sparse convolution operations (gather-GEMM-scatter).
+
+These are the mathematical definitions the accelerator must reproduce;
+they follow Graham et al. [12].  ``dense_conv3d_reference`` implements the
+*traditional* convolution of Fig. 2(a) and is used both to validate the
+submanifold operator (restricted to active sites the two agree) and to
+demonstrate sparsity dilation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.rulebook import (
+    Rulebook,
+    build_sparse_conv_rulebook,
+    build_submanifold_rulebook,
+    kernel_offsets,
+)
+from repro.sparse.coo import SparseTensor3D
+
+
+def normalize_weights(weights: np.ndarray, kernel_size: int) -> np.ndarray:
+    """Accept ``(K, K, K, Cin, Cout)`` or ``(K^3, Cin, Cout)`` weights."""
+    weights = np.asarray(weights)
+    volume = kernel_size ** 3
+    if weights.ndim == 5:
+        if weights.shape[:3] != (kernel_size,) * 3:
+            raise ValueError(
+                f"weights spatial shape {weights.shape[:3]} != kernel {kernel_size}"
+            )
+        weights = weights.reshape(volume, weights.shape[3], weights.shape[4])
+    if weights.ndim != 3 or weights.shape[0] != volume:
+        raise ValueError(
+            f"weights must be (K^3, Cin, Cout) with K={kernel_size}, "
+            f"got {weights.shape}"
+        )
+    return weights
+
+
+def apply_rulebook(
+    rulebook: Rulebook,
+    in_features: np.ndarray,
+    weights: np.ndarray,
+    num_outputs: int,
+) -> np.ndarray:
+    """Gather-GEMM-scatter evaluation of a rulebook.
+
+    ``out[o] = sum_k W[k] @ in[i]`` over all rules ``(i, o)`` of offset
+    ``k``; this is the dense linear-algebra equivalent of streaming the
+    match groups through the computing core.
+    """
+    out_channels = weights.shape[2]
+    out = np.zeros((num_outputs, out_channels), dtype=np.float64)
+    for k, rule in enumerate(rulebook.rules):
+        if len(rule) == 0:
+            continue
+        gathered = in_features[rule[:, 0]]
+        contribution = gathered @ weights[k]
+        np.add.at(out, rule[:, 1], contribution)
+    return out
+
+
+def submanifold_conv3d(
+    tensor: SparseTensor3D,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    kernel_size: int = 3,
+    rulebook: Optional[Rulebook] = None,
+) -> SparseTensor3D:
+    """Submanifold sparse convolution (Sub-Conv).
+
+    Output sites are exactly the input sites; each output is the sum of
+    ``W[d] @ in[p + d]`` over offsets ``d`` whose neighbor ``p + d`` is
+    active.  A precomputed ``rulebook`` may be supplied to amortize the
+    matching cost across layers operating on the same site set.
+    """
+    weights = normalize_weights(weights, kernel_size)
+    if weights.shape[1] != tensor.num_channels:
+        raise ValueError(
+            f"weights expect {weights.shape[1]} input channels, tensor has "
+            f"{tensor.num_channels}"
+        )
+    if rulebook is None:
+        rulebook = build_submanifold_rulebook(tensor, kernel_size)
+    out = apply_rulebook(rulebook, tensor.features, weights, tensor.nnz)
+    if bias is not None:
+        out = out + np.asarray(bias).reshape(1, -1)
+    return tensor.with_features(out)
+
+
+def sparse_conv3d(
+    tensor: SparseTensor3D,
+    weights: np.ndarray,
+    stride: int = 2,
+    bias: Optional[np.ndarray] = None,
+    kernel_size: int = 2,
+) -> SparseTensor3D:
+    """Strided sparse convolution (the U-Net downsampling operator).
+
+    Unlike Sub-Conv, the output site set is the stride-decimated union of
+    input receptive fields, so sparsity *coarsens* (but does not dilate
+    within a scale).
+    """
+    weights = normalize_weights(weights, kernel_size)
+    if weights.shape[1] != tensor.num_channels:
+        raise ValueError(
+            f"weights expect {weights.shape[1]} input channels, tensor has "
+            f"{tensor.num_channels}"
+        )
+    rulebook, out_coords = build_sparse_conv_rulebook(tensor, kernel_size, stride)
+    out = apply_rulebook(rulebook, tensor.features, weights, len(out_coords))
+    if bias is not None:
+        out = out + np.asarray(bias).reshape(1, -1)
+    out_shape = tuple(max(1, -(-s // stride)) for s in tensor.shape)
+    return SparseTensor3D(out_coords, out, out_shape)
+
+
+def sparse_inverse_conv3d(
+    tensor: SparseTensor3D,
+    weights: np.ndarray,
+    reference: SparseTensor3D,
+    stride: int = 2,
+    bias: Optional[np.ndarray] = None,
+    kernel_size: int = 2,
+) -> SparseTensor3D:
+    """Transposed strided sparse convolution (the U-Net upsampling operator).
+
+    Restores exactly the site set of ``reference`` (the tensor that was
+    downsampled on the encoder side), reversing the rulebook of the
+    corresponding forward convolution: ``out[p] += W[d].T-role @ in[q]``
+    for every forward rule ``p -> q`` under offset ``d``.
+    """
+    weights = normalize_weights(weights, kernel_size)
+    if weights.shape[1] != tensor.num_channels:
+        raise ValueError(
+            f"weights expect {weights.shape[1]} input channels, tensor has "
+            f"{tensor.num_channels}"
+        )
+    forward_rb, down_coords = build_sparse_conv_rulebook(
+        reference, kernel_size, stride
+    )
+    # The coarse tensor must live on the downsample of `reference`.
+    if len(down_coords) != tensor.nnz or not np.array_equal(
+        down_coords, tensor.coords
+    ):
+        raise ValueError(
+            "input tensor sites do not match the downsampled reference sites"
+        )
+    out = np.zeros((reference.nnz, weights.shape[2]), dtype=np.float64)
+    for k, rule in enumerate(forward_rb.rules):
+        if len(rule) == 0:
+            continue
+        fine_rows = rule[:, 0]
+        coarse_rows = rule[:, 1]
+        contribution = tensor.features[coarse_rows] @ weights[k]
+        np.add.at(out, fine_rows, contribution)
+    if bias is not None:
+        out = out + np.asarray(bias).reshape(1, -1)
+    return SparseTensor3D(reference.coords.copy(), out, reference.shape)
+
+
+def global_max_pool(tensor: SparseTensor3D) -> np.ndarray:
+    """Global max pooling over active sites: ``(C,)`` feature vector.
+
+    Classification-style readout over a sparse tensor.  Raises on an
+    empty tensor (there is no sensible identity for max over features).
+    """
+    if tensor.nnz == 0:
+        raise ValueError("global_max_pool of an empty tensor")
+    return tensor.features.max(axis=0)
+
+
+def global_avg_pool(tensor: SparseTensor3D) -> np.ndarray:
+    """Global average pooling over active sites: ``(C,)`` feature vector."""
+    if tensor.nnz == 0:
+        raise ValueError("global_avg_pool of an empty tensor")
+    return tensor.features.mean(axis=0)
+
+
+def dense_conv3d_reference(
+    dense: np.ndarray,
+    weights: np.ndarray,
+    kernel_size: int = 3,
+    bias: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Traditional 'same'-padded dense 3D convolution (Fig. 2(a)).
+
+    ``dense`` is ``(X, Y, Z, Cin)``; returns ``(X, Y, Z, Cout)``.  The
+    kernel is centered, matching :func:`submanifold_conv3d`'s convention,
+    so at any active site the two operators agree whenever the site's
+    whole neighborhood is interior.
+    """
+    weights = normalize_weights(weights, kernel_size)
+    dense = np.asarray(dense, dtype=np.float64)
+    if dense.ndim != 4:
+        raise ValueError(f"dense input must be (X, Y, Z, C), got {dense.shape}")
+    x_dim, y_dim, z_dim, in_ch = dense.shape
+    if in_ch != weights.shape[1]:
+        raise ValueError(
+            f"weights expect {weights.shape[1]} input channels, input has {in_ch}"
+        )
+    out = np.zeros((x_dim, y_dim, z_dim, weights.shape[2]), dtype=np.float64)
+    offsets = kernel_offsets(kernel_size, center=True)
+    for k, (dx, dy, dz) in enumerate(offsets):
+        # out[p] += in[p + d] @ W[k], implemented as array slicing.
+        src_x = slice(max(0, dx), x_dim + min(0, dx))
+        src_y = slice(max(0, dy), y_dim + min(0, dy))
+        src_z = slice(max(0, dz), z_dim + min(0, dz))
+        dst_x = slice(max(0, -dx), x_dim + min(0, -dx))
+        dst_y = slice(max(0, -dy), y_dim + min(0, -dy))
+        dst_z = slice(max(0, -dz), z_dim + min(0, -dz))
+        out[dst_x, dst_y, dst_z] += dense[src_x, src_y, src_z] @ weights[k]
+    if bias is not None:
+        out = out + np.asarray(bias).reshape(1, 1, 1, -1)
+    return out

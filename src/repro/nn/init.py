@@ -1,0 +1,29 @@
+"""Deterministic weight initialization.
+
+The benchmarks do not depend on learned weight values (see DESIGN.md), but
+sensible scales keep quantization realistic, so Kaiming-style fan-in
+initialization is used everywhere with explicit seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_uniform(
+    rng: np.random.Generator, shape: tuple, fan_in: int
+) -> np.ndarray:
+    """He/Kaiming uniform initialization: ``U(-b, b)``, ``b = sqrt(6/fan_in)``."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def conv_weight(
+    rng: np.random.Generator, kernel_volume: int, in_channels: int, out_channels: int
+) -> np.ndarray:
+    """``(K^3, Cin, Cout)`` convolution weight with fan-in ``K^3 * Cin``."""
+    return kaiming_uniform(
+        rng, (kernel_volume, in_channels, out_channels), kernel_volume * in_channels
+    )

@@ -1,0 +1,201 @@
+"""Rulebook construction — the reference "matching operation".
+
+A *rulebook* lists, for every kernel offset, the (input row, output row)
+pairs that participate in the sparse convolution.  For the submanifold
+convolution this is exactly the paper's matching operation (Sec. III-B/C):
+each nonzero activation is located and its nonzero neighbors are searched;
+each pair corresponds to one *match* ``(A_a, W_b)_c`` in Fig. 5.
+
+Construction is vectorized over the sorted packed coordinate keys, which
+doubles as a correctness oracle for the hardware SDMU model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.sparse.coo import SparseTensor3D
+from repro.sparse.hashmap import pack_coords
+
+
+def kernel_offsets(kernel_size: int, center: bool = True) -> np.ndarray:
+    """All ``(K^3, 3)`` integer offsets of a cubic kernel.
+
+    With ``center=True`` the offsets span ``[-K//2, K//2]`` per axis (odd
+    ``K``), the convention of submanifold convolution; otherwise they span
+    ``[0, K)`` as used by strided sparse convolution.
+    """
+    if kernel_size <= 0:
+        raise ValueError(f"kernel_size must be positive, got {kernel_size}")
+    if center and kernel_size % 2 == 0:
+        raise ValueError("centered kernels require odd kernel_size")
+    base = np.arange(kernel_size)
+    if center:
+        base = base - kernel_size // 2
+    grid = np.stack(np.meshgrid(base, base, base, indexing="ij"), axis=-1)
+    return grid.reshape(-1, 3)
+
+
+@dataclass
+class Rulebook:
+    """Matching result of one sparse convolution.
+
+    Attributes
+    ----------
+    kernel_size:
+        Cubic kernel side length ``K``.
+    offsets:
+        ``(K^3, 3)`` kernel offsets, in the same order as ``rules``.
+    rules:
+        One ``(n_k, 2)`` int array per offset: columns are
+        ``(input_row, output_row)``.
+    num_inputs / num_outputs:
+        Row counts of the input/output tensors.
+    """
+
+    kernel_size: int
+    offsets: np.ndarray
+    rules: List[np.ndarray]
+    num_inputs: int
+    num_outputs: int
+
+    @property
+    def total_matches(self) -> int:
+        """Total number of (activation, weight) matches — the effective work."""
+        return int(sum(len(rule) for rule in self.rules))
+
+    def matches_per_output(self) -> np.ndarray:
+        """Histogram: number of matches landing on each output row."""
+        counts = np.zeros(self.num_outputs, dtype=np.int64)
+        for rule in self.rules:
+            if len(rule):
+                np.add.at(counts, rule[:, 1], 1)
+        return counts
+
+    def effective_macs(self, in_channels: int, out_channels: int) -> int:
+        """Number of scalar multiply-accumulates implied by the rulebook."""
+        return self.total_matches * int(in_channels) * int(out_channels)
+
+    def effective_ops(self, in_channels: int, out_channels: int) -> int:
+        """Effective operation count (2 ops per MAC), as reported in GOPS."""
+        return 2 * self.effective_macs(in_channels, out_channels)
+
+
+def _lookup_rows(sorted_keys: np.ndarray, query_keys: np.ndarray) -> np.ndarray:
+    """Row index of each query key in ``sorted_keys`` or -1 when absent."""
+    idx = np.searchsorted(sorted_keys, query_keys)
+    idx = np.clip(idx, 0, len(sorted_keys) - 1) if len(sorted_keys) else idx
+    if len(sorted_keys) == 0:
+        return np.full(len(query_keys), -1, dtype=np.int64)
+    found = sorted_keys[idx] == query_keys
+    return np.where(found, idx, -1)
+
+
+def build_submanifold_rulebook(
+    tensor: SparseTensor3D, kernel_size: int = 3
+) -> Rulebook:
+    """Matching operation for a submanifold convolution.
+
+    The output sites equal the input sites.  For output site ``p`` and
+    centered offset ``d``, an input contribution exists when ``p + d`` is
+    active: ``out[p] += W[d] @ in[p + d]``.
+    """
+    offsets = kernel_offsets(kernel_size, center=True)
+    coords = tensor.coords
+    # SparseTensor3D stores coords lexicographically sorted, so the packed
+    # keys are ascending and searchsorted applies directly.
+    keys = pack_coords(coords) if len(coords) else np.zeros(0, dtype=np.int64)
+    shape = np.asarray(tensor.shape, dtype=np.int64)
+    rules: List[np.ndarray] = []
+    out_rows_all = np.arange(len(coords), dtype=np.int64)
+    for offset in offsets:
+        neighbor = coords + offset[None, :]
+        in_bounds = np.all((neighbor >= 0) & (neighbor < shape[None, :]), axis=1)
+        rows = np.full(len(coords), -1, dtype=np.int64)
+        if in_bounds.any():
+            rows[in_bounds] = _lookup_rows(keys, pack_coords(neighbor[in_bounds]))
+        valid = rows >= 0
+        rules.append(
+            np.stack([rows[valid], out_rows_all[valid]], axis=1).astype(np.int64)
+        )
+    return Rulebook(
+        kernel_size=kernel_size,
+        offsets=offsets,
+        rules=rules,
+        num_inputs=len(coords),
+        num_outputs=len(coords),
+    )
+
+
+def downsampled_coords(
+    coords: np.ndarray, kernel_size: int, stride: int
+) -> np.ndarray:
+    """Output coordinates of a strided sparse convolution (sorted, unique).
+
+    An output site ``q`` exists when any input ``p`` satisfies
+    ``q * stride <= p < q * stride + K`` per axis.  With the usual
+    ``K == stride`` downsampling this is just ``unique(p // stride)``.
+    """
+    if kernel_size == stride:
+        down = coords // stride
+        return np.unique(down, axis=0)
+    outputs = set()
+    for p in coords:
+        # q ranges where q*stride <= p_axis <= q*stride + K - 1
+        ranges = []
+        for axis in range(3):
+            lo = (int(p[axis]) - kernel_size + stride) // stride
+            lo = max(lo, 0)
+            hi = int(p[axis]) // stride
+            ranges.append(range(lo, hi + 1))
+        for qx in ranges[0]:
+            for qy in ranges[1]:
+                for qz in ranges[2]:
+                    outputs.add((qx, qy, qz))
+    if not outputs:
+        return np.zeros((0, 3), dtype=np.int64)
+    arr = np.array(sorted(outputs), dtype=np.int64)
+    return arr
+
+
+def build_sparse_conv_rulebook(
+    tensor: SparseTensor3D, kernel_size: int = 2, stride: int = 2
+) -> Tuple[Rulebook, np.ndarray]:
+    """Matching for a strided (non-submanifold) sparse convolution.
+
+    Returns the rulebook and the output coordinates.  Offsets are
+    corner-based (``[0, K)``): input ``p`` contributes to output ``q``
+    under offset ``d`` when ``p == q * stride + d``.
+    """
+    if stride <= 0:
+        raise ValueError(f"stride must be positive, got {stride}")
+    coords = tensor.coords
+    out_coords = downsampled_coords(coords, kernel_size, stride)
+    out_keys = (
+        pack_coords(out_coords) if len(out_coords) else np.zeros(0, dtype=np.int64)
+    )
+    offsets = kernel_offsets(kernel_size, center=False)
+    rules: List[np.ndarray] = []
+    in_rows_all = np.arange(len(coords), dtype=np.int64)
+    for offset in offsets:
+        shifted = coords - offset[None, :]
+        aligned = np.all(shifted % stride == 0, axis=1) & np.all(shifted >= 0, axis=1)
+        q = shifted[aligned] // stride
+        rows = _lookup_rows(out_keys, pack_coords(q)) if len(q) else np.zeros(0, np.int64)
+        valid = rows >= 0
+        rules.append(
+            np.stack(
+                [in_rows_all[aligned][valid], rows[valid]], axis=1
+            ).astype(np.int64)
+        )
+    rulebook = Rulebook(
+        kernel_size=kernel_size,
+        offsets=offsets,
+        rules=rules,
+        num_inputs=len(coords),
+        num_outputs=len(out_coords),
+    )
+    return rulebook, out_coords

@@ -1,0 +1,109 @@
+"""Quantization fidelity analysis — the precision ablation.
+
+The paper fixes INT8 weights / INT16 activations (Sec. IV-A) without an
+ablation.  This module quantifies the choice: for a Sub-Conv layer it
+sweeps weight/activation bit widths and reports the signal-to-noise
+ratio and worst-case relative error of the fixed-point output against
+the float reference, which the precision benchmark turns into the
+justification table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.functional import submanifold_conv3d
+from repro.quant.fixed_point import FixedPointFormat
+from repro.quant.quantizer import QuantizedSubConv
+from repro.sparse.coo import SparseTensor3D
+
+
+def feature_snr_db(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Signal-to-noise ratio of ``candidate`` against ``reference`` in dB."""
+    reference = np.asarray(reference, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if reference.shape != candidate.shape:
+        raise ValueError(
+            f"shape mismatch: {reference.shape} vs {candidate.shape}"
+        )
+    signal = float((reference ** 2).sum())
+    noise = float(((reference - candidate) ** 2).sum())
+    if noise == 0.0:
+        return float("inf")
+    if signal == 0.0:
+        return float("-inf")
+    return 10.0 * np.log10(signal / noise)
+
+
+def max_relative_error(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Max abs error normalized by the reference peak magnitude."""
+    reference = np.asarray(reference, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    peak = float(np.abs(reference).max()) if reference.size else 0.0
+    if peak == 0.0:
+        return 0.0
+    return float(np.abs(reference - candidate).max()) / peak
+
+
+@dataclass(frozen=True)
+class PrecisionPoint:
+    """Fidelity of one (weight bits, activation bits) configuration."""
+
+    weight_bits: int
+    activation_bits: int
+    snr_db: float
+    max_rel_error: float
+
+
+def sweep_precision(
+    tensor: SparseTensor3D,
+    weights: np.ndarray,
+    weight_bits: Sequence[int] = (4, 6, 8, 12),
+    activation_bits: Sequence[int] = (8, 16),
+    kernel_size: int = 3,
+) -> List[PrecisionPoint]:
+    """Fixed-point fidelity sweep of one Sub-Conv layer.
+
+    Returns one :class:`PrecisionPoint` per (weight, activation) bit
+    combination, ordered as iterated.
+    """
+    reference = submanifold_conv3d(tensor, weights, kernel_size=kernel_size)
+    points: List[PrecisionPoint] = []
+    for w_bits in weight_bits:
+        for a_bits in activation_bits:
+            qconv = QuantizedSubConv(
+                weights,
+                kernel_size=kernel_size,
+                weight_fmt=FixedPointFormat(bits=int(w_bits), name=f"INT{w_bits}"),
+                act_fmt=FixedPointFormat(bits=int(a_bits), name=f"INT{a_bits}"),
+            )
+            quantized = qconv.forward(tensor)
+            points.append(
+                PrecisionPoint(
+                    weight_bits=int(w_bits),
+                    activation_bits=int(a_bits),
+                    snr_db=feature_snr_db(
+                        reference.features, quantized.features
+                    ),
+                    max_rel_error=max_relative_error(
+                        reference.features, quantized.features
+                    ),
+                )
+            )
+    return points
+
+
+def find_point(
+    points: Sequence[PrecisionPoint], weight_bits: int, activation_bits: int
+) -> Optional[PrecisionPoint]:
+    """The sweep entry for a given configuration, or ``None``."""
+    for point in points:
+        if (point.weight_bits, point.activation_bits) == (
+            weight_bits,
+            activation_bits,
+        ):
+            return point
+    return None

@@ -1,0 +1,23 @@
+"""Frame-stream runtime: the LiDAR application setting of Fig. 1.
+
+The paper motivates ESCA with streaming point-cloud workloads
+(autonomous driving, VR/AR).  This package provides a minimal runtime
+for that setting: deterministic synthetic frame sources (a rotating
+scene, as a spinning LiDAR sees), and a streaming runner that voxelizes,
+encodes and executes each frame on the accelerator model, reporting
+per-frame latency statistics and sustained frames per second.
+"""
+
+from repro.runtime.stream import (
+    FrameResult,
+    RotatingSceneSource,
+    StreamStats,
+    StreamingRunner,
+)
+
+__all__ = [
+    "RotatingSceneSource",
+    "StreamingRunner",
+    "FrameResult",
+    "StreamStats",
+]

@@ -1,0 +1,32 @@
+"""Clocked simulation kernel used by the cycle-accurate accelerator model.
+
+The kernel is deliberately small: the ESCA architecture is a short
+producer/consumer pipeline (SDMU -> FIFO group -> MUX -> computing core),
+so the substrate only needs synchronous components, bounded FIFOs with
+backpressure, a cycle loop, and statistics.
+
+Components follow a two-phase clock discipline:
+
+* :meth:`Component.compute` — combinational phase; a component may inspect
+  any state but must only *stage* updates.
+* :meth:`Component.commit` — sequential phase; staged updates become
+  visible.
+
+This mirrors synchronous RTL semantics and removes any dependence on the
+order in which components are registered.
+"""
+
+from repro.sim.kernel import Component, SimulationError, SimulationKernel
+from repro.sim.fifo import FifoStats, HardwareFifo
+from repro.sim.trace import CycleTrace, StatsCounter, Utilization
+
+__all__ = [
+    "Component",
+    "SimulationKernel",
+    "SimulationError",
+    "HardwareFifo",
+    "FifoStats",
+    "CycleTrace",
+    "StatsCounter",
+    "Utilization",
+]

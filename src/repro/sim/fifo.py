@@ -1,0 +1,119 @@
+"""Bounded hardware FIFO with occupancy statistics.
+
+The FIFO group of the SDMU (Sec. III-C of the paper) consists of ``K^2``
+identical FIFOs, one per kernel column.  :class:`HardwareFifo` models one
+such queue: bounded capacity, single push/pop semantics per cycle at the
+call sites, and statistics used by the stall/occupancy analyses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Optional
+
+
+@dataclass
+class FifoStats:
+    """Lifetime statistics of a :class:`HardwareFifo`."""
+
+    pushes: int = 0
+    pops: int = 0
+    push_stalls: int = 0
+    max_occupancy: int = 0
+    occupancy_cycles: int = 0
+    observed_cycles: int = 0
+
+    def mean_occupancy(self) -> float:
+        """Average occupancy over the observed cycles (0.0 if never observed)."""
+        if self.observed_cycles == 0:
+            return 0.0
+        return self.occupancy_cycles / self.observed_cycles
+
+
+class HardwareFifo:
+    """A bounded first-in first-out queue.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; must be positive.
+    name:
+        Identifier used in error messages and reports.
+    """
+
+    def __init__(self, capacity: int, name: str = "fifo") -> None:
+        if capacity <= 0:
+            raise ValueError(f"FIFO capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.name = name
+        self._entries: Deque[Any] = deque()
+        self.stats = FifoStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._entries)
+
+    def try_push(self, item: Any) -> bool:
+        """Push ``item`` if space is available; return whether it was accepted."""
+        if self.is_full:
+            self.stats.push_stalls += 1
+            return False
+        self._entries.append(item)
+        self.stats.pushes += 1
+        if len(self._entries) > self.stats.max_occupancy:
+            self.stats.max_occupancy = len(self._entries)
+        return True
+
+    def push(self, item: Any) -> None:
+        """Push ``item``; raise ``OverflowError`` when the FIFO is full."""
+        if not self.try_push(item):
+            raise OverflowError(f"push to full FIFO {self.name!r}")
+
+    def peek(self) -> Any:
+        """Return the oldest entry without removing it."""
+        if not self._entries:
+            raise IndexError(f"peek on empty FIFO {self.name!r}")
+        return self._entries[0]
+
+    def pop(self) -> Any:
+        """Remove and return the oldest entry."""
+        if not self._entries:
+            raise IndexError(f"pop from empty FIFO {self.name!r}")
+        self.stats.pops += 1
+        return self._entries.popleft()
+
+    def try_pop(self) -> Optional[Any]:
+        """Pop and return the oldest entry, or ``None`` when empty.
+
+        Note: a FIFO that stores ``None`` values cannot use this helper;
+        the accelerator never does.
+        """
+        if not self._entries:
+            return None
+        return self.pop()
+
+    def observe(self) -> None:
+        """Record one cycle's occupancy sample into the statistics."""
+        self.stats.observed_cycles += 1
+        self.stats.occupancy_cycles += len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are preserved)."""
+        self._entries.clear()
+
+    def reset(self) -> None:
+        """Drop all entries and statistics."""
+        self._entries.clear()
+        self.stats = FifoStats()

@@ -1,0 +1,91 @@
+"""Statistics containers for cycle-accurate runs.
+
+These are shared by the SDMU, the computing core, and the top-level
+accelerator: named counters, busy/idle utilization tracking, and an
+optional bounded event trace for debugging pipelines.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class StatsCounter:
+    """A bag of named integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+
+    def add(self, key: str, amount: int = 1) -> None:
+        self._counts[key] += amount
+
+    def get(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(sorted(self._counts.items()))
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"StatsCounter({inner})"
+
+
+@dataclass
+class Utilization:
+    """Busy/total cycle accounting for one hardware unit."""
+
+    busy_cycles: int = 0
+    total_cycles: int = 0
+
+    def record(self, busy: bool) -> None:
+        self.total_cycles += 1
+        if busy:
+            self.busy_cycles += 1
+
+    @property
+    def fraction(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return self.busy_cycles / self.total_cycles
+
+
+class CycleTrace:
+    """Bounded trace of ``(cycle, unit, event)`` tuples.
+
+    Tracing is disabled by default (``capacity=0``) so production runs pay
+    nothing; tests enable it to assert on pipeline behaviour.
+    """
+
+    def __init__(self, capacity: int = 0) -> None:
+        self.capacity = int(capacity)
+        self._events: List[Tuple[int, str, str]] = []
+        self.dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def record(self, cycle: int, unit: str, event: str) -> None:
+        if not self.enabled:
+            return
+        if len(self._events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._events.append((cycle, unit, event))
+
+    def events(self, unit: Optional[str] = None) -> List[Tuple[int, str, str]]:
+        if unit is None:
+            return list(self._events)
+        return [event for event in self._events if event[1] == unit]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)

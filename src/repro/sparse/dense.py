@@ -1,0 +1,35 @@
+"""Conversions between dense arrays and :class:`SparseTensor3D`."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.sparse.coo import SparseTensor3D
+
+
+def sparse_to_dense(tensor: SparseTensor3D) -> np.ndarray:
+    """Materialize ``tensor`` as a dense ``(X, Y, Z, C)`` array."""
+    return tensor.dense()
+
+
+def dense_to_sparse(array: np.ndarray, tol: float = 0.0) -> SparseTensor3D:
+    """Build a sparse tensor from a dense ``(X, Y, Z)`` or ``(X, Y, Z, C)`` array.
+
+    A site is active when any channel's magnitude exceeds ``tol``.
+    """
+    array = np.asarray(array)
+    if array.ndim == 3:
+        array = array[..., None]
+    if array.ndim != 4:
+        raise ValueError(f"expected (X, Y, Z[, C]) array, got shape {array.shape}")
+    magnitude = np.abs(array).max(axis=-1)
+    active = np.argwhere(magnitude > tol)
+    features = array[active[:, 0], active[:, 1], active[:, 2]]
+    shape: Tuple[int, int, int] = (
+        int(array.shape[0]),
+        int(array.shape[1]),
+        int(array.shape[2]),
+    )
+    return SparseTensor3D(active, features, shape)

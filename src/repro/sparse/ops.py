@@ -1,0 +1,81 @@
+"""Elementwise and structural operations on sparse tensors.
+
+These are the non-convolutional operations the SS U-Net needs: ReLU,
+residual addition, skip-connection concatenation, and channel scaling
+(folded batch norm).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import SparseTensor3D
+
+
+def relu(tensor: SparseTensor3D) -> SparseTensor3D:
+    """Elementwise ReLU over the features.
+
+    Note that ReLU may zero individual channels but the *site* stays
+    active: submanifold networks keep the sparsity pattern fixed, which is
+    exactly the property the accelerator relies on.
+    """
+    return tensor.map_features(lambda f: np.maximum(f, 0.0))
+
+
+def scale_features(
+    tensor: SparseTensor3D, scale: np.ndarray, bias: np.ndarray | None = None
+) -> SparseTensor3D:
+    """Per-channel affine transform ``f * scale + bias`` (folded batch norm)."""
+    scale = np.asarray(scale, dtype=np.float64).reshape(1, -1)
+    if scale.shape[1] != tensor.num_channels:
+        raise ValueError(
+            f"scale has {scale.shape[1]} channels, tensor has {tensor.num_channels}"
+        )
+    out = tensor.features * scale
+    if bias is not None:
+        bias = np.asarray(bias, dtype=np.float64).reshape(1, -1)
+        if bias.shape[1] != tensor.num_channels:
+            raise ValueError(
+                f"bias has {bias.shape[1]} channels, tensor has {tensor.num_channels}"
+            )
+        out = out + bias
+    return tensor.with_features(out)
+
+
+def _require_same_sites(a: SparseTensor3D, b: SparseTensor3D) -> None:
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.nnz != b.nnz or not np.array_equal(a.coords, b.coords):
+        raise ValueError("operands must share the same active sites")
+
+
+def add_sparse(a: SparseTensor3D, b: SparseTensor3D) -> SparseTensor3D:
+    """Site-wise addition of two tensors with identical active sites."""
+    _require_same_sites(a, b)
+    if a.num_channels != b.num_channels:
+        raise ValueError(
+            f"channel mismatch: {a.num_channels} vs {b.num_channels}"
+        )
+    return a.with_features(a.features + b.features)
+
+
+def concat_features(a: SparseTensor3D, b: SparseTensor3D) -> SparseTensor3D:
+    """Channel-wise concatenation (U-Net skip connection join)."""
+    _require_same_sites(a, b)
+    return a.with_features(np.concatenate([a.features, b.features], axis=1))
+
+
+def sparse_allclose(
+    a: SparseTensor3D,
+    b: SparseTensor3D,
+    rtol: float = 1e-9,
+    atol: float = 1e-9,
+) -> bool:
+    """Whether two tensors have identical sites and near-equal features."""
+    if a.shape != b.shape or a.nnz != b.nnz:
+        return False
+    if not np.array_equal(a.coords, b.coords):
+        return False
+    if a.num_channels != b.num_channels:
+        return False
+    return bool(np.allclose(a.features, b.features, rtol=rtol, atol=atol))

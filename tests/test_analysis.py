@@ -1,0 +1,57 @@
+"""Tests for metrics and report formatting."""
+
+import pytest
+
+from repro.analysis import (
+    effective_gops,
+    format_ratio,
+    format_table,
+    gops_per_watt,
+    relative_error,
+    speedup,
+)
+
+
+def test_speedup():
+    assert speedup(8.0, 2.0) == 4.0
+    with pytest.raises(ValueError):
+        speedup(1.0, 0.0)
+
+
+def test_effective_gops():
+    assert effective_gops(2_000_000_000, 1.0) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        effective_gops(1, 0.0)
+
+
+def test_gops_per_watt():
+    assert gops_per_watt(17.73, 3.45) == pytest.approx(5.139, rel=1e-3)
+    with pytest.raises(ValueError):
+        gops_per_watt(1.0, 0.0)
+
+
+def test_relative_error():
+    assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+    assert relative_error(0.0, 0.0) == 0.0
+    assert relative_error(1.0, 0.0) == float("inf")
+
+
+def test_format_table_alignment():
+    table = format_table(["A", "Bee"], [[1, 2], ["long-cell", 3]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("A")
+    assert "long-cell" in lines[3]
+    # All rows have equal rendered width.
+    assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["A", "B"], [[1]])
+
+
+def test_format_ratio():
+    text = format_ratio(17.64, 17.73, unit="GOPS")
+    assert "17.64 GOPS" in text
+    assert "paper: 17.73" in text

@@ -1,0 +1,60 @@
+"""Tests for the energy-per-inference analysis."""
+
+import pytest
+
+from repro.analysis.energy import (
+    EnergyRow,
+    energy_comparison,
+    energy_ratio,
+    esca_energy,
+    platform_energy,
+)
+from repro.arch import EscaAccelerator
+from repro.baselines import GpuExecutionModel, SubConvWorkload
+from repro.nn import SSUNet, UNetConfig
+from tests.conftest import random_sparse_tensor
+
+
+def make_workload():
+    return SubConvWorkload(
+        name="w", nnz=500, matches=4000, in_channels=8, out_channels=8,
+        kernel_size=3, volume=64 ** 3,
+    )
+
+
+def test_energy_row_math():
+    row = EnergyRow(platform="X", seconds=0.01, power_watts=5.0)
+    assert row.energy_joules == pytest.approx(0.05)
+    assert row.energy_millijoules == pytest.approx(50.0)
+
+
+def test_platform_energy():
+    gpu = GpuExecutionModel()
+    row = platform_energy(gpu, [make_workload()])
+    assert row.power_watts == pytest.approx(90.56)
+    assert row.energy_joules > 0
+
+
+@pytest.fixture(scope="module")
+def small_network_run():
+    tensor = random_sparse_tensor(seed=230, shape=(16, 16, 16), nnz=40, channels=1)
+    net = SSUNet(UNetConfig(in_channels=1, num_classes=4, base_channels=4, levels=2))
+    accel = EscaAccelerator()
+    return accel.run_network(net, tensor)
+
+
+def test_esca_energy(small_network_run):
+    row = esca_energy(small_network_run)
+    assert row.platform == "ESCA"
+    assert row.power_watts == pytest.approx(3.45, rel=0.02)
+    assert row.seconds == pytest.approx(small_network_run.total_seconds)
+
+
+def test_energy_comparison_and_ratio(small_network_run):
+    rows = energy_comparison(small_network_run, [make_workload()])
+    names = [row.platform for row in rows]
+    assert "ESCA" in names
+    ratio = energy_ratio(rows, "Tesla P100 (GPU)")
+    assert ratio > 1  # the GPU always burns more energy on this workload
+    with pytest.raises(KeyError):
+        energy_ratio(rows, "TPU")

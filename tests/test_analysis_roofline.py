@@ -1,0 +1,72 @@
+"""Tests for the roofline analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.roofline import (
+    ridge_intensity,
+    roofline_point,
+    roofline_report,
+)
+from repro.arch import AcceleratorConfig, EscaAccelerator, SystemOverheadModel
+from repro.nn import SSUNet, UNetConfig
+from tests.conftest import random_sparse_tensor
+
+
+def test_ridge_intensity():
+    config = AcceleratorConfig()
+    overheads = SystemOverheadModel()
+    ridge = ridge_intensity(config, overheads)
+    # 138.24 GOPS peak / 1.2 GB/s = 115.2 ops per byte.
+    assert ridge == pytest.approx(138.24e9 / 1.2e9)
+
+
+def test_roofline_point_fields():
+    tensor = random_sparse_tensor(seed=250, shape=(16, 16, 16), nnz=40, channels=16)
+    run = EscaAccelerator().run_layer(tensor, out_channels=16)
+    point = roofline_point(run)
+    assert point.operational_intensity == pytest.approx(
+        run.effective_ops / run.transfer.total_bytes
+    )
+    assert point.achieved_gops == pytest.approx(run.effective_gops())
+    assert point.bound in ("compute", "memory")
+    assert 0 < point.roof_fraction <= 1.001
+
+
+def test_achieved_never_exceeds_roof():
+    """The simulator can never beat the roofline (sanity of both models)."""
+    for channels in (1, 16, 64):
+        tensor = random_sparse_tensor(
+            seed=251 + channels, shape=(16, 16, 16), nnz=60, channels=channels
+        )
+        run = EscaAccelerator().run_layer(tensor, out_channels=channels)
+        point = roofline_point(run)
+        # Compute roof is hard; memory roof applies to *sustained* system
+        # throughput, so compare core GOPS against the compute roof only.
+        assert point.achieved_gops <= run.config.peak_gops * 1.001
+
+
+def test_network_roofline_shows_both_regimes():
+    """Shallow layers are matching-bound (far below roof); deep layers
+    approach the compute roof."""
+    tensor = random_sparse_tensor(seed=252, shape=(24, 24, 24), nnz=400, channels=1)
+    net = SSUNet(UNetConfig(in_channels=1, num_classes=8, base_channels=16, levels=3))
+    network = EscaAccelerator().run_network(net, tensor)
+    points = roofline_report(network)
+    assert len(points) == len(network.layers)
+    fractions = {point.name: point.roof_fraction for point in points}
+    # The 1-channel input layer is nowhere near its roof...
+    assert fractions["enc0.conv0"] < 0.3
+    # ...while some deeper layer achieves most of its attainable roof.
+    assert max(fractions.values()) > 0.5
+
+
+def test_roofline_rejects_zero_bytes():
+    tensor = random_sparse_tensor(seed=253, nnz=5, channels=2)
+    run = EscaAccelerator().run_layer(tensor, out_channels=2)
+    object.__setattr__(run.transfer, "weight_bytes", 0)  # not frozen-safe; rebuild
+    from repro.arch import TransferVolume
+
+    run.transfer = TransferVolume(0, 0, 0, 0)
+    with pytest.raises(ValueError):
+        roofline_point(run)

@@ -1,0 +1,184 @@
+"""Integration tests for the top-level ESCA accelerator simulator."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    AcceleratorConfig,
+    AnalyticalModel,
+    EscaAccelerator,
+    SystemOverheadModel,
+)
+from repro.arch.config import SdmuTiming
+from repro.nn import SSUNet, UNetConfig, submanifold_conv3d
+from repro.quant import ACT_INT16, WEIGHT_INT8, quantize_tensor
+from repro.sparse import SparseTensor3D
+from tests.conftest import random_sparse_tensor
+
+
+def test_layer_run_is_bit_exact_vs_reference():
+    """The headline correctness property: the cycle-accurate pipeline's
+    accumulators equal the integer rulebook reference exactly."""
+    tensor = random_sparse_tensor(seed=130, shape=(16, 16, 16), nnz=70, channels=4)
+    accel = EscaAccelerator(AcceleratorConfig())
+    # verify=True raises on any accumulator mismatch.
+    result = accel.run_layer(tensor, out_channels=8, verify=True)
+    assert result.matches > 0
+    assert result.total_cycles > 0
+
+
+def test_layer_output_tracks_float_reference():
+    tensor = random_sparse_tensor(seed=131, shape=(12, 12, 12), nnz=40, channels=3)
+    rng = np.random.default_rng(0)
+    weights = rng.standard_normal((27, 3, 5)) * 0.3
+    accel = EscaAccelerator()
+    result = accel.run_layer(tensor, weights=weights, verify=True)
+    reference = submanifold_conv3d(tensor, weights)
+    peak = np.abs(reference.features).max()
+    err = np.abs(result.output.features - reference.features).max()
+    assert err / peak < 0.02  # INT8 weight quantization budget
+
+
+def test_accumulators_equal_manual_integer_reference():
+    tensor = random_sparse_tensor(seed=132, shape=(10, 10, 10), nnz=30, channels=2)
+    rng = np.random.default_rng(1)
+    weights = rng.standard_normal((27, 2, 4))
+    accel = EscaAccelerator()
+    result = accel.run_layer(tensor, weights=weights)
+    # Recompute with the quantized reference path.
+    from repro.quant import QuantizedSubConv
+
+    qconv = QuantizedSubConv(weights, weight_scale=result.weight_scale)
+    acts_q = quantize_tensor(tensor.features, ACT_INT16, scale=result.act_scale)
+    expected = qconv.integer_forward(acts_q.data, tensor)
+    assert np.array_equal(result.accumulators, expected)
+
+
+def test_matches_equal_rulebook_total():
+    from repro.nn import build_submanifold_rulebook
+
+    tensor = random_sparse_tensor(seed=133, shape=(16, 16, 16), nnz=50, channels=2)
+    accel = EscaAccelerator()
+    result = accel.run_layer(tensor, out_channels=4)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    assert result.matches == rulebook.total_matches
+    assert result.active_srfs == tensor.nnz
+    assert result.effective_ops == rulebook.effective_ops(2, 4)
+
+
+def test_requires_weights_or_out_channels():
+    tensor = random_sparse_tensor(seed=134, nnz=10)
+    with pytest.raises(ValueError):
+        EscaAccelerator().run_layer(tensor)
+
+
+def test_channel_mismatch_rejected():
+    tensor = random_sparse_tensor(seed=135, nnz=10, channels=2)
+    with pytest.raises(ValueError):
+        EscaAccelerator().run_layer(tensor, weights=np.zeros((27, 3, 4)))
+
+
+def test_analytical_model_matches_simulator():
+    """The closed-form estimate tracks the cycle simulator within 5%."""
+    accel = EscaAccelerator()
+    model = AnalyticalModel(accel.config)
+    for seed, cin, cout in ((136, 4, 8), (137, 16, 16), (138, 32, 32)):
+        tensor = random_sparse_tensor(
+            seed=seed, shape=(16, 16, 16), nnz=80, channels=cin
+        )
+        result = accel.run_layer(tensor, out_channels=cout)
+        estimate = model.estimate_layer(tensor, cin, cout)
+        assert estimate == pytest.approx(result.total_cycles, rel=0.05)
+
+
+def test_analytical_no_zero_removing_is_slower():
+    model = AnalyticalModel()
+    tensor = random_sparse_tensor(seed=139, shape=(32, 32, 32), nnz=50, channels=4)
+    with_removal = model.estimate_layer(tensor, 4, 4)
+    without = model.estimate_layer_without_zero_removing(tensor, 4, 4)
+    assert without > with_removal
+
+
+def test_cc_bound_layer_reaches_high_utilization():
+    """64 -> 64 channels on a dense block saturate the 16x16 array."""
+    coords = np.array(
+        [[x, y, z] for x in range(8) for y in range(8) for z in range(8)]
+    )
+    rng = np.random.default_rng(140)
+    tensor = SparseTensor3D(
+        coords, rng.standard_normal((512, 64)), (16, 16, 16)
+    )
+    result = EscaAccelerator().run_layer(tensor, out_channels=64)
+    assert result.cc_utilization > 0.9
+
+
+def test_sdmu_bound_layer_has_low_cc_utilization():
+    tensor = random_sparse_tensor(seed=141, shape=(16, 16, 16), nnz=40, channels=1)
+    result = EscaAccelerator().run_layer(tensor, out_channels=16)
+    assert result.cc_utilization < 0.5
+
+
+def test_overheads_accounted_separately():
+    tensor = random_sparse_tensor(seed=142, shape=(16, 16, 16), nnz=30, channels=4)
+    with_oh = EscaAccelerator().run_layer(tensor, out_channels=4)
+    ideal = EscaAccelerator(
+        overheads=SystemOverheadModel(enabled=False)
+    ).run_layer(tensor, out_channels=4)
+    assert with_oh.total_cycles == ideal.total_cycles
+    assert with_oh.overhead_seconds > 0
+    assert ideal.overhead_seconds == 0
+    assert with_oh.total_seconds > with_oh.time_seconds
+    assert ideal.total_seconds == ideal.time_seconds
+    assert with_oh.system_gops() < with_oh.effective_gops()
+
+
+def test_transfer_volume_fields():
+    tensor = random_sparse_tensor(seed=143, shape=(16, 16, 16), nnz=25, channels=4)
+    result = EscaAccelerator().run_layer(tensor, out_channels=8)
+    transfer = result.transfer
+    assert transfer.weight_bytes == 27 * 4 * 8  # K^3 * Cin * Cout * 1 byte
+    assert transfer.input_activation_bytes == 25 * 4 * 2
+    assert transfer.output_activation_bytes == 25 * 8 * 2
+    assert transfer.total_bytes > 0
+
+
+def test_small_fifo_still_correct():
+    """Correctness must be independent of FIFO sizing (only speed changes)."""
+    tensor = random_sparse_tensor(seed=144, shape=(12, 12, 12), nnz=60, channels=2)
+    deep = EscaAccelerator(AcceleratorConfig(fifo_depth=16)).run_layer(
+        tensor, out_channels=4, verify=True
+    )
+    shallow = EscaAccelerator(AcceleratorConfig(fifo_depth=1)).run_layer(
+        tensor, out_channels=4, verify=True
+    )
+    assert np.array_equal(deep.accumulators, shallow.accumulators)
+    assert shallow.total_cycles >= deep.total_cycles
+
+
+def test_cadence_one_is_faster():
+    tensor = random_sparse_tensor(seed=145, shape=(16, 16, 16), nnz=40, channels=1)
+    default = EscaAccelerator().run_layer(tensor, out_channels=4)
+    fast = EscaAccelerator(
+        AcceleratorConfig(timing=SdmuTiming(srf_cadence_cycles=1))
+    ).run_layer(tensor, out_channels=4)
+    assert fast.total_cycles < default.total_cycles
+
+
+def test_run_network_covers_subconv_layers():
+    tensor = random_sparse_tensor(seed=146, shape=(16, 16, 16), nnz=50, channels=1)
+    net = SSUNet(UNetConfig(in_channels=1, num_classes=4, base_channels=4, levels=2))
+    accel = EscaAccelerator()
+    result = accel.run_network(net, tensor, verify=True)
+    # levels=2 -> enc0, bottom, dec0 (3 Sub-Conv layers with K=3; 1^3 head skipped).
+    assert len(result.layers) == 3
+    assert result.total_cycles == sum(l.total_cycles for l in result.layers)
+    assert result.effective_ops > 0
+    assert result.system_gops() < result.effective_gops()
+
+
+def test_empty_input_layer():
+    tensor = SparseTensor3D.empty((16, 16, 16), channels=4)
+    result = EscaAccelerator().run_layer(tensor, out_channels=4)
+    assert result.matches == 0
+    assert result.active_srfs == 0
+    assert result.scanned_positions == 0

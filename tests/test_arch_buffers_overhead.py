@@ -1,0 +1,87 @@
+"""Tests for buffer models and the system overhead model."""
+
+import pytest
+
+from repro.arch import BufferModel, SystemOverheadModel, layer_transfer_volume
+from repro.arch.buffers import BRAM36_BITS
+
+
+def test_buffer_capacity_and_counters():
+    buf = BufferModel("act", depth=1024, width_bits=256, banks=2)
+    assert buf.capacity_bits == 1024 * 256 * 2
+    buf.record_read(3)
+    buf.record_write()
+    assert buf.reads == 3
+    assert buf.writes == 1
+
+
+def test_buffer_bram_half_block_granularity():
+    # 16 Kb fits one 18 Kb half block -> 0.5 BRAM36.
+    tiny = BufferModel("fifo", depth=256, width_bits=64)
+    assert tiny.bram36() == 0.5
+    # Exactly one BRAM36 worth of bits -> 2 half blocks -> 1.0.
+    exact = BufferModel("x", depth=BRAM36_BITS // 32, width_bits=32)
+    assert exact.bram36() == 1.0
+    # Banks multiply.
+    banked = BufferModel("fifo_group", depth=256, width_bits=64, banks=9)
+    assert banked.bram36() == pytest.approx(4.5)
+
+
+def test_buffer_validation():
+    with pytest.raises(ValueError):
+        BufferModel("bad", depth=0, width_bits=8)
+    with pytest.raises(ValueError):
+        BufferModel("bad", depth=8, width_bits=0)
+
+
+def test_buffer_utilization_of():
+    buf = BufferModel("w", depth=100, width_bits=8)
+    assert buf.utilization_of(50) == pytest.approx(0.5)
+    assert buf.utilization_of(1000) == 1.0
+
+
+def test_transfer_volume_accounting():
+    volume = layer_transfer_volume(
+        nnz_in=100,
+        nnz_out=100,
+        in_channels=16,
+        out_channels=32,
+        kernel_volume=27,
+        mask_bits=4096,
+    )
+    assert volume.weight_bytes == 27 * 16 * 32
+    assert volume.input_activation_bytes == 100 * 16 * 2
+    assert volume.output_activation_bytes == 100 * 32 * 2
+    assert volume.mask_bytes == 512
+    assert volume.total_bytes == sum(
+        (volume.weight_bytes, volume.input_activation_bytes,
+         volume.output_activation_bytes, volume.mask_bytes)
+    )
+
+
+def test_overhead_model_components():
+    model = SystemOverheadModel(
+        host_sync_seconds=1e-3, effective_bandwidth_bytes_per_s=1e9
+    )
+    volume = layer_transfer_volume(
+        nnz_in=0, nnz_out=0, in_channels=1, out_channels=1,
+        kernel_volume=27, mask_bits=0,
+    )
+    assert model.transfer_seconds(volume) == pytest.approx(27 / 1e9)
+    assert model.layer_overhead_seconds(volume) == pytest.approx(1e-3 + 27 / 1e9)
+
+
+def test_overhead_model_disabled():
+    model = SystemOverheadModel(enabled=False)
+    volume = layer_transfer_volume(
+        nnz_in=10, nnz_out=10, in_channels=4, out_channels=4,
+        kernel_volume=27, mask_bits=512,
+    )
+    assert model.layer_overhead_seconds(volume) == 0.0
+
+
+def test_overhead_model_validation():
+    with pytest.raises(ValueError):
+        SystemOverheadModel(host_sync_seconds=-1)
+    with pytest.raises(ValueError):
+        SystemOverheadModel(effective_bandwidth_bytes_per_s=0)

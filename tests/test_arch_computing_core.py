@@ -1,0 +1,114 @@
+"""Tests for the computing core and output writer (Sec. III-D, Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import AcceleratorConfig, ComputingCore
+from repro.arch.computing_core import OutputWriter
+from repro.arch.sdmu import Match
+
+
+def make_core(cin=4, cout=4, n=8, seed=0, **cfg_kwargs):
+    rng = np.random.default_rng(seed)
+    config = AcceleratorConfig(**cfg_kwargs)
+    acts = rng.integers(-100, 100, size=(n, cin))
+    weights = rng.integers(-128, 127, size=(27, cin, cout))
+    return ComputingCore(config, acts, weights, num_outputs=n), acts, weights
+
+
+def match(row, widx, seq=0, lane=0):
+    return Match(srf_seq=seq, lane=lane, activation_row=row, weight_index=widx)
+
+
+def test_single_match_accumulation():
+    core, acts, weights = make_core()
+    core.accept(match(2, 5), output_row=3)
+    expected = acts[2].astype(np.int64) @ weights[5].astype(np.int64)
+    assert np.array_equal(core.accumulators[3], expected)
+    assert np.all(core.accumulators[[0, 1, 2, 4, 5, 6, 7]] == 0)
+
+
+def test_accumulation_adds_up():
+    core, acts, weights = make_core()
+    core.accept(match(0, 0), output_row=1)
+    core.tick()
+    core.accept(match(3, 13), output_row=1)
+    expected = (
+        acts[0].astype(np.int64) @ weights[0].astype(np.int64)
+        + acts[3].astype(np.int64) @ weights[13].astype(np.int64)
+    )
+    assert np.array_equal(core.accumulators[1], expected)
+
+
+def test_occupancy_cycles_per_match():
+    # 32 ICs x 32 OCs on a 16x16 array -> 4 cycles per match.
+    core, _, _ = make_core(cin=32, cout=32)
+    assert core.cycles_per_match == 4
+    core.accept(match(0, 0), output_row=0)
+    assert not core.can_accept
+    for _ in range(3):
+        core.tick()
+        assert not core.can_accept
+    core.tick()
+    assert core.can_accept
+
+
+def test_accept_while_busy_raises():
+    core, _, _ = make_core(cin=32, cout=32)
+    core.accept(match(0, 0), output_row=0)
+    with pytest.raises(RuntimeError):
+        core.accept(match(1, 1), output_row=1)
+
+
+def test_effective_ops_accounting():
+    core, _, _ = make_core(cin=4, cout=4)
+    core.accept(match(0, 0), output_row=0)
+    core.tick()
+    core.accept(match(1, 1), output_row=1)
+    assert core.effective_macs == 2 * 4 * 4
+    assert core.effective_ops == 2 * core.effective_macs
+
+
+def test_utilization_tracking():
+    core, _, _ = make_core()
+    core.accept(match(0, 0), output_row=0)
+    core.tick()  # busy
+    core.tick()  # idle
+    assert core.util.busy_cycles == 1
+    assert core.util.total_cycles == 2
+    assert core.util.fraction == pytest.approx(0.5)
+
+
+def test_validation_errors():
+    config = AcceleratorConfig()
+    with pytest.raises(ValueError):
+        ComputingCore(config, np.zeros((4,)), np.zeros((27, 4, 4)), 4)
+    with pytest.raises(ValueError):
+        ComputingCore(config, np.zeros((4, 4)), np.zeros((27, 4)), 4)
+    with pytest.raises(ValueError):
+        ComputingCore(config, np.zeros((4, 3)), np.zeros((27, 4, 4)), 4)
+
+
+def test_integer_arithmetic_is_exact():
+    """Large values must not lose precision (int64 accumulation)."""
+    config = AcceleratorConfig()
+    acts = np.full((1, 16), 32767, dtype=np.int64)
+    weights = np.full((27, 16, 16), 127, dtype=np.int64)
+    core = ComputingCore(config, acts, weights, num_outputs=1)
+    core.accept(match(0, 0), output_row=0)
+    assert core.accumulators[0, 0] == 32767 * 127 * 16
+
+
+def test_output_writer_cycles():
+    config = AcceleratorConfig()
+    writer = OutputWriter(config, out_channels=48)  # ceil(48/16) = 3 cycles
+    assert writer.cycles_per_row == 3
+    writer.accept_row()
+    assert not writer.can_accept
+    with pytest.raises(RuntimeError):
+        writer.accept_row()
+    for _ in range(3):
+        writer.tick()
+    assert writer.can_accept
+    assert writer.rows_written == 1
+    assert writer.is_idle()

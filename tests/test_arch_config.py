@@ -1,0 +1,64 @@
+"""Unit tests for the accelerator configuration."""
+
+import pytest
+
+from repro.arch import AcceleratorConfig, SdmuTiming
+
+
+def test_default_matches_paper_implementation_point():
+    cfg = AcceleratorConfig()
+    assert cfg.kernel_size == 3
+    assert cfg.decoder_lanes == 9  # K^2 FIFOs / decoder parallelism
+    assert cfg.tile_shape == (8, 8, 8)
+    assert cfg.macs_per_cycle == 256  # 16 x 16 computing array
+    assert cfg.clock_hz == pytest.approx(270e6)
+    assert cfg.weight_bits == 8 and cfg.activation_bits == 16
+
+
+def test_peak_gops():
+    cfg = AcceleratorConfig()
+    # 256 MACs x 2 ops x 270 MHz = 138.24 GOPS.
+    assert cfg.peak_gops == pytest.approx(138.24)
+
+
+def test_srf_cadence_defaults_to_kernel_size():
+    assert AcceleratorConfig().srf_cadence == 3
+    cfg = AcceleratorConfig(timing=SdmuTiming(srf_cadence_cycles=1))
+    assert cfg.srf_cadence == 1
+
+
+def test_cc_cycles_per_match():
+    cfg = AcceleratorConfig()
+    assert cfg.cc_cycles_per_match(16, 16) == 1
+    assert cfg.cc_cycles_per_match(1, 16) == 1
+    assert cfg.cc_cycles_per_match(17, 16) == 2
+    assert cfg.cc_cycles_per_match(64, 64) == 16
+    assert cfg.cc_cycles_per_match(96, 48) == 18
+
+
+def test_validation_rejects_bad_values():
+    with pytest.raises(ValueError):
+        AcceleratorConfig(kernel_size=2)
+    with pytest.raises(ValueError):
+        AcceleratorConfig(kernel_size=0)
+    with pytest.raises(ValueError):
+        AcceleratorConfig(tile_shape=(0, 8, 8))
+    with pytest.raises(ValueError):
+        AcceleratorConfig(ic_parallelism=0)
+    with pytest.raises(ValueError):
+        AcceleratorConfig(fifo_depth=0)
+    with pytest.raises(ValueError):
+        AcceleratorConfig(clock_hz=0)
+    with pytest.raises(ValueError):
+        AcceleratorConfig(weight_bits=1)
+
+
+def test_timing_negative_cadence_rejected():
+    with pytest.raises(ValueError):
+        SdmuTiming(srf_cadence_cycles=-1).resolve_cadence(3)
+
+
+def test_config_is_frozen():
+    cfg = AcceleratorConfig()
+    with pytest.raises(Exception):
+        cfg.kernel_size = 5

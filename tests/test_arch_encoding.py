@@ -1,0 +1,150 @@
+"""Tests for the index-mask / valid-data encoding (Sec. III-B, Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.encoding import ColumnStore, EncodedFeatureMap, IndexMask
+from repro.nn import build_submanifold_rulebook
+from repro.sparse import SparseTensor3D
+from tests.conftest import random_sparse_tensor
+
+
+def test_index_mask_bits():
+    coords = np.array([[1, 2, 3], [0, 0, 0]])
+    tensor = SparseTensor3D(coords, np.ones((2, 1)), (4, 4, 4))
+    mask = IndexMask(tensor)
+    assert mask.is_active(1, 2, 3)
+    assert mask.is_active(0, 0, 0)
+    assert not mask.is_active(1, 1, 1)
+    assert mask.popcount() == 2
+
+
+def test_index_mask_out_of_bounds_reads_zero():
+    tensor = SparseTensor3D.empty((4, 4, 4))
+    mask = IndexMask(tensor)
+    assert not mask.is_active(-1, 0, 0)
+    assert not mask.is_active(0, 0, 4)
+
+
+def test_column_bits_with_boundary():
+    coords = np.array([[2, 2, 0], [2, 2, 3]])
+    tensor = SparseTensor3D(coords, np.ones((2, 1)), (4, 4, 4))
+    mask = IndexMask(tensor)
+    bits = mask.column_bits(2, 2, -1, 1)  # window hangs off the low edge
+    assert bits.tolist() == [False, True, False]
+    bits = mask.column_bits(2, 2, 2, 4)  # window hangs off the high edge
+    assert bits.tolist() == [False, True, False]
+    assert mask.column_bits(9, 9, 0, 2).tolist() == [False] * 3
+
+
+def test_column_store_prefix_semantics():
+    # Column (1, 1) holds nonzeros at z = 0, 2, 5.
+    coords = np.array([[1, 1, 0], [1, 1, 2], [1, 1, 5], [3, 3, 3]])
+    tensor = SparseTensor3D(coords, np.ones((4, 1)), (6, 6, 6))
+    store = ColumnStore(tensor)
+    assert store.num_columns == 2
+    assert store.prefix_count(1, 1, -1) == 0
+    assert store.prefix_count(1, 1, 0) == 1
+    assert store.prefix_count(1, 1, 4) == 2
+    assert store.prefix_count(1, 1, 5) == 3
+    assert store.prefix_count(0, 0, 99) == 0  # absent column
+
+
+def test_column_store_window_count_and_rows():
+    coords = np.array([[1, 1, 0], [1, 1, 2], [1, 1, 5]])
+    tensor = SparseTensor3D(coords, np.ones((3, 1)), (6, 6, 6))
+    store = ColumnStore(tensor)
+    assert store.count_in(1, 1, 0, 2) == 2
+    assert store.count_in(1, 1, 3, 4) == 0
+    rows, zs = store.rows_in(1, 1, 1, 5)
+    assert zs.tolist() == [2, 5]
+    # Rows index into the tensor's sorted row order.
+    assert all(tensor.coords[r][2] == z for r, z in zip(rows, zs))
+
+
+def test_state_index_against_definition():
+    """A = prefix count to window bottom; B = in-window count (Sec. III-C)."""
+    coords = np.array([[2, 2, 1], [2, 2, 2], [2, 2, 4], [2, 3, 2]])
+    tensor = SparseTensor3D(coords, np.ones((4, 1)), (6, 6, 6))
+    enc = EncodedFeatureMap(tensor, (6, 6, 6), kernel_size=3)
+    # SRF centered at (2, 3, 2); column offset (0, -1) looks at column (2, 2),
+    # window z in [1, 3].
+    a, b = enc.state_index((2, 3, 2), (0, -1), active=True)
+    assert a == 2  # nonzeros at z <= 3 in column (2,2): z=1, z=2
+    assert b == 2  # in-window: z=1, z=2
+    # Address fragment (A, A-B) delimits those two activations.
+    hi, lo = enc.address_fragment((2, 3, 2), (0, -1), active=True)
+    assert (hi, lo) == (2, 0)
+    # Non-active SRFs force B = 0 (the paper's convention).
+    a0, b0 = enc.state_index((2, 3, 2), (0, -1), active=False)
+    assert (a0, b0) == (2, 0)
+
+
+def test_match_group_equals_rulebook():
+    """The encoding's match groups must equal the reference rulebook."""
+    tensor = random_sparse_tensor(seed=110, shape=(10, 10, 10), nnz=50)
+    enc = EncodedFeatureMap(tensor, (8, 8, 8), kernel_size=3)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    for out_row, center in enumerate(map(tuple, tensor.coords.tolist())):
+        got = {
+            (row, widx)
+            for lane in enc.match_group(center)
+            for row, widx in lane
+        }
+        expected = set()
+        for k, rule in enumerate(rulebook.rules):
+            for in_row, rule_out in rule.tolist():
+                if rule_out == out_row:
+                    expected.add((in_row, k))
+        assert got == expected, f"mismatch at center {center}"
+
+
+def test_match_group_lane_order():
+    """Lanes are (dx, dy) in decoder order; weight indices lie in the lane."""
+    tensor = random_sparse_tensor(seed=111, shape=(8, 8, 8), nnz=30)
+    enc = EncodedFeatureMap(tensor, (8, 8, 8), kernel_size=3)
+    offsets = enc.column_offsets()
+    assert len(offsets) == 9
+    center = tuple(tensor.coords[0])
+    for lane, matches in enumerate(enc.match_group(center)):
+        dx, dy = offsets[lane]
+        base = ((dx + 1) * 3 + (dy + 1)) * 3
+        for _, widx in matches:
+            assert base <= widx < base + 3
+
+
+def test_storage_report():
+    tensor = random_sparse_tensor(seed=112, shape=(16, 16, 16), nnz=20, channels=4)
+    enc = EncodedFeatureMap(tensor, (8, 8, 8), kernel_size=3, activation_bits=16)
+    report = enc.storage_report()
+    assert report.mask_bits == enc.grid.num_active_tiles * 512
+    assert report.activation_words == 20
+    assert report.activation_bits_per_word == 64  # 4 channels x 16 bits
+    assert report.mask_kib > 0
+    assert report.activation_kib > 0
+
+
+def test_even_kernel_rejected():
+    tensor = SparseTensor3D.empty((8, 8, 8))
+    with pytest.raises(ValueError):
+        EncodedFeatureMap(tensor, (8, 8, 8), kernel_size=2)
+
+
+@given(st.integers(0, 3000))
+@settings(max_examples=25, deadline=None)
+def test_property_state_index_counts_window(seed):
+    """B equals the brute-force count of active sites in the window."""
+    tensor = random_sparse_tensor(seed=seed, shape=(7, 7, 7), nnz=25)
+    enc = EncodedFeatureMap(tensor, (7, 7, 7), kernel_size=3)
+    mask = enc.mask
+    center = tuple(tensor.coords[seed % tensor.nnz])
+    for offset in enc.column_offsets():
+        _, b = enc.state_index(center, offset, active=True)
+        x, y, z = center
+        expected = sum(
+            mask.is_active(x + offset[0], y + offset[1], z + dz)
+            for dz in (-1, 0, 1)
+        )
+        assert b == expected

@@ -1,0 +1,166 @@
+"""Tests for extensions: config serialization, transfer overlap, K=5,
+anisotropic tiles, failure injection, and property-based end-to-end
+bit-exactness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    AcceleratorConfig,
+    EscaAccelerator,
+    SystemOverheadModel,
+    layer_transfer_volume,
+)
+from repro.arch.config import SdmuTiming
+from repro.sim import SimulationError
+from repro.sparse import SparseTensor3D
+from tests.conftest import random_sparse_tensor
+
+
+# ----------------------------------------------------------------------
+# Config serialization
+# ----------------------------------------------------------------------
+def test_config_round_trip():
+    config = AcceleratorConfig(
+        kernel_size=5,
+        tile_shape=(4, 8, 16),
+        fifo_depth=4,
+        timing=SdmuTiming(srf_cadence_cycles=2),
+    )
+    rebuilt = AcceleratorConfig.from_dict(config.to_dict())
+    assert rebuilt == config
+
+
+def test_config_to_dict_is_json_serializable():
+    import json
+
+    text = json.dumps(AcceleratorConfig().to_dict())
+    rebuilt = AcceleratorConfig.from_dict(json.loads(text))
+    assert rebuilt == AcceleratorConfig()
+
+
+def test_config_from_dict_rejects_unknown_keys():
+    data = AcceleratorConfig().to_dict()
+    data["warp_drive"] = True
+    with pytest.raises(TypeError):
+        AcceleratorConfig.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Transfer overlap extension
+# ----------------------------------------------------------------------
+def test_overlap_hides_transfers_behind_compute():
+    volume = layer_transfer_volume(
+        nnz_in=1000, nnz_out=1000, in_channels=16, out_channels=16,
+        kernel_volume=27, mask_bits=8192,
+    )
+    base = SystemOverheadModel()
+    overlapped = SystemOverheadModel(overlap_transfers=True)
+    long_compute = 1.0  # far longer than any transfer here
+    assert overlapped.layer_overhead_seconds(volume, long_compute) == \
+        pytest.approx(overlapped.host_sync_seconds)
+    # Without compute to hide behind, overlap degenerates to the base model.
+    assert overlapped.layer_overhead_seconds(volume, 0.0) == pytest.approx(
+        base.layer_overhead_seconds(volume, 0.0)
+    )
+
+
+def test_overlap_partial():
+    volume = layer_transfer_volume(
+        nnz_in=10_000, nnz_out=10_000, in_channels=64, out_channels=64,
+        kernel_volume=27, mask_bits=0,
+    )
+    model = SystemOverheadModel(overlap_transfers=True)
+    transfer = model.transfer_seconds(volume)
+    half = transfer / 2
+    expected = model.host_sync_seconds + transfer - half
+    assert model.layer_overhead_seconds(volume, half) == pytest.approx(expected)
+
+
+def test_accelerator_with_overlap_is_at_least_as_fast():
+    tensor = random_sparse_tensor(seed=170, shape=(16, 16, 16), nnz=40, channels=8)
+    base = EscaAccelerator().run_layer(tensor, out_channels=8)
+    fast = EscaAccelerator(
+        overheads=SystemOverheadModel(overlap_transfers=True)
+    ).run_layer(tensor, out_channels=8)
+    assert fast.total_seconds <= base.total_seconds
+    assert fast.total_cycles == base.total_cycles
+
+
+# ----------------------------------------------------------------------
+# Generality: K = 5 kernels, anisotropic tiles
+# ----------------------------------------------------------------------
+def test_kernel5_end_to_end_bit_exact():
+    config = AcceleratorConfig(kernel_size=5)
+    assert config.decoder_lanes == 25
+    tensor = random_sparse_tensor(seed=171, shape=(12, 12, 12), nnz=40, channels=2)
+    result = EscaAccelerator(config).run_layer(tensor, out_channels=4, verify=True)
+    from repro.nn import build_submanifold_rulebook
+
+    rulebook = build_submanifold_rulebook(tensor, 5)
+    assert result.matches == rulebook.total_matches
+
+
+def test_anisotropic_tiles_bit_exact():
+    config = AcceleratorConfig(tile_shape=(4, 8, 16))
+    tensor = random_sparse_tensor(seed=172, shape=(16, 16, 16), nnz=50, channels=2)
+    result = EscaAccelerator(config).run_layer(tensor, out_channels=4, verify=True)
+    assert result.matches > 0
+
+
+# ----------------------------------------------------------------------
+# Failure injection
+# ----------------------------------------------------------------------
+def test_max_cycles_guard_raises():
+    tensor = random_sparse_tensor(seed=173, shape=(16, 16, 16), nnz=60, channels=4)
+    with pytest.raises(SimulationError):
+        EscaAccelerator().run_layer(tensor, out_channels=8, max_cycles=10)
+
+
+def test_verify_catches_corruption():
+    """The verifier must actually detect wrong accumulators."""
+    tensor = random_sparse_tensor(seed=174, shape=(8, 8, 8), nnz=20, channels=2)
+    accel = EscaAccelerator()
+    result = accel.run_layer(tensor, out_channels=3)
+    corrupted = result.accumulators.copy()
+    corrupted[0, 0] += 1
+    with pytest.raises(AssertionError, match="mismatch"):
+        accel._verify_against_reference(
+            tensor,
+            np.rint(tensor.features / result.act_scale).astype(np.int64),
+            # Reconstruct quantized weights from the run is not possible
+            # here; instead verify that corruption of a correct pair is
+            # caught by comparing corrupted vs correct directly.
+            _weights_for(tensor, result),
+            corrupted,
+        )
+
+
+def _weights_for(tensor, result):
+    """Recover the integer weights that produced ``result``."""
+    # run_layer generated weights deterministically from seed 0.
+    from repro.nn.init import conv_weight
+    from repro.quant import WEIGHT_INT8, quantize_tensor
+
+    rng = np.random.default_rng(0)
+    weights = conv_weight(rng, 27, tensor.num_channels, result.out_channels)
+    return quantize_tensor(weights, WEIGHT_INT8, scale=result.weight_scale).data
+
+
+# ----------------------------------------------------------------------
+# Property-based end-to-end bit-exactness
+# ----------------------------------------------------------------------
+@given(st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_property_pipeline_bit_exact(seed):
+    """For random small tensors, the pipeline is always bit-exact."""
+    rng = np.random.default_rng(seed)
+    nnz = int(rng.integers(1, 15))
+    tensor = random_sparse_tensor(
+        seed=seed, shape=(6, 6, 6), nnz=nnz, channels=int(rng.integers(1, 4))
+    )
+    EscaAccelerator().run_layer(
+        tensor, out_channels=int(rng.integers(1, 5)), seed=seed, verify=True
+    )

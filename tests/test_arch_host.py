@@ -1,0 +1,92 @@
+"""Tests for the host-side (PS) execution model of non-Sub-Conv layers."""
+
+import pytest
+
+from repro.arch import EscaAccelerator, HostExecutionModel
+from repro.nn import SSUNet, UNetConfig
+from repro.nn.unet import LayerExecution, collect_all_executions
+from tests.conftest import random_sparse_tensor
+
+
+@pytest.fixture()
+def net_and_tensor():
+    tensor = random_sparse_tensor(seed=160, shape=(16, 16, 16), nnz=50, channels=1)
+    net = SSUNet(UNetConfig(in_channels=1, num_classes=4, base_channels=4, levels=2))
+    return net, tensor
+
+
+def test_collect_all_executions_kinds(net_and_tensor):
+    net, tensor = net_and_tensor
+    executions = collect_all_executions(net, tensor)
+    kinds = [ex.kind for ex in executions]
+    # levels=2: enc0(sub), down0, bottom(sub), up0, dec0(sub), head(sub).
+    assert kinds.count("subconv") == 4
+    assert kinds.count("sparseconv") == 1
+    assert kinds.count("invconv") == 1
+
+
+def test_invconv_record_carries_fine_reference(net_and_tensor):
+    net, tensor = net_and_tensor
+    executions = collect_all_executions(net, tensor)
+    inv = next(ex for ex in executions if ex.kind == "invconv")
+    # The transposed conv restores the full-resolution site set.
+    assert inv.nnz == tensor.nnz
+
+
+def test_host_model_timing_positive(net_and_tensor):
+    net, tensor = net_and_tensor
+    executions = collect_all_executions(net, tensor)
+    model = HostExecutionModel()
+    runs = model.run_layers(executions)
+    assert len(runs) == len(executions)
+    for run in runs:
+        assert run.seconds > 0
+        assert run.effective_ops >= 0
+
+
+def test_host_model_unknown_kind_rejected():
+    execution = LayerExecution(
+        name="x",
+        input_tensor=random_sparse_tensor(seed=161, nnz=5),
+        in_channels=1,
+        out_channels=1,
+        kernel_size=3,
+        kind="mystery",
+    )
+    with pytest.raises(ValueError):
+        HostExecutionModel().run_layer(execution)
+
+
+def test_host_model_validation():
+    with pytest.raises(ValueError):
+        HostExecutionModel(gemm_ops_per_s=0)
+    with pytest.raises(ValueError):
+        HostExecutionModel(probe_rate_per_s=-1)
+    with pytest.raises(ValueError):
+        HostExecutionModel(dispatch_seconds=-1)
+
+
+def test_run_network_with_host_layers(net_and_tensor):
+    net, tensor = net_and_tensor
+    accel = EscaAccelerator()
+    without = accel.run_network(net, tensor)
+    with_host = accel.run_network(net, tensor, include_host_layers=True)
+    assert without.host_layers == []
+    assert without.host_seconds == 0.0
+    # Host side covers down0, up0 and the 1^3 head.
+    assert len(with_host.host_layers) == 3
+    assert with_host.host_seconds > 0
+    assert with_host.end_to_end_seconds == pytest.approx(
+        with_host.total_seconds + with_host.host_seconds
+    )
+    # Accelerated portion identical either way.
+    assert with_host.total_cycles == without.total_cycles
+
+
+def test_host_layers_minor_vs_accelerated(net_and_tensor):
+    """The non-Sub-Conv layers are a small fraction of total work, which
+    is why the paper focuses the accelerator on Sub-Conv."""
+    net, tensor = net_and_tensor
+    result = EscaAccelerator().run_network(net, tensor, include_host_layers=True)
+    host_ops = sum(run.effective_ops for run in result.host_layers)
+    assert host_ops < result.effective_ops

@@ -1,0 +1,125 @@
+"""Tests for planned (chunked / multi-pass) execution on the simulator.
+
+The critical property: chunked scanning with global halo visibility plus
+channel-pass re-accumulation must be *bit-identical* to the monolithic
+run — tile chunking and weight slicing are pure schedule transformations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    AcceleratorConfig,
+    BufferBudget,
+    EscaAccelerator,
+    NetworkCompiler,
+)
+from repro.arch.sdmu import SrfScanner
+from repro.arch.encoding import EncodedFeatureMap
+from tests.conftest import random_sparse_tensor
+
+
+def tiny_budget(**overrides):
+    defaults = dict(
+        weight_words=1 << 20,
+        activation_words_per_bank=1 << 20,
+        output_words=1 << 20,
+        mask_bits=1 << 30,
+    )
+    defaults.update(overrides)
+    return BufferBudget(**defaults)
+
+
+def test_scanner_tile_subset():
+    tensor = random_sparse_tensor(seed=220, shape=(24, 24, 24), nnz=60)
+    encoded = EncodedFeatureMap(tensor, (8, 8, 8))
+    full = SrfScanner(encoded)
+    n_tiles = len(encoded.grid.active_tiles)
+    assert n_tiles >= 2
+    subset = SrfScanner(encoded, tile_subset=[0, n_tiles - 1])
+    positions = [center for _, center in subset]
+    assert len(positions) == 2 * encoded.grid.tile_volume()
+    assert subset.total_positions == len(positions)
+    with pytest.raises(ValueError):
+        SrfScanner(encoded, tile_subset=[n_tiles])
+
+
+def test_planned_equals_monolithic_single_chunk():
+    """Trivial plan (everything fits): identical accumulators and cycles
+    within the per-invocation pipeline fill."""
+    tensor = random_sparse_tensor(seed=221, shape=(16, 16, 16), nnz=50, channels=8)
+    accel = EscaAccelerator()
+    mono = accel.run_layer(tensor, out_channels=8, seed=5)
+    planned = accel.run_planned_layer(tensor, out_channels=8, seed=5, verify=True)
+    assert planned.plan.num_chunks == 1
+    assert planned.plan.num_passes == 1
+    assert np.array_equal(planned.accumulators, mono.accumulators)
+    assert planned.total_cycles == mono.total_cycles
+
+
+def test_chunked_execution_bit_exact_with_halo():
+    """Forcing many chunks must not change the integer results — this is
+    the halo-correctness property of chunked scanning."""
+    tensor = random_sparse_tensor(seed=222, shape=(24, 24, 24), nnz=120, channels=4)
+    accel = EscaAccelerator()
+    compiler = NetworkCompiler(
+        accel.config,
+        budget=tiny_budget(activation_words_per_bank=30, output_words=30),
+    )
+    mono = accel.run_layer(tensor, out_channels=4, seed=9)
+    planned = accel.run_planned_layer(
+        tensor, out_channels=4, seed=9, compiler=compiler, verify=True
+    )
+    assert planned.plan.num_chunks > 1
+    assert np.array_equal(planned.accumulators, mono.accumulators)
+    assert planned.matches == mono.matches
+
+
+def test_multi_pass_execution_bit_exact():
+    """Forcing OC/IC channel passes must not change the integer results."""
+    tensor = random_sparse_tensor(seed=223, shape=(12, 12, 12), nnz=40, channels=32)
+    accel = EscaAccelerator()
+    compiler = NetworkCompiler(
+        accel.config, budget=tiny_budget(weight_words=1000)
+    )
+    mono = accel.run_layer(tensor, out_channels=32, seed=3)
+    planned = accel.run_planned_layer(
+        tensor, out_channels=32, seed=3, compiler=compiler, verify=True
+    )
+    assert planned.plan.num_passes > 1
+    assert np.array_equal(planned.accumulators, mono.accumulators)
+
+
+def test_chunks_and_passes_combined():
+    tensor = random_sparse_tensor(seed=224, shape=(24, 24, 24), nnz=90, channels=32)
+    accel = EscaAccelerator()
+    compiler = NetworkCompiler(
+        accel.config,
+        budget=tiny_budget(
+            weight_words=1000, activation_words_per_bank=60, output_words=60
+        ),
+    )
+    mono = accel.run_layer(tensor, out_channels=32, seed=1)
+    planned = accel.run_planned_layer(
+        tensor, out_channels=32, seed=1, compiler=compiler, verify=True
+    )
+    assert planned.plan.num_chunks > 1
+    assert planned.plan.num_passes > 1
+    assert np.array_equal(planned.accumulators, mono.accumulators)
+    # More invocations -> more pipeline fill cycles, never fewer.
+    assert planned.total_cycles >= mono.total_cycles
+
+
+def test_planned_result_metrics():
+    tensor = random_sparse_tensor(seed=225, shape=(16, 16, 16), nnz=30, channels=4)
+    planned = EscaAccelerator().run_planned_layer(tensor, out_channels=4)
+    assert planned.effective_ops == 2 * planned.matches * 4 * 4
+    assert planned.total_seconds >= planned.time_seconds
+    assert planned.effective_gops() > 0
+    assert planned.output.nnz == tensor.nnz
+
+
+def test_planned_requires_weights_or_out_channels():
+    tensor = random_sparse_tensor(seed=226, nnz=10)
+    with pytest.raises(ValueError):
+        EscaAccelerator().run_planned_layer(tensor)

@@ -1,0 +1,173 @@
+"""Tests for the cycle-accurate SDMU (Sec. III-C, Figs. 6-7)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import AcceleratorConfig, Sdmu
+from repro.arch.config import SdmuTiming
+from repro.arch.encoding import EncodedFeatureMap
+from repro.arch.sdmu import SrfScanner
+from repro.nn import build_submanifold_rulebook
+from repro.sparse import SparseTensor3D
+from tests.conftest import random_sparse_tensor
+
+
+def make_sdmu(tensor, **config_kwargs):
+    config = AcceleratorConfig(**config_kwargs)
+    encoded = EncodedFeatureMap(
+        tensor, config.tile_shape, kernel_size=config.kernel_size
+    )
+    return Sdmu(encoded, config), encoded, config
+
+
+def drain_all(sdmu, max_cycles=1_000_000):
+    """Advance the SDMU alone, popping eagerly; return popped matches."""
+    popped = []
+    for cycle in range(max_cycles):
+        result = sdmu.pop_match()
+        if result is not None:
+            popped.append(result)
+        sdmu.advance(cycle)
+        if sdmu.is_idle():
+            break
+    else:
+        raise AssertionError("SDMU did not drain")
+    return popped
+
+
+def test_scanner_covers_active_tiles_exactly():
+    tensor = random_sparse_tensor(seed=120, shape=(16, 16, 16), nnz=30)
+    config = AcceleratorConfig(tile_shape=(8, 8, 8))
+    encoded = EncodedFeatureMap(tensor, config.tile_shape, kernel_size=3)
+    scanner = SrfScanner(encoded)
+    positions = [center for _, center in scanner]
+    assert len(positions) == encoded.grid.scanned_positions()
+    assert len(set(positions)) == len(positions)
+    # Every active site is visited.
+    for coord in map(tuple, tensor.coords.tolist()):
+        assert coord in set(positions)
+
+
+def test_all_matches_emitted_once():
+    """The SDMU must emit exactly the rulebook's matches, no more, no less."""
+    tensor = random_sparse_tensor(seed=121, shape=(16, 16, 16), nnz=60)
+    sdmu, encoded, _ = make_sdmu(tensor, tile_shape=(8, 8, 8))
+    popped = drain_all(sdmu)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    got = sorted(
+        (match.activation_row, group.output_row, match.weight_index)
+        for match, group in popped
+    )
+    expected = sorted(
+        (in_row, out_row, k)
+        for k, rule in enumerate(rulebook.rules)
+        for in_row, out_row in rule.tolist()
+    )
+    assert got == expected
+
+
+def test_match_groups_emitted_in_scan_order():
+    tensor = random_sparse_tensor(seed=122, shape=(16, 16, 16), nnz=40)
+    sdmu, _, _ = make_sdmu(tensor)
+    popped = drain_all(sdmu)
+    seqs = [group.srf_seq for _, group in popped]
+    # Group sequence numbers are non-decreasing (calculation order).
+    assert seqs == sorted(seqs)
+
+
+def test_skipped_vs_active_counts():
+    tensor = random_sparse_tensor(seed=123, shape=(16, 16, 16), nnz=25)
+    sdmu, encoded, _ = make_sdmu(tensor)
+    drain_all(sdmu)
+    stats = sdmu.stats
+    assert stats.get("srf_active") == tensor.nnz
+    assert (
+        stats.get("srf_active") + stats.get("srf_skipped")
+        == encoded.grid.scanned_positions()
+    )
+
+
+def test_cadence_controls_scan_rate():
+    """Reading at cadence K makes the scan take ~K cycles per SRF."""
+    tensor = random_sparse_tensor(seed=124, shape=(8, 8, 8), nnz=4)
+    results = {}
+    for cadence in (1, 3):
+        sdmu, encoded, _ = make_sdmu(
+            tensor, timing=SdmuTiming(srf_cadence_cycles=cadence)
+        )
+        cycles = 0
+        for cycle in range(1_000_000):
+            sdmu.pop_match()
+            sdmu.advance(cycle)
+            cycles = cycle + 1
+            if sdmu.is_idle():
+                break
+        results[cadence] = cycles
+    assert results[3] > 2.5 * results[1] * 0.8  # roughly 3x slower scan
+    assert results[3] >= results[1]
+
+
+def test_fifo_backpressure_without_consumer():
+    """If nothing pops, FIFOs fill and the pipeline stalls, not crashes."""
+    tensor = random_sparse_tensor(seed=125, shape=(8, 8, 8), nnz=40)
+    sdmu, _, config = make_sdmu(tensor, fifo_depth=2)
+    for cycle in range(2000):
+        sdmu.advance(cycle)  # never pop
+    assert not sdmu.is_idle()
+    assert sdmu.stats.get("fetch_fifo_stalls") > 0
+    # No FIFO ever exceeded its capacity.
+    assert sdmu.fifo_max_occupancy() <= 2
+
+
+def test_center_match_present_for_every_active_site():
+    """Every active SRF contains its own center match (A_x, W_center)."""
+    tensor = random_sparse_tensor(seed=126, shape=(12, 12, 12), nnz=30)
+    sdmu, _, _ = make_sdmu(tensor)
+    popped = drain_all(sdmu)
+    center_weight = 13  # (0,0,0) of a 3x3x3 kernel
+    centers = {
+        group.output_row
+        for match, group in popped
+        if match.weight_index == center_weight
+        and match.activation_row == group.output_row
+    }
+    assert centers == set(range(tensor.nnz))
+
+
+def test_empty_tensor_is_immediately_idle():
+    tensor = SparseTensor3D.empty((8, 8, 8))
+    sdmu, _, _ = make_sdmu(tensor)
+    sdmu.advance(0)
+    sdmu.advance(1)
+    assert sdmu.is_idle()
+    assert drain_all(sdmu, max_cycles=4) == []
+
+
+def test_kernel_mismatch_rejected():
+    tensor = SparseTensor3D.empty((8, 8, 8))
+    config = AcceleratorConfig(kernel_size=3)
+    encoded = EncodedFeatureMap(tensor, config.tile_shape, kernel_size=5)
+    with pytest.raises(ValueError):
+        Sdmu(encoded, config)
+
+
+def test_build_match_group_rejects_inactive_center():
+    tensor = random_sparse_tensor(seed=127, shape=(8, 8, 8), nnz=5)
+    sdmu, _, _ = make_sdmu(tensor)
+    inactive = None
+    for coord in ((0, 0, 0), (7, 7, 7), (3, 3, 3)):
+        if coord not in tensor:
+            inactive = coord
+            break
+    assert inactive is not None
+    with pytest.raises(ValueError):
+        sdmu.build_match_group(0, inactive)
+
+
+def test_matches_generated_equals_pushed_and_popped():
+    tensor = random_sparse_tensor(seed=128, shape=(16, 16, 16), nnz=45)
+    sdmu, _, _ = make_sdmu(tensor)
+    drain_all(sdmu)
+    generated = sdmu.stats.get("matches_generated")
+    assert generated == sdmu.stats.get("matches_pushed")
+    assert generated == sdmu.stats.get("matches_popped")

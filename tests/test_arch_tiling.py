@@ -1,0 +1,125 @@
+"""Tests for the tile-based zero removing strategy (Sec. III-A / Table I)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import TileGrid, ZeroRemover
+from repro.sparse import SparseTensor3D
+from tests.conftest import random_sparse_tensor
+
+
+def test_tile_grid_dimensions():
+    tensor = random_sparse_tensor(seed=100, shape=(16, 16, 16), nnz=10)
+    grid = TileGrid(tensor, (8, 8, 8))
+    assert grid.grid_dims == (2, 2, 2)
+    assert grid.total_tiles == 8
+    assert grid.tile_volume() == 512
+
+
+def test_uneven_tile_shapes_round_up():
+    tensor = random_sparse_tensor(seed=101, shape=(10, 10, 10), nnz=5)
+    grid = TileGrid(tensor, (4, 4, 4))
+    assert grid.grid_dims == (3, 3, 3)
+
+
+def test_every_site_lands_in_exactly_one_active_tile():
+    tensor = random_sparse_tensor(seed=102, shape=(24, 24, 24), nnz=60)
+    grid = TileGrid(tensor, (8, 8, 8))
+    all_rows = np.sort(
+        np.concatenate([tile.rows for tile in grid.active_tiles])
+    )
+    assert np.array_equal(all_rows, np.arange(tensor.nnz))
+
+
+def test_tile_rows_are_inside_the_tile():
+    tensor = random_sparse_tensor(seed=103, shape=(24, 24, 24), nnz=60)
+    grid = TileGrid(tensor, (8, 8, 8))
+    for tile in grid.active_tiles:
+        coords = tensor.coords[tile.rows]
+        origin = np.asarray(tile.origin)
+        assert np.all(coords >= origin)
+        assert np.all(coords < origin + np.asarray(grid.tile_shape))
+
+
+def test_active_tiles_in_scan_order():
+    tensor = random_sparse_tensor(seed=104, shape=(32, 32, 32), nnz=80)
+    grid = TileGrid(tensor, (8, 8, 8))
+    indices = [tile.index for tile in grid.active_tiles]
+    assert indices == sorted(indices)
+
+
+def test_zero_removal_is_lossless():
+    tensor = random_sparse_tensor(seed=105, shape=(32, 32, 32), nnz=50)
+    result = ZeroRemover((8, 8, 8)).remove(tensor)
+    covered = sum(tile.nnz for tile in result.grid.active_tiles)
+    assert covered == tensor.nnz
+
+
+def test_removing_ratio_formula():
+    """Removing ratio is the fraction of *tiles* removed (Table I)."""
+    coords = np.array([[0, 0, 0]])  # a single site -> one active tile
+    tensor = SparseTensor3D(coords, np.ones((1, 1)), (16, 16, 16))
+    result = ZeroRemover((8, 8, 8)).remove(tensor)
+    assert result.active_tiles == 1
+    assert result.total_tiles == 8
+    assert result.removing_ratio == pytest.approx(1 - 1 / 8)
+
+
+def test_empty_tensor_removes_everything():
+    tensor = SparseTensor3D.empty((16, 16, 16))
+    result = ZeroRemover((8, 8, 8)).remove(tensor)
+    assert result.active_tiles == 0
+    assert result.removing_ratio == 1.0
+    assert result.scanned_positions == 0
+    assert result.scan_reduction == float("inf")
+
+
+def test_scan_reduction():
+    coords = np.array([[0, 0, 0]])
+    tensor = SparseTensor3D(coords, np.ones((1, 1)), (16, 16, 16))
+    result = ZeroRemover((8, 8, 8)).remove(tensor)
+    assert result.scanned_positions == 512
+    assert result.scan_reduction == pytest.approx(16 ** 3 / 512)
+
+
+def test_finer_tiles_remove_at_least_as_many_voxels():
+    """Finer tiling scans fewer (or equal) positions — the Table I trend."""
+    tensor = random_sparse_tensor(seed=106, shape=(48, 48, 48), nnz=100)
+    remover = ZeroRemover()
+    results = remover.sweep(tensor, tile_sizes=(4, 8, 12, 16))
+    scanned = [r.scanned_positions for r in results]
+    assert scanned == sorted(scanned)
+
+
+def test_is_active_and_tile_at():
+    coords = np.array([[9, 9, 9]])
+    tensor = SparseTensor3D(coords, np.ones((1, 1)), (16, 16, 16))
+    grid = TileGrid(tensor, (8, 8, 8))
+    assert grid.is_active((1, 1, 1))
+    assert not grid.is_active((0, 0, 0))
+    assert grid.tile_at((1, 1, 1)).nnz == 1
+    assert grid.tile_at((0, 0, 0)) is None
+
+
+def test_invalid_tile_shape():
+    tensor = SparseTensor3D.empty((8, 8, 8))
+    with pytest.raises(ValueError):
+        TileGrid(tensor, (0, 8, 8))
+    with pytest.raises(ValueError):
+        TileGrid(tensor, (8, 8))
+
+
+@given(st.integers(0, 5000), st.sampled_from([2, 3, 4, 8]))
+@settings(max_examples=30, deadline=None)
+def test_property_removal_counts_consistent(seed, tile):
+    """active <= total; every nonzero covered; ratio in [0, 1]."""
+    tensor = random_sparse_tensor(
+        seed=seed, shape=(16, 16, 16), nnz=seed % 50 + 1
+    )
+    result = ZeroRemover((tile, tile, tile)).remove(tensor)
+    assert 0 <= result.active_tiles <= result.total_tiles
+    assert 0.0 <= result.removing_ratio <= 1.0
+    covered = sum(t.nnz for t in result.grid.active_tiles)
+    assert covered == tensor.nnz

@@ -1,0 +1,101 @@
+"""Tests for the matching-pipeline timeline (Fig. 7(b) reproduction)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import AcceleratorConfig, MatchingTimeline, Sdmu
+from repro.arch.encoding import EncodedFeatureMap
+from repro.sparse import SparseTensor3D
+
+
+def run_with_timeline(tensor, max_srfs=32, **cfg_kwargs):
+    config = AcceleratorConfig(**cfg_kwargs)
+    encoded = EncodedFeatureMap(tensor, config.tile_shape, kernel_size=3)
+    timeline = MatchingTimeline(max_srfs=max_srfs)
+    sdmu = Sdmu(encoded, config, timeline=timeline)
+    for cycle in range(100_000):
+        sdmu.pop_match()
+        sdmu.advance(cycle)
+        if sdmu.is_idle():
+            break
+    return timeline
+
+
+def dense_block(n=4, shape=(8, 8, 8)):
+    coords = np.array(
+        [[x, y, z] for x in range(n) for y in range(n) for z in range(n)]
+    )
+    return SparseTensor3D(coords, np.ones((n ** 3, 1)), shape)
+
+
+def test_fig7b_three_cycle_stagger():
+    """With K = 3 the read stage issues one SRF every 3 cycles, exactly the
+    cadence Fig. 7(b) illustrates."""
+    timeline = run_with_timeline(dense_block())
+    starts = [timeline.stage_start(seq, "read") for seq in range(4)]
+    assert None not in starts
+    deltas = np.diff(starts)
+    assert all(delta == 3 for delta in deltas)
+
+
+def test_read_occupies_cadence_cycles():
+    timeline = run_with_timeline(dense_block())
+    spans = [s for s in timeline.spans() if s.stage == "read" and s.srf_seq == 0]
+    assert sum(span.duration for span in spans) == 3
+
+
+def test_judge_follows_read():
+    timeline = run_with_timeline(dense_block())
+    for seq in range(4):
+        read_spans = [
+            s for s in timeline.spans()
+            if s.srf_seq == seq and s.stage == "read"
+        ]
+        judge_start = timeline.stage_start(seq, "judge")
+        assert judge_start is not None
+        assert judge_start == max(s.end_cycle for s in read_spans) + 1
+
+
+def test_fetch_only_for_active_srfs():
+    """Non-active SRFs skip the fetch stage (the 'Skip' of Fig. 7(a))."""
+    coords = np.array([[0, 0, 0]])  # single active site in an 8^3 tile
+    tensor = SparseTensor3D(coords, np.ones((1, 1)), (8, 8, 8))
+    timeline = run_with_timeline(tensor, max_srfs=16)
+    fetched = {s.srf_seq for s in timeline.spans() if s.stage == "fetch"}
+    assert fetched == {0}  # scan order visits (0,0,0) first
+
+
+def test_render_contains_stage_symbols():
+    timeline = run_with_timeline(dense_block())
+    art = timeline.render(max_rows=3)
+    assert "SRF 0" in art
+    assert "R" in art and "J" in art and "F" in art
+    assert "cycle" in art
+
+
+def test_render_empty():
+    assert MatchingTimeline().render() == "(empty timeline)"
+
+
+def test_max_srfs_bound():
+    timeline = run_with_timeline(dense_block(), max_srfs=2)
+    assert max(timeline.srf_sequences()) <= 1
+
+
+def test_record_validation():
+    timeline = MatchingTimeline()
+    with pytest.raises(ValueError):
+        timeline.record(0, "bogus", 0)
+    with pytest.raises(ValueError):
+        MatchingTimeline(max_srfs=0)
+
+
+def test_spans_merge_contiguous_cycles():
+    timeline = MatchingTimeline()
+    for cycle in (5, 6, 7, 10):
+        timeline.record(0, "read", cycle)
+    spans = timeline.spans()
+    assert len(spans) == 2
+    assert spans[0].start_cycle == 5 and spans[0].end_cycle == 7
+    assert spans[0].duration == 3
+    assert spans[1].start_cycle == 10

@@ -1,0 +1,136 @@
+"""Tests for the GPU/CPU/dense-accelerator baseline models."""
+
+import pytest
+
+from repro.baselines import (
+    CpuExecutionModel,
+    DenseAcceleratorModel,
+    GpuExecutionModel,
+    PUBLISHED_ESCA,
+    PUBLISHED_FPGA_POINTNET,
+    PUBLISHED_GPU_P100,
+    SubConvWorkload,
+    workload_from_tensor,
+)
+from repro.baselines.platform import workloads_from_executions
+from repro.nn import SSUNet, UNetConfig, build_submanifold_rulebook
+from repro.nn.unet import collect_subconv_workloads
+from tests.conftest import random_sparse_tensor
+
+
+def make_workload(nnz=1000, matches=8000, cin=16, cout=16):
+    return SubConvWorkload(
+        name="test",
+        nnz=nnz,
+        matches=matches,
+        in_channels=cin,
+        out_channels=cout,
+        kernel_size=3,
+        volume=192 ** 3,
+    )
+
+
+def test_workload_from_tensor_matches_rulebook():
+    tensor = random_sparse_tensor(seed=150, shape=(12, 12, 12), nnz=40, channels=4)
+    workload = workload_from_tensor(tensor, 4, 8)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    assert workload.matches == rulebook.total_matches
+    assert workload.nnz == 40
+    assert workload.effective_ops == rulebook.effective_ops(4, 8)
+    assert workload.matching_probes == 40 * 27
+
+
+def test_workloads_from_executions_filters_kernel():
+    tensor = random_sparse_tensor(seed=151, shape=(12, 12, 12), nnz=30, channels=1)
+    net = SSUNet(UNetConfig(in_channels=1, num_classes=4, base_channels=4, levels=2))
+    executions = collect_subconv_workloads(net, tensor)
+    workloads = workloads_from_executions(executions, kernel_size=3)
+    # The 1^3 classifier head must be filtered out.
+    assert all(w.kernel_size == 3 for w in workloads)
+    assert len(workloads) == len(executions) - 1
+
+
+def test_gpu_layer_time_decomposition():
+    gpu = GpuExecutionModel()
+    workload = make_workload()
+    total = gpu.layer_seconds(workload)
+    assert total == pytest.approx(
+        gpu.launch_seconds
+        + gpu.matching_seconds(workload)
+        + gpu.compute_seconds(workload)
+    )
+    assert gpu.matching_seconds(workload) > 0
+    assert gpu.power_watts == pytest.approx(90.56)
+
+
+def test_gpu_time_grows_with_work():
+    gpu = GpuExecutionModel()
+    small = make_workload(nnz=100, matches=500)
+    large = make_workload(nnz=10_000, matches=80_000)
+    assert gpu.layer_seconds(large) > gpu.layer_seconds(small)
+
+
+def test_cpu_slower_than_gpu_on_large_layers():
+    cpu = CpuExecutionModel()
+    gpu = GpuExecutionModel()
+    workload = make_workload(nnz=2000, matches=20_000)
+    assert cpu.layer_seconds(workload) > gpu.layer_seconds(workload)
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        GpuExecutionModel(launch_seconds=-1)
+    with pytest.raises(ValueError):
+        GpuExecutionModel(probe_rate_per_s=0)
+    with pytest.raises(ValueError):
+        CpuExecutionModel(effective_gemm_ops_per_s=0)
+    with pytest.raises(ValueError):
+        DenseAcceleratorModel(dram_bandwidth_bytes_per_s=0)
+
+
+def test_network_gops_accounting():
+    gpu = GpuExecutionModel()
+    workloads = [make_workload(), make_workload(nnz=500, matches=3000)]
+    seconds = gpu.network_seconds(workloads)
+    assert seconds == pytest.approx(
+        sum(gpu.layer_seconds(w) for w in workloads)
+    )
+    gops = gpu.network_gops(workloads)
+    ops = sum(w.effective_ops for w in workloads)
+    assert gops == pytest.approx(ops / seconds / 1e9)
+
+
+def test_dense_accelerator_streams_dense_volume():
+    dense = DenseAcceleratorModel()
+    workload = make_workload(nnz=2000, matches=16_000, cin=16, cout=16)
+    stream = dense.stream_seconds(workload)
+    # 192^3 voxels x 16 ch x 2 B at 19.2 GB/s.
+    assert stream == pytest.approx(192 ** 3 * 16 * 2 / 19.2e9)
+    assert dense.layer_seconds(workload) >= stream
+
+
+def test_dense_accelerator_much_slower_than_esca_workload():
+    """The degradation claim: dense streaming dwarfs ESCA's layer time."""
+    dense = DenseAcceleratorModel()
+    workload = make_workload(nnz=2065, matches=19_969, cin=16, cout=16)
+    # ESCA's total for this layer is ~0.84 ms (Fig. 10); the dense
+    # accelerator pays >10x that just streaming the dense feature map.
+    assert dense.layer_seconds(workload) > 10 * 0.84e-3
+
+
+def test_dense_wasted_work_fraction():
+    dense = DenseAcceleratorModel()
+    workload = make_workload(nnz=1000, matches=8000)
+    wasted = dense.wasted_work_fraction(workload)
+    assert wasted == pytest.approx(1 - 8000 / 27_000)
+    empty = make_workload(nnz=0, matches=0)
+    assert dense.wasted_work_fraction(empty) == 0.0
+
+
+def test_published_rows():
+    assert PUBLISHED_GPU_P100.performance_gops == pytest.approx(9.40)
+    assert PUBLISHED_GPU_P100.power_efficiency == pytest.approx(9.40 / 90.56)
+    assert PUBLISHED_FPGA_POINTNET.power_efficiency == pytest.approx(
+        1.21 / 2.15
+    )
+    assert PUBLISHED_ESCA.power_efficiency == pytest.approx(17.73 / 3.45)

@@ -1,0 +1,62 @@
+"""Tests for multi-seed experiment campaigns."""
+
+import pytest
+
+from repro.analysis import (
+    MetricSummary,
+    run_table1_statistics,
+    run_throughput_statistics,
+)
+
+
+def test_metric_summary_from_values():
+    summary = MetricSummary.from_values("x", [1.0, 2.0, 3.0])
+    assert summary.mean == pytest.approx(2.0)
+    assert summary.minimum == 1.0 and summary.maximum == 3.0
+    assert summary.samples == 3
+    assert summary.std > 0
+    assert "+-" in summary.format()
+
+
+def test_metric_summary_single_value():
+    summary = MetricSummary.from_values("x", [5.0])
+    assert summary.std == 0.0
+
+
+def test_metric_summary_empty_raises():
+    with pytest.raises(ValueError):
+        MetricSummary.from_values("x", [])
+
+
+@pytest.fixture(scope="module")
+def table1_stats():
+    return run_table1_statistics(seeds=(0, 1, 2))
+
+
+def test_table1_statistics_structure(table1_stats):
+    assert table1_stats.seeds == (0, 1, 2)
+    summary = table1_stats.summary("shapenet", 4)
+    assert summary.samples == 3
+    assert summary.mean > 0
+
+
+def test_table1_statistics_within_paper_band(table1_stats):
+    """Across seeds the mean counts stay in the paper's neighborhood."""
+    assert table1_stats.within_band(low=0.4, high=1.8)
+
+
+def test_table1_statistics_stable_across_seeds(table1_stats):
+    """The 48-voxel scene anchoring keeps seed-to-seed variance small."""
+    for dataset in ("shapenet", "nyu"):
+        for tile in (4, 8, 12, 16):
+            summary = table1_stats.summary(dataset, tile)
+            assert summary.std <= 0.25 * summary.mean + 2.0
+
+
+def test_throughput_statistics():
+    stats = run_throughput_statistics(seeds=(0, 1))
+    assert stats.cycles.samples == 2
+    assert stats.matches.mean > 0
+    # Cycle estimates across seeds stay within a tight band (same
+    # generator, different noise): max/min below 1.3x.
+    assert stats.cycles.maximum / stats.cycles.minimum < 1.3

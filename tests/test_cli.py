@@ -1,0 +1,38 @@
+"""Tests for the command-line report generator."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.experiments == []
+    assert args.seed == 0
+
+
+def test_main_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["table9"])
+
+
+def test_cli_table2_output(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "BRAM" in out
+    assert "365.5" in out
+
+
+def test_cli_table1_with_seed(capsys):
+    assert main(["--seed", "1", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "shapenet" in out
+
+
+def test_cli_multiple_experiments(capsys):
+    assert main(["table1", "table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Table II" in out
+    assert "Table III" not in out

@@ -1,0 +1,162 @@
+"""Integration tests: the four paper experiments reproduce the right shape.
+
+These are the headline reproduction checks — who wins, by roughly what
+factor — with tolerance bands documented in EXPERIMENTS.md.  The heavier
+Table III / Fig. 10 runs are exercised once per session (module-scoped
+fixtures) to keep the suite fast.
+"""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1,
+    run_fig10,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(seed=0)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2()
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return run_table3(seed=0)
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return run_fig10(seed=0)
+
+
+# ----------------------------------------------------------------------
+# Table I
+# ----------------------------------------------------------------------
+def test_table1_structure(table1):
+    assert len(table1.rows) == 8  # 2 datasets x 4 tile sizes
+    assert {row.dataset for row in table1.rows} == {"shapenet", "nyu"}
+
+
+def test_table1_total_tiles_exact(table1):
+    for row in table1.rows:
+        assert row.total_tiles == PAPER_TABLE1[row.dataset][row.tile_size][1]
+
+
+def test_table1_removing_ratio_band(table1):
+    """All removing ratios are >= 99%, the paper's headline claim."""
+    for row in table1.rows:
+        assert row.removing_ratio > 0.99
+        # Within 1 percentage point of the paper's ratio.
+        assert abs(row.removing_ratio * 100 - row.paper_removing_ratio) < 1.0
+
+
+def test_table1_active_tiles_band(table1):
+    for row in table1.rows:
+        assert 0.5 * row.paper_active_tiles <= row.active_tiles \
+            <= 1.6 * row.paper_active_tiles
+
+
+def test_table1_format(table1):
+    text = table1.format()
+    assert "Active Tiles" in text
+    assert "shapenet" in text and "nyu" in text
+
+
+# ----------------------------------------------------------------------
+# Table II
+# ----------------------------------------------------------------------
+def test_table2_matches_paper(table2):
+    assert table2.frequency_mhz == pytest.approx(270.0)
+    by_name = {row.resource: row for row in table2.rows}
+    assert by_name["DSP"].used == 256
+    assert by_name["BRAM"].used == pytest.approx(365.5)
+    assert by_name["LUT"].used == pytest.approx(17614, rel=0.02)
+    assert by_name["FF"].used == pytest.approx(12142, rel=0.02)
+    for row in table2.rows:
+        assert row.utilization == pytest.approx(
+            row.paper_utilization / 100, abs=0.003
+        )
+
+
+def test_table2_format(table2):
+    text = table2.format()
+    assert "270 MHz" in text
+    assert "BRAM" in text
+
+
+# ----------------------------------------------------------------------
+# Table III
+# ----------------------------------------------------------------------
+def test_table3_esca_performance_band(table3):
+    ours = table3.row("ours")
+    # Paper: 17.73 GOPS on the SS U-Net; we accept +-15%.
+    assert ours.performance_gops == pytest.approx(17.73, rel=0.15)
+    assert ours.power_watts == pytest.approx(3.45, rel=0.05)
+    assert ours.power_efficiency == pytest.approx(5.14, rel=0.15)
+
+
+def test_table3_gpu_operating_point(table3):
+    gpu = table3.row("GPU")
+    assert gpu.performance_gops == pytest.approx(9.40, rel=0.15)
+    assert gpu.power_watts == pytest.approx(90.56)
+
+
+def test_table3_shape_esca_wins(table3):
+    """Who wins, by roughly what factor (paper: 1.88x perf, ~51x GOPS/W)."""
+    assert table3.performance_ratio_vs_gpu == pytest.approx(1.88, rel=0.2)
+    assert table3.efficiency_ratio_vs_gpu == pytest.approx(51, rel=0.2)
+    ours = table3.row("ours")
+    fpga19 = table3.row("[19]")
+    assert ours.performance_gops > fpga19.performance_gops
+    assert ours.power_efficiency > fpga19.power_efficiency
+
+
+def test_table3_published_row_19(table3):
+    row = table3.row("[19]")
+    assert row.performance_gops == pytest.approx(1.21)
+    assert row.power_watts == pytest.approx(2.15)
+    assert row.precision == "INT16"
+
+
+def test_table3_format(table3):
+    text = table3.format()
+    assert "Tesla P100" in text
+    assert "ZCU102" in text
+    assert "paper: 1.88x" in text
+
+
+# ----------------------------------------------------------------------
+# Fig. 10
+# ----------------------------------------------------------------------
+def test_fig10_ordering(fig10):
+    """CPU slowest, GPU middle, ESCA fastest — the figure's shape."""
+    cpu = fig10.entry("CPU").layer_seconds
+    gpu = fig10.entry("GPU").layer_seconds
+    esca = fig10.entry("ESCA").layer_seconds
+    assert cpu > gpu > esca
+
+
+def test_fig10_speedup_bands(fig10):
+    cpu_slowdown = fig10.entry("CPU").layer_seconds / fig10.entry("ESCA").layer_seconds
+    gpu_slowdown = fig10.entry("GPU").layer_seconds / fig10.entry("ESCA").layer_seconds
+    assert cpu_slowdown == pytest.approx(8.41, rel=0.15)
+    assert gpu_slowdown == pytest.approx(1.89, rel=0.15)
+
+
+def test_fig10_times_in_paper_range(fig10):
+    """The figure's axis runs 0-9 ms; all platforms must land inside."""
+    for entry in fig10.entries:
+        assert 0.0 < entry.layer_seconds < 9.5e-3
+
+
+def test_fig10_format(fig10):
+    text = fig10.format()
+    assert "ESCA" in text and "GPU" in text and "CPU" in text

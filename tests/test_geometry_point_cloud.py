@@ -1,0 +1,93 @@
+"""Unit tests for the PointCloud container and transforms."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import PointCloud
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PointCloud(np.zeros((3, 2)))
+    with pytest.raises(ValueError):
+        PointCloud(np.zeros((3, 3)), features=np.zeros((2, 1)))
+
+
+def test_empty_cloud():
+    cloud = PointCloud(np.zeros((0, 3)))
+    assert len(cloud) == 0
+    lo, hi = cloud.bounds()
+    assert np.all(lo == 0) and np.all(hi == 0)
+
+
+def test_normalized_to_unit_cube_preserves_aspect():
+    points = np.array([[0.0, 0.0, 0.0], [10.0, 5.0, 1.0]])
+    cloud = PointCloud(points).normalized_to_unit_cube()
+    lo, hi = cloud.bounds()
+    assert np.all(lo >= -1e-12) and np.all(hi <= 1 + 1e-12)
+    # The longest axis spans the full cube; the others stay proportional.
+    span = hi - lo
+    assert span[0] == pytest.approx(1.0)
+    assert span[1] == pytest.approx(0.5)
+    assert span[2] == pytest.approx(0.1)
+
+
+def test_normalized_with_margin():
+    points = np.array([[0.0, 0.0, 0.0], [2.0, 2.0, 2.0]])
+    cloud = PointCloud(points).normalized_to_unit_cube(margin=0.1)
+    lo, hi = cloud.bounds()
+    assert lo.min() >= 0.1 - 1e-12
+    assert hi.max() <= 0.9 + 1e-12
+
+
+def test_normalize_degenerate_cloud():
+    cloud = PointCloud(np.ones((4, 3))).normalized_to_unit_cube()
+    assert np.allclose(cloud.points, 0.5)
+
+
+def test_invalid_margin():
+    with pytest.raises(ValueError):
+        PointCloud(np.zeros((1, 3))).normalized_to_unit_cube(margin=0.5)
+
+
+def test_rotation_preserves_distances():
+    rng = np.random.default_rng(0)
+    cloud = PointCloud(rng.standard_normal((50, 3)))
+    rotated = cloud.rotated_z(0.7)
+    d_before = np.linalg.norm(cloud.points[0] - cloud.points[1])
+    d_after = np.linalg.norm(rotated.points[0] - rotated.points[1])
+    assert d_after == pytest.approx(d_before)
+
+
+def test_transform_validates_rotation_shape():
+    cloud = PointCloud(np.zeros((1, 3)))
+    with pytest.raises(ValueError):
+        cloud.transformed(np.eye(2), np.zeros(3))
+
+
+def test_jitter_changes_points_deterministically():
+    cloud = PointCloud(np.zeros((10, 3)))
+    a = cloud.jittered(0.1, np.random.default_rng(5))
+    b = cloud.jittered(0.1, np.random.default_rng(5))
+    assert np.allclose(a.points, b.points)
+    assert not np.allclose(a.points, 0.0)
+
+
+def test_subsample():
+    rng = np.random.default_rng(0)
+    cloud = PointCloud(rng.standard_normal((100, 3)), features=rng.standard_normal((100, 2)))
+    sub = cloud.subsampled(10, np.random.default_rng(1))
+    assert len(sub) == 10
+    assert sub.features.shape == (10, 2)
+    same = cloud.subsampled(200, np.random.default_rng(1))
+    assert len(same) == 100
+
+
+def test_merge():
+    a = PointCloud(np.zeros((3, 3)))
+    b = PointCloud(np.ones((2, 3)))
+    merged = a.merged_with(b)
+    assert len(merged) == 5
+    with_features = PointCloud(np.zeros((1, 3)), features=np.ones((1, 1)))
+    with pytest.raises(ValueError):
+        a.merged_with(with_features)

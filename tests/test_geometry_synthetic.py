@@ -1,0 +1,140 @@
+"""Tests for the synthetic dataset generators (Table I calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    PointCloud,
+    Voxelizer,
+    make_nyu_like_cloud,
+    make_shapenet_like_cloud,
+)
+from repro.geometry.datasets import DatasetCatalog, load_sample
+from repro.geometry.synthetic import (
+    SHAPENET_CATEGORIES,
+    sample_box_surface,
+    sample_plane,
+    sample_sphere,
+    sample_strut,
+)
+
+PAPER_TABLE1 = {
+    "shapenet": {4: 198, 8: 42, 12: 23, 16: 14},
+    "nyu": {4: 161, 8: 33, 12: 19, 16: 9},
+}
+
+
+def active_tiles(grid, tile_size):
+    return len(np.unique(grid.coords // tile_size, axis=0))
+
+
+def test_generators_are_deterministic():
+    a = make_shapenet_like_cloud(seed=3)
+    b = make_shapenet_like_cloud(seed=3)
+    assert np.allclose(a.points, b.points)
+    c = make_nyu_like_cloud(seed=3)
+    d = make_nyu_like_cloud(seed=3)
+    assert np.allclose(c.points, d.points)
+
+
+def test_different_seeds_differ():
+    a = make_shapenet_like_cloud(seed=0)
+    b = make_shapenet_like_cloud(seed=1)
+    assert a.points.shape != b.points.shape or not np.allclose(a.points, b.points)
+
+
+def test_points_lie_in_unit_cube():
+    for maker in (make_shapenet_like_cloud, make_nyu_like_cloud):
+        cloud = maker(seed=0)
+        assert cloud.points.min() >= 0.0
+        assert cloud.points.max() < 1.0
+
+
+def test_all_categories_buildable():
+    for category in SHAPENET_CATEGORIES:
+        cloud = make_shapenet_like_cloud(seed=1, category=category)
+        assert len(cloud) > 100
+
+
+def test_unknown_category_rejected():
+    with pytest.raises(ValueError):
+        make_shapenet_like_cloud(category="boat")
+
+
+def test_invalid_grid_fraction_rejected():
+    with pytest.raises(ValueError):
+        make_shapenet_like_cloud(grid_fraction=0.0)
+    with pytest.raises(ValueError):
+        make_nyu_like_cloud(grid_fraction=1.5)
+
+
+@pytest.mark.parametrize("dataset", ["shapenet", "nyu"])
+def test_tile_counts_match_paper_band(dataset):
+    """Active-tile counts must land in a band around Table I."""
+    sample = load_sample(dataset, seed=0)
+    for tile_size, paper_count in PAPER_TABLE1[dataset].items():
+        measured = active_tiles(sample.grid, tile_size)
+        assert 0.5 * paper_count <= measured <= 1.6 * paper_count, (
+            f"{dataset} tile {tile_size}: measured {measured}, "
+            f"paper {paper_count}"
+        )
+
+
+@pytest.mark.parametrize("dataset", ["shapenet", "nyu"])
+def test_sparsity_matches_paper_claim(dataset):
+    sample = load_sample(dataset, seed=0)
+    assert sample.grid.sparsity > 0.999
+
+
+def test_active_tiles_decrease_with_tile_size():
+    sample = load_sample("shapenet", seed=0)
+    counts = [active_tiles(sample.grid, t) for t in (4, 8, 12, 16)]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_primitive_samplers_shapes():
+    rng = np.random.default_rng(0)
+    plane = sample_plane(rng, [0, 0, 0], [1, 0, 0], [0, 1, 0], 50)
+    assert plane.shape == (50, 3)
+    assert np.all(plane[:, 2] == 0)
+    strut = sample_strut(rng, [0, 0, 0], [0, 0, 1], 0.1, 30)
+    radial = np.linalg.norm(strut[:, :2], axis=1)
+    assert np.allclose(radial, 0.1, atol=1e-9)
+    sphere = sample_sphere(rng, [0, 0, 0], 2.0, 40)
+    assert np.allclose(np.linalg.norm(sphere, axis=1), 2.0)
+    box = sample_box_surface(rng, [0, 0, 0], [1, 2, 3], 60)
+    on_face = (
+        np.isclose(box[:, 0], 0) | np.isclose(box[:, 0], 1)
+        | np.isclose(box[:, 1], 0) | np.isclose(box[:, 1], 2)
+        | np.isclose(box[:, 2], 0) | np.isclose(box[:, 2], 3)
+    )
+    assert np.all(on_face)
+
+
+def test_degenerate_strut_and_box():
+    rng = np.random.default_rng(0)
+    point_strut = sample_strut(rng, [1, 1, 1], [1, 1, 1], 0.1, 5)
+    assert np.allclose(point_strut, 1.0)
+    point_box = sample_box_surface(rng, [2, 2, 2], [2, 2, 2], 5)
+    assert np.allclose(point_box, 2.0)
+
+
+def test_catalog_registration_and_listing():
+    catalog = DatasetCatalog()
+    assert set(catalog.names()) == {"nyu", "shapenet"}
+    catalog.register("cube", lambda seed: PointCloud(
+        np.random.default_rng(seed).random((10, 3)) * 0.5 + 0.25
+    ))
+    assert "cube" in catalog.names()
+    sample = catalog.load("cube", seed=1, resolution=32)
+    assert sample.grid.shape == (32, 32, 32)
+    with pytest.raises(ValueError):
+        catalog.register("cube", lambda seed: None)
+    with pytest.raises(KeyError):
+        catalog.load("missing")
+
+
+def test_load_sample_resolution_override():
+    sample = load_sample("nyu", seed=0, resolution=64)
+    assert sample.grid.shape == (64, 64, 64)
+    assert sample.dataset == "nyu"

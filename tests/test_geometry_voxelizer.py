@@ -1,0 +1,84 @@
+"""Unit tests for the voxelizer."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import PointCloud, Voxelizer
+
+
+def test_basic_voxelization():
+    points = np.array([[0.1, 0.1, 0.1], [0.9, 0.9, 0.9]])
+    grid = Voxelizer(resolution=10, normalize=False).voxelize(PointCloud(points))
+    assert grid.shape == (10, 10, 10)
+    assert grid.nnz == 2
+    assert (1, 1, 1) in grid
+    assert (9, 9, 9) in grid
+
+
+def test_duplicate_points_merge_to_one_voxel():
+    points = np.array([[0.11, 0.11, 0.11], [0.12, 0.12, 0.12]])
+    grid = Voxelizer(resolution=10, normalize=False).voxelize(PointCloud(points))
+    assert grid.nnz == 1
+
+
+def test_feature_mean_aggregation():
+    points = np.array([[0.15, 0.15, 0.15], [0.18, 0.18, 0.18]])
+    features = np.array([[2.0], [4.0]])
+    grid = Voxelizer(resolution=10, normalize=False).voxelize(
+        PointCloud(points, features)
+    )
+    assert grid.feature_at((1, 1, 1))[0] == pytest.approx(3.0)
+
+
+def test_occupancy_only_ignores_features():
+    points = np.array([[0.5, 0.5, 0.5]])
+    grid = Voxelizer(resolution=8, normalize=False, occupancy_only=True).voxelize(
+        PointCloud(points, np.array([[42.0]]))
+    )
+    assert grid.feature_at((4, 4, 4))[0] == 1.0
+
+
+def test_normalization_fills_grid():
+    rng = np.random.default_rng(0)
+    points = rng.uniform(-100, 100, size=(500, 3))
+    grid = Voxelizer(resolution=16, normalize=True).voxelize(PointCloud(points))
+    # Normalized cloud must span most of the grid on the longest axis.
+    assert grid.coords[:, 0].max() >= 14 or grid.coords[:, 1].max() >= 14 or \
+        grid.coords[:, 2].max() >= 14
+
+
+def test_boundary_points_clamped():
+    points = np.array([[1.0, 1.0, 1.0]])
+    grid = Voxelizer(resolution=4, normalize=False).voxelize(PointCloud(points))
+    assert grid.nnz == 1
+    assert (3, 3, 3) in grid
+
+
+def test_empty_cloud_produces_empty_grid():
+    grid = Voxelizer(resolution=8).voxelize(PointCloud(np.zeros((0, 3))))
+    assert grid.nnz == 0
+    assert grid.shape == (8, 8, 8)
+
+
+def test_invalid_resolution():
+    with pytest.raises(ValueError):
+        Voxelizer(resolution=0)
+
+
+def test_voxel_size():
+    points = np.array([[0.0, 0.0, 0.0], [10.0, 0.0, 0.0]])
+    vox = Voxelizer(resolution=10, normalize=True)
+    assert vox.voxel_size(PointCloud(points)) == pytest.approx(1.0)
+    assert Voxelizer(resolution=10, normalize=False).voxel_size(
+        PointCloud(points)
+    ) == pytest.approx(0.1)
+
+
+def test_paper_resolution_sparsity():
+    """At 192^3 the synthetic samples must be ~99.9% sparse (Sec. III-A)."""
+    from repro.geometry import make_shapenet_like_cloud
+
+    grid = Voxelizer(resolution=192, normalize=False).voxelize(
+        make_shapenet_like_cloud(seed=0)
+    )
+    assert grid.sparsity > 0.999

@@ -1,0 +1,105 @@
+"""Tests for the FPGA device catalog, resource model, and power model."""
+
+import pytest
+
+from repro.arch import AcceleratorConfig
+from repro.hwmodel import (
+    PowerModel,
+    ZC7045,
+    ZCU102,
+    device_by_name,
+    estimate_resources,
+)
+from repro.hwmodel.resources import buffer_plan
+
+PAPER = {"LUT": 17614, "FF": 12142, "BRAM": 365.5, "DSP": 256}
+
+
+def test_device_catalog():
+    assert ZCU102.dsps == 2520
+    assert ZCU102.bram36 == 912
+    assert device_by_name("zcu102") is ZCU102
+    assert device_by_name("zc7045") is ZC7045
+    assert device_by_name(ZCU102.name) is ZCU102
+    with pytest.raises(KeyError):
+        device_by_name("virtex")
+
+
+def test_default_resources_match_table2():
+    total = estimate_resources(AcceleratorConfig()).total
+    assert total.dsp == PAPER["DSP"]
+    assert total.bram36 == pytest.approx(PAPER["BRAM"])
+    assert total.lut == pytest.approx(PAPER["LUT"], rel=0.02)
+    assert total.ff == pytest.approx(PAPER["FF"], rel=0.02)
+
+
+def test_utilization_matches_table2():
+    breakdown = estimate_resources(AcceleratorConfig())
+    util = breakdown.utilization()
+    assert util["LUT"] == pytest.approx(0.0643, abs=0.002)
+    assert util["FF"] == pytest.approx(0.0222, abs=0.002)
+    assert util["BRAM"] == pytest.approx(0.4008, abs=0.002)
+    assert util["DSP"] == pytest.approx(0.1016, abs=0.002)
+    assert breakdown.fits()
+
+
+def test_dsp_scales_with_array_parallelism():
+    small = estimate_resources(AcceleratorConfig(ic_parallelism=8, oc_parallelism=8))
+    assert small.total.dsp == 64
+    large = estimate_resources(AcceleratorConfig(ic_parallelism=32, oc_parallelism=32))
+    assert large.total.dsp == 1024
+    assert large.total.lut > small.total.lut
+
+
+def test_lanes_scale_with_kernel_size():
+    k3 = estimate_resources(AcceleratorConfig(kernel_size=3))
+    k5 = estimate_resources(AcceleratorConfig(kernel_size=5))
+    # K^2 lanes: 9 -> 25; decoder and FIFO resources grow.
+    assert k5.components["sdmu_decoder"].lut > k3.components["sdmu_decoder"].lut
+    assert k5.components["buffers"].bram36 > k3.components["buffers"].bram36
+
+
+def test_buffer_plan_names_unique():
+    buffers = buffer_plan(AcceleratorConfig())
+    names = [buffer.name for buffer in buffers]
+    assert len(names) == len(set(names))
+    assert "activation" in names and "weight" in names and "mask" in names
+
+
+def test_power_matches_table3():
+    watts = PowerModel().total_watts(AcceleratorConfig())
+    assert watts == pytest.approx(3.45, rel=0.02)
+
+
+def test_power_breakdown_sums():
+    breakdown = PowerModel().estimate(AcceleratorConfig())
+    parts = (
+        breakdown.static + breakdown.dsp + breakdown.bram
+        + breakdown.logic + breakdown.clock_network
+    )
+    assert breakdown.total == pytest.approx(parts)
+
+
+def test_power_scales_with_frequency():
+    low = PowerModel().total_watts(AcceleratorConfig(clock_hz=100e6))
+    high = PowerModel().total_watts(AcceleratorConfig(clock_hz=300e6))
+    assert high > low > 0.62  # above static floor
+
+
+def test_power_activity_scaling():
+    idle_ish = PowerModel(activity=0.1).total_watts()
+    busy = PowerModel(activity=1.0).total_watts()
+    assert idle_ish < busy
+
+
+def test_power_activity_validation():
+    with pytest.raises(ValueError):
+        PowerModel(activity=0.0)
+    with pytest.raises(ValueError):
+        PowerModel(activity=1.5)
+
+
+def test_gops_per_watt():
+    model = PowerModel()
+    eff = model.gops_per_watt(17.73, AcceleratorConfig())
+    assert eff == pytest.approx(5.14, rel=0.03)

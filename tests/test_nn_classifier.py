@@ -1,0 +1,100 @@
+"""Tests for global pooling and the SSCN classifier."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    ClassifierConfig,
+    SSCNClassifier,
+    global_avg_pool,
+    global_max_pool,
+)
+from repro.nn.unet import collect_all_executions
+from repro.sparse import SparseTensor3D
+from tests.conftest import random_sparse_tensor
+
+
+def test_global_pools():
+    tensor = random_sparse_tensor(seed=190, nnz=20, channels=4)
+    mx = global_max_pool(tensor)
+    avg = global_avg_pool(tensor)
+    assert mx.shape == (4,)
+    assert np.allclose(mx, tensor.features.max(axis=0))
+    assert np.allclose(avg, tensor.features.mean(axis=0))
+    assert np.all(mx >= avg)
+
+
+def test_global_pool_empty_raises():
+    empty = SparseTensor3D.empty((4, 4, 4), channels=2)
+    with pytest.raises(ValueError):
+        global_max_pool(empty)
+    with pytest.raises(ValueError):
+        global_avg_pool(empty)
+
+
+def test_classifier_forward_shape():
+    cfg = ClassifierConfig(in_channels=1, num_classes=7, base_channels=4, stages=2)
+    net = SSCNClassifier(cfg)
+    tensor = random_sparse_tensor(seed=191, shape=(16, 16, 16), nnz=40, channels=1)
+    logits = net(tensor)
+    assert logits.shape == (7,)
+    assert 0 <= net.predict(tensor) < 7
+
+
+def test_classifier_deterministic():
+    cfg = ClassifierConfig(num_classes=5, base_channels=4, stages=2)
+    tensor = random_sparse_tensor(seed=192, shape=(12, 12, 12), nnz=30, channels=1)
+    a = SSCNClassifier(cfg)(tensor)
+    b = SSCNClassifier(cfg)(tensor)
+    assert np.allclose(a, b)
+
+
+def test_classifier_validation():
+    with pytest.raises(ValueError):
+        SSCNClassifier(ClassifierConfig(stages=0))
+    with pytest.raises(ValueError):
+        SSCNClassifier(ClassifierConfig(pooling="sum"))
+
+
+def test_classifier_avg_pooling_variant():
+    cfg = ClassifierConfig(num_classes=3, base_channels=4, stages=2, pooling="avg")
+    tensor = random_sparse_tensor(seed=193, shape=(12, 12, 12), nnz=25, channels=1)
+    logits = SSCNClassifier(cfg)(tensor)
+    assert logits.shape == (3,)
+
+
+def test_classifier_records_executions():
+    cfg = ClassifierConfig(num_classes=4, base_channels=4, stages=3)
+    net = SSCNClassifier(cfg)
+    tensor = random_sparse_tensor(seed=194, shape=(16, 16, 16), nnz=40, channels=1)
+    raw = []
+    net(tensor, record=raw)
+    kinds = [kind for kind, _, _ in raw]
+    # 3 Sub-Conv stages + 2 strided downsamples.
+    assert kinds.count("subconv") == 3
+    assert kinds.count("sparseconv") == 2
+
+
+def test_classifier_subconv_layers_run_on_esca():
+    """The classifier's Sub-Conv workloads execute bit-exactly on ESCA."""
+    from repro.arch import EscaAccelerator
+
+    cfg = ClassifierConfig(num_classes=4, base_channels=4, stages=2)
+    net = SSCNClassifier(cfg)
+    tensor = random_sparse_tensor(seed=195, shape=(16, 16, 16), nnz=35, channels=1)
+    raw = []
+    net(tensor, record=raw)
+    accel = EscaAccelerator()
+    for kind, layer, input_tensor in raw:
+        if kind != "subconv":
+            continue
+        result = accel.run_layer(
+            input_tensor, weights=layer.weight.value, verify=True
+        )
+        assert result.matches > 0
+
+
+def test_classifier_parameter_count():
+    cfg = ClassifierConfig(num_classes=4, base_channels=4, stages=2)
+    net = SSCNClassifier(cfg)
+    assert net.num_parameters() > 0

@@ -1,0 +1,162 @@
+"""Tests for the functional sparse convolutions against dense references."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    dense_conv3d_reference,
+    sparse_conv3d,
+    sparse_inverse_conv3d,
+    submanifold_conv3d,
+)
+from repro.nn.functional import normalize_weights
+from repro.sparse import SparseTensor3D, dense_to_sparse
+from tests.conftest import random_sparse_tensor
+
+
+def make_weights(rng, kernel_size, cin, cout):
+    return rng.standard_normal((kernel_size ** 3, cin, cout))
+
+
+def test_normalize_weights_accepts_5d():
+    w5 = np.zeros((3, 3, 3, 2, 4))
+    w3 = normalize_weights(w5, 3)
+    assert w3.shape == (27, 2, 4)
+    with pytest.raises(ValueError):
+        normalize_weights(np.zeros((8, 2, 4)), 3)
+    with pytest.raises(ValueError):
+        normalize_weights(np.zeros((2, 2, 2, 2, 4)), 3)
+
+
+def test_submanifold_matches_dense_conv_at_active_sites():
+    """The defining property: Sub-Conv equals traditional convolution
+    evaluated at the active sites only (Fig. 2)."""
+    rng = np.random.default_rng(31)
+    tensor = random_sparse_tensor(seed=32, shape=(9, 9, 9), nnz=50, channels=3)
+    weights = make_weights(rng, 3, 3, 5)
+    sparse_out = submanifold_conv3d(tensor, weights)
+    dense_out = dense_conv3d_reference(tensor.dense(), weights)
+    for row, coord in enumerate(tensor.coords):
+        assert np.allclose(
+            sparse_out.features[row], dense_out[tuple(coord)], atol=1e-9
+        )
+
+
+def test_submanifold_preserves_sites():
+    rng = np.random.default_rng(33)
+    tensor = random_sparse_tensor(seed=34, nnz=30, channels=2)
+    out = submanifold_conv3d(tensor, make_weights(rng, 3, 2, 7))
+    assert np.array_equal(out.coords, tensor.coords)
+    assert out.num_channels == 7
+
+
+def test_traditional_convolution_dilates_sparsity():
+    """Fig. 2(a): dense conv grows the active set; Sub-Conv does not."""
+    tensor = SparseTensor3D(np.array([[4, 4, 4]]), np.ones((1, 1)), (9, 9, 9))
+    weights = np.ones((27, 1, 1))
+    dense_out = dense_conv3d_reference(tensor.dense(), weights)
+    dilated = dense_to_sparse(dense_out)
+    assert dilated.nnz == 27  # the single point spread to its neighborhood
+    sub_out = submanifold_conv3d(tensor, weights)
+    assert sub_out.nnz == 1
+
+
+def test_submanifold_kernel1_is_per_site_linear():
+    rng = np.random.default_rng(35)
+    tensor = random_sparse_tensor(seed=36, nnz=20, channels=4)
+    weights = rng.standard_normal((1, 4, 6))
+    out = submanifold_conv3d(tensor, weights, kernel_size=1)
+    assert np.allclose(out.features, tensor.features @ weights[0])
+
+
+def test_submanifold_bias():
+    rng = np.random.default_rng(37)
+    tensor = random_sparse_tensor(seed=38, nnz=10, channels=2)
+    weights = np.zeros((27, 2, 3))
+    bias = np.array([1.0, -2.0, 0.5])
+    out = submanifold_conv3d(tensor, weights, bias=bias)
+    assert np.allclose(out.features, np.tile(bias, (tensor.nnz, 1)))
+
+
+def test_submanifold_channel_mismatch():
+    tensor = random_sparse_tensor(seed=39, nnz=5, channels=2)
+    with pytest.raises(ValueError):
+        submanifold_conv3d(tensor, np.zeros((27, 3, 4)))
+
+
+def test_sparse_conv_downsamples_sites():
+    rng = np.random.default_rng(40)
+    tensor = random_sparse_tensor(seed=41, shape=(8, 8, 8), nnz=40, channels=2)
+    out = sparse_conv3d(tensor, make_weights(rng, 2, 2, 4), stride=2)
+    assert out.shape == (4, 4, 4)
+    expected_sites = np.unique(tensor.coords // 2, axis=0)
+    assert np.array_equal(out.coords, expected_sites)
+
+
+def test_sparse_conv_values_against_manual():
+    """Two inputs in one stride-2 cell accumulate W[d]-weighted features."""
+    coords = np.array([[0, 0, 0], [1, 1, 1]])
+    features = np.array([[1.0], [10.0]])
+    tensor = SparseTensor3D(coords, features, (4, 4, 4))
+    weights = np.zeros((8, 1, 1))
+    # Offsets are ordered lexicographically over (dx, dy, dz) in {0,1}^3.
+    weights[0, 0, 0] = 2.0  # offset (0,0,0) matches input (0,0,0)
+    weights[7, 0, 0] = 3.0  # offset (1,1,1) matches input (1,1,1)
+    out = sparse_conv3d(tensor, weights, stride=2)
+    assert out.nnz == 1
+    assert out.feature_at((0, 0, 0))[0] == pytest.approx(1.0 * 2.0 + 10.0 * 3.0)
+
+
+def test_inverse_conv_restores_reference_sites():
+    rng = np.random.default_rng(42)
+    fine = random_sparse_tensor(seed=43, shape=(8, 8, 8), nnz=30, channels=3)
+    down = sparse_conv3d(fine, make_weights(rng, 2, 3, 6), stride=2)
+    up = sparse_inverse_conv3d(down, make_weights(rng, 2, 6, 3), reference=fine)
+    assert np.array_equal(up.coords, fine.coords)
+    assert up.num_channels == 3
+    assert up.shape == fine.shape
+
+
+def test_inverse_conv_rejects_wrong_reference():
+    rng = np.random.default_rng(44)
+    fine = random_sparse_tensor(seed=45, shape=(8, 8, 8), nnz=30, channels=2)
+    other = random_sparse_tensor(seed=46, shape=(8, 8, 8), nnz=31, channels=2)
+    down = sparse_conv3d(fine, make_weights(rng, 2, 2, 4), stride=2)
+    with pytest.raises(ValueError):
+        sparse_inverse_conv3d(down, make_weights(rng, 2, 4, 2), reference=other)
+
+
+def test_inverse_conv_adjoint_property():
+    """<conv(x), y> == <x, conv^T(y)> for matching weight layouts."""
+    rng = np.random.default_rng(47)
+    fine = random_sparse_tensor(seed=48, shape=(6, 6, 6), nnz=25, channels=2)
+    weights = make_weights(rng, 2, 2, 3)
+    down = sparse_conv3d(fine, weights, stride=2)
+    # y random on the coarse sites, pushed back up with the SAME weights
+    # transposed channel-wise.
+    y = rng.standard_normal(down.features.shape)
+    coarse_y = down.with_features(y)
+    w_t = np.transpose(weights, (0, 2, 1))
+    up = sparse_inverse_conv3d(coarse_y, w_t, reference=fine, stride=2)
+    lhs = float((down.features * y).sum())
+    rhs = float((fine.features * up.features).sum())
+    assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+def test_dense_reference_validation():
+    with pytest.raises(ValueError):
+        dense_conv3d_reference(np.zeros((3, 3, 3)), np.zeros((27, 1, 1)))
+    with pytest.raises(ValueError):
+        dense_conv3d_reference(np.zeros((3, 3, 3, 2)), np.zeros((27, 1, 1)))
+
+
+def test_precomputed_rulebook_reuse():
+    from repro.nn import build_submanifold_rulebook
+
+    rng = np.random.default_rng(49)
+    tensor = random_sparse_tensor(seed=50, nnz=20, channels=2)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    w = make_weights(rng, 3, 2, 2)
+    out_a = submanifold_conv3d(tensor, w)
+    out_b = submanifold_conv3d(tensor, w, rulebook=rulebook)
+    assert np.allclose(out_a.features, out_b.features)

@@ -1,0 +1,61 @@
+"""Public-API integrity: every advertised name must resolve and work."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.sparse",
+    "repro.geometry",
+    "repro.nn",
+    "repro.quant",
+    "repro.arch",
+    "repro.hwmodel",
+    "repro.baselines",
+    "repro.analysis",
+    "repro.runtime",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} lacks __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_docstrings(package):
+    module = importlib.import_module(package)
+    assert module.__doc__ and len(module.__doc__) > 40, (
+        f"{package} needs a real docstring"
+    )
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_headline_workflow_from_top_level():
+    """The README quickstart must work with top-level imports only."""
+    from repro import (
+        AcceleratorConfig,
+        EscaAccelerator,
+        Voxelizer,
+        ZeroRemover,
+        make_shapenet_like_cloud,
+    )
+
+    cloud = make_shapenet_like_cloud(seed=0, n_points=300)
+    grid = Voxelizer(resolution=48, normalize=False).voxelize(cloud)
+    removal = ZeroRemover((8, 8, 8)).remove(grid)
+    assert removal.removing_ratio > 0
+    result = EscaAccelerator(AcceleratorConfig()).run_layer(
+        grid, out_channels=4, verify=True
+    )
+    assert result.total_cycles > 0

@@ -1,0 +1,82 @@
+"""Tests for the quantization fidelity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    FixedPointFormat,
+    QuantizedSubConv,
+    feature_snr_db,
+    find_point,
+    max_relative_error,
+    sweep_precision,
+)
+from tests.conftest import random_sparse_tensor
+
+
+def test_snr_identical_is_infinite():
+    x = np.array([[1.0, 2.0]])
+    assert feature_snr_db(x, x) == float("inf")
+
+
+def test_snr_known_value():
+    reference = np.array([[1.0, 0.0]])
+    candidate = np.array([[1.1, 0.0]])
+    # SNR = 10 log10(1 / 0.01) = 20 dB.
+    assert feature_snr_db(reference, candidate) == pytest.approx(20.0)
+
+
+def test_snr_zero_signal():
+    zero = np.zeros((2, 2))
+    noisy = np.ones((2, 2))
+    assert feature_snr_db(zero, noisy) == float("-inf")
+
+
+def test_snr_shape_mismatch():
+    with pytest.raises(ValueError):
+        feature_snr_db(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+def test_max_relative_error():
+    reference = np.array([[2.0, -4.0]])
+    candidate = np.array([[2.0, -3.0]])
+    assert max_relative_error(reference, candidate) == pytest.approx(0.25)
+    assert max_relative_error(np.zeros((1, 2)), np.zeros((1, 2))) == 0.0
+
+
+def test_quantized_subconv_custom_formats():
+    rng = np.random.default_rng(210)
+    tensor = random_sparse_tensor(seed=211, shape=(8, 8, 8), nnz=30, channels=4)
+    weights = rng.standard_normal((27, 4, 4)) * 0.2
+    coarse = QuantizedSubConv(
+        weights,
+        weight_fmt=FixedPointFormat(bits=4, name="INT4"),
+        act_fmt=FixedPointFormat(bits=8, name="INT8"),
+    )
+    assert np.abs(coarse.weights_q.data).max() <= 7  # 4-bit range
+
+
+def test_sweep_precision_monotone_in_weight_bits():
+    rng = np.random.default_rng(212)
+    tensor = random_sparse_tensor(seed=213, shape=(10, 10, 10), nnz=40, channels=8)
+    weights = rng.standard_normal((27, 8, 8)) * 0.3
+    points = sweep_precision(
+        tensor, weights, weight_bits=(4, 8, 12), activation_bits=(16,)
+    )
+    assert len(points) == 3
+    snrs = [p.snr_db for p in points]
+    assert snrs == sorted(snrs)
+    # More bits -> smaller worst-case error.
+    errors = [p.max_rel_error for p in points]
+    assert errors == sorted(errors, reverse=True)
+
+
+def test_find_point():
+    rng = np.random.default_rng(214)
+    tensor = random_sparse_tensor(seed=215, shape=(8, 8, 8), nnz=20, channels=4)
+    weights = rng.standard_normal((27, 4, 4))
+    points = sweep_precision(
+        tensor, weights, weight_bits=(8,), activation_bits=(16,)
+    )
+    assert find_point(points, 8, 16) is points[0]
+    assert find_point(points, 4, 16) is None

@@ -1,0 +1,74 @@
+"""Tests for batch-norm folding and saturation accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import AcceleratorConfig, EscaAccelerator
+from repro.nn import submanifold_conv3d
+from repro.quant import fold_batchnorm
+from repro.sparse import scale_features
+from tests.conftest import random_sparse_tensor
+
+
+def test_fold_batchnorm_exact_equivalence():
+    """conv -> BN must equal folded-conv, exactly (it is pure algebra)."""
+    rng = np.random.default_rng(240)
+    tensor = random_sparse_tensor(seed=241, shape=(8, 8, 8), nnz=30, channels=3)
+    weights = rng.standard_normal((27, 3, 5))
+    bias = rng.standard_normal(5)
+    bn_scale = 1.0 + 0.1 * rng.standard_normal(5)
+    bn_shift = 0.1 * rng.standard_normal(5)
+
+    unfolded = scale_features(
+        submanifold_conv3d(tensor, weights, bias=bias), bn_scale, bn_shift
+    )
+    folded_w, folded_b = fold_batchnorm(weights, bias, bn_scale, bn_shift)
+    folded = submanifold_conv3d(tensor, folded_w, bias=folded_b)
+    assert np.allclose(unfolded.features, folded.features, atol=1e-12)
+
+
+def test_fold_batchnorm_no_bias():
+    rng = np.random.default_rng(242)
+    weights = rng.standard_normal((27, 2, 4))
+    folded_w, folded_b = fold_batchnorm(
+        weights, None, np.ones(4) * 2.0, np.ones(4) * 3.0
+    )
+    assert np.allclose(folded_w, weights * 2.0)
+    assert np.allclose(folded_b, 3.0)
+
+
+def test_fold_batchnorm_validation():
+    with pytest.raises(ValueError):
+        fold_batchnorm(np.zeros((27, 2)), None, np.ones(2), np.ones(2))
+    with pytest.raises(ValueError):
+        fold_batchnorm(np.zeros((27, 2, 4)), None, np.ones(3), np.ones(4))
+
+
+@given(st.integers(0, 2000))
+@settings(max_examples=20, deadline=None)
+def test_property_folding_commutes(seed):
+    rng = np.random.default_rng(seed)
+    tensor = random_sparse_tensor(seed=seed, shape=(6, 6, 6), nnz=15, channels=2)
+    weights = rng.standard_normal((27, 2, 3))
+    scale = 0.5 + rng.random(3)
+    shift = rng.standard_normal(3)
+    folded_w, folded_b = fold_batchnorm(weights, None, scale, shift)
+    a = scale_features(submanifold_conv3d(tensor, weights), scale, shift)
+    b = submanifold_conv3d(tensor, folded_w, bias=folded_b)
+    assert np.allclose(a.features, b.features, atol=1e-10)
+
+
+def test_saturation_accounting_zero_for_calibrated_inputs():
+    tensor = random_sparse_tensor(seed=243, shape=(12, 12, 12), nnz=40, channels=8)
+    result = EscaAccelerator().run_layer(tensor, out_channels=8)
+    assert result.saturated_accumulators == 0
+
+
+def test_saturation_accounting_detects_narrow_accumulator():
+    """With an 8-bit accumulator, INT16 x INT8 products overflow."""
+    config = AcceleratorConfig(accumulator_bits=8)
+    tensor = random_sparse_tensor(seed=244, shape=(8, 8, 8), nnz=20, channels=4)
+    result = EscaAccelerator(config).run_layer(tensor, out_channels=4)
+    assert result.saturated_accumulators > 0

@@ -1,0 +1,72 @@
+"""Unit tests for the bounded hardware FIFO."""
+
+import pytest
+
+from repro.sim import HardwareFifo
+
+
+def test_push_pop_fifo_order():
+    fifo = HardwareFifo(capacity=4)
+    for i in range(4):
+        fifo.push(i)
+    assert [fifo.pop() for _ in range(4)] == [0, 1, 2, 3]
+
+
+def test_capacity_enforced():
+    fifo = HardwareFifo(capacity=2)
+    fifo.push("a")
+    fifo.push("b")
+    assert fifo.is_full
+    assert not fifo.try_push("c")
+    with pytest.raises(OverflowError):
+        fifo.push("c")
+    assert fifo.stats.push_stalls == 2
+
+
+def test_pop_empty_raises():
+    fifo = HardwareFifo(capacity=1)
+    with pytest.raises(IndexError):
+        fifo.pop()
+    assert fifo.try_pop() is None
+
+
+def test_peek_does_not_remove():
+    fifo = HardwareFifo(capacity=2)
+    fifo.push(42)
+    assert fifo.peek() == 42
+    assert len(fifo) == 1
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        HardwareFifo(capacity=0)
+
+
+def test_stats_track_occupancy():
+    fifo = HardwareFifo(capacity=8)
+    fifo.push(1)
+    fifo.push(2)
+    fifo.observe()
+    fifo.pop()
+    fifo.observe()
+    assert fifo.stats.max_occupancy == 2
+    assert fifo.stats.pushes == 2
+    assert fifo.stats.pops == 1
+    assert fifo.stats.mean_occupancy() == pytest.approx(1.5)
+
+
+def test_clear_preserves_stats_reset_drops_them():
+    fifo = HardwareFifo(capacity=2)
+    fifo.push(1)
+    fifo.clear()
+    assert fifo.is_empty
+    assert fifo.stats.pushes == 1
+    fifo.reset()
+    assert fifo.stats.pushes == 0
+
+
+def test_free_slots():
+    fifo = HardwareFifo(capacity=3)
+    assert fifo.free_slots == 3
+    fifo.push(0)
+    assert fifo.free_slots == 2

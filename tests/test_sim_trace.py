@@ -1,0 +1,63 @@
+"""Tests for the statistics containers of the simulation substrate."""
+
+import pytest
+
+from repro.sim import CycleTrace, StatsCounter, Utilization
+
+
+def test_stats_counter_accumulates():
+    counter = StatsCounter()
+    counter.add("matches")
+    counter.add("matches", 4)
+    counter.add("stalls", 2)
+    assert counter.get("matches") == 5
+    assert counter.get("missing") == 0
+    assert counter.as_dict() == {"matches": 5, "stalls": 2}
+
+
+def test_stats_counter_reset_and_repr():
+    counter = StatsCounter()
+    counter.add("x")
+    assert "x=1" in repr(counter)
+    counter.reset()
+    assert counter.as_dict() == {}
+
+
+def test_utilization_fraction():
+    util = Utilization()
+    assert util.fraction == 0.0
+    util.record(True)
+    util.record(False)
+    util.record(True)
+    util.record(True)
+    assert util.busy_cycles == 3
+    assert util.total_cycles == 4
+    assert util.fraction == pytest.approx(0.75)
+
+
+def test_cycle_trace_disabled_by_default():
+    trace = CycleTrace()
+    assert not trace.enabled
+    trace.record(0, "sdmu", "read")
+    assert len(trace) == 0
+
+
+def test_cycle_trace_records_and_filters():
+    trace = CycleTrace(capacity=10)
+    trace.record(0, "sdmu", "read")
+    trace.record(1, "cc", "mac")
+    trace.record(2, "sdmu", "judge")
+    assert len(trace) == 3
+    assert [e[2] for e in trace.events("sdmu")] == ["read", "judge"]
+    assert len(trace.events()) == 3
+
+
+def test_cycle_trace_capacity_and_drops():
+    trace = CycleTrace(capacity=2)
+    for cycle in range(5):
+        trace.record(cycle, "u", "e")
+    assert len(trace) == 2
+    assert trace.dropped == 3
+    trace.clear()
+    assert len(trace) == 0
+    assert trace.dropped == 0

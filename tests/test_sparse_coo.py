@@ -1,0 +1,139 @@
+"""Unit tests for the COO sparse tensor."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import SparseTensor3D
+from tests.conftest import random_sparse_tensor
+
+
+def test_basic_properties():
+    coords = np.array([[0, 0, 0], [1, 2, 3], [4, 4, 4]])
+    features = np.array([[1.0], [2.0], [3.0]])
+    tensor = SparseTensor3D(coords, features, (5, 5, 5))
+    assert tensor.nnz == 3
+    assert tensor.num_channels == 1
+    assert tensor.volume == 125
+    assert tensor.sparsity == pytest.approx(1 - 3 / 125)
+
+
+def test_coords_are_sorted_lexicographically():
+    coords = np.array([[4, 0, 0], [0, 0, 1], [0, 0, 0]])
+    tensor = SparseTensor3D(coords, np.ones((3, 1)), (5, 5, 5))
+    assert np.array_equal(
+        tensor.coords, np.array([[0, 0, 0], [0, 0, 1], [4, 0, 0]])
+    )
+
+
+def test_features_follow_coordinate_sort():
+    coords = np.array([[2, 0, 0], [1, 0, 0]])
+    features = np.array([[20.0], [10.0]])
+    tensor = SparseTensor3D(coords, features, (3, 3, 3))
+    assert tensor.feature_at((1, 0, 0))[0] == 10.0
+    assert tensor.feature_at((2, 0, 0))[0] == 20.0
+
+
+def test_duplicate_coordinates_rejected():
+    coords = np.array([[1, 1, 1], [1, 1, 1]])
+    with pytest.raises(ValueError, match="duplicate"):
+        SparseTensor3D(coords, np.ones((2, 1)), (3, 3, 3))
+
+
+def test_out_of_bounds_rejected():
+    with pytest.raises(ValueError, match="bounds"):
+        SparseTensor3D(np.array([[5, 0, 0]]), np.ones((1, 1)), (5, 5, 5))
+    with pytest.raises(ValueError, match="non-negative"):
+        SparseTensor3D(np.array([[-1, 0, 0]]), np.ones((1, 1)), (5, 5, 5))
+
+
+def test_mismatched_rows_rejected():
+    with pytest.raises(ValueError, match="disagree"):
+        SparseTensor3D(np.array([[0, 0, 0]]), np.ones((2, 1)), (2, 2, 2))
+
+
+def test_row_lookup_and_contains():
+    tensor = random_sparse_tensor(seed=3, nnz=10)
+    coord = tuple(tensor.coords[4])
+    assert coord in tensor
+    assert tensor.row_of(coord) == 4
+    assert tensor.feature_at((0, 0, 0)) is None or (0, 0, 0) in tensor
+
+
+def test_from_points_mean_aggregation():
+    coords = np.array([[1, 1, 1], [1, 1, 1], [2, 2, 2]])
+    features = np.array([[2.0], [4.0], [6.0]])
+    tensor = SparseTensor3D.from_points(coords, features, (4, 4, 4), reduce="mean")
+    assert tensor.nnz == 2
+    assert tensor.feature_at((1, 1, 1))[0] == pytest.approx(3.0)
+
+
+def test_from_points_sum_and_max():
+    coords = np.array([[0, 0, 0], [0, 0, 0]])
+    features = np.array([[1.0], [5.0]])
+    summed = SparseTensor3D.from_points(coords, features, (2, 2, 2), reduce="sum")
+    assert summed.feature_at((0, 0, 0))[0] == pytest.approx(6.0)
+    maxed = SparseTensor3D.from_points(coords, features, (2, 2, 2), reduce="max")
+    assert maxed.feature_at((0, 0, 0))[0] == pytest.approx(5.0)
+
+
+def test_from_points_default_occupancy():
+    coords = np.array([[0, 1, 0], [1, 0, 1]])
+    tensor = SparseTensor3D.from_points(coords, None, (2, 2, 2))
+    assert np.all(tensor.features == 1.0)
+
+
+def test_dense_round_trip():
+    tensor = random_sparse_tensor(seed=4, shape=(6, 6, 6), nnz=12, channels=2)
+    dense = tensor.dense()
+    assert dense.shape == (6, 6, 6, 2)
+    rebuilt_nnz = int((np.abs(dense).max(axis=-1) > 0).sum())
+    # Random normal features are never exactly zero in practice.
+    assert rebuilt_nnz == tensor.nnz
+
+
+def test_empty_tensor():
+    tensor = SparseTensor3D.empty((8, 8, 8), channels=3)
+    assert tensor.nnz == 0
+    assert tensor.num_channels == 3
+    assert tensor.sparsity == 1.0
+    assert tensor.dense().shape == (8, 8, 8, 3)
+
+
+def test_crop_rebases_coordinates():
+    coords = np.array([[2, 2, 2], [5, 5, 5]])
+    tensor = SparseTensor3D(coords, np.ones((2, 1)), (8, 8, 8))
+    cropped = tensor.crop((2, 2, 2), (4, 4, 4))
+    assert cropped.nnz == 1
+    assert np.array_equal(cropped.coords, np.array([[0, 0, 0]]))
+    assert cropped.shape == (2, 2, 2)
+
+
+def test_crop_invalid_bounds():
+    tensor = SparseTensor3D.empty((4, 4, 4))
+    with pytest.raises(ValueError):
+        tensor.crop((2, 2, 2), (2, 3, 3))
+
+
+def test_translate():
+    tensor = SparseTensor3D(np.array([[0, 0, 0]]), np.ones((1, 1)), (4, 4, 4))
+    moved = tensor.translate((1, 2, 3))
+    assert np.array_equal(moved.coords, np.array([[1, 2, 3]]))
+
+
+def test_with_features_validates_length():
+    tensor = random_sparse_tensor(seed=5, nnz=8)
+    with pytest.raises(ValueError):
+        tensor.with_features(np.ones((3, 1)))
+
+
+def test_occupancy_has_single_ones_channel():
+    tensor = random_sparse_tensor(seed=6, nnz=9, channels=5)
+    occ = tensor.occupancy()
+    assert occ.num_channels == 1
+    assert np.all(occ.features == 1.0)
+    assert np.array_equal(occ.coords, tensor.coords)
+
+
+def test_1d_features_promoted_to_single_channel():
+    tensor = SparseTensor3D(np.array([[0, 0, 0]]), np.array([7.0]), (2, 2, 2))
+    assert tensor.features.shape == (1, 1)

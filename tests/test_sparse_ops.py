@@ -1,0 +1,92 @@
+"""Unit tests for sparse elementwise/structural operations."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    SparseTensor3D,
+    add_sparse,
+    concat_features,
+    dense_to_sparse,
+    relu,
+    scale_features,
+    sparse_allclose,
+    sparse_to_dense,
+)
+from tests.conftest import random_sparse_tensor
+
+
+def test_relu_clamps_but_keeps_sites():
+    tensor = random_sparse_tensor(seed=7, nnz=20, channels=3)
+    out = relu(tensor)
+    assert np.array_equal(out.coords, tensor.coords)
+    assert np.all(out.features >= 0)
+    # Sites whose features became zero are still present (submanifold).
+    assert out.nnz == tensor.nnz
+
+
+def test_scale_features_affine():
+    tensor = random_sparse_tensor(seed=8, nnz=10, channels=2)
+    out = scale_features(tensor, np.array([2.0, 0.5]), np.array([1.0, -1.0]))
+    expected = tensor.features * np.array([[2.0, 0.5]]) + np.array([[1.0, -1.0]])
+    assert np.allclose(out.features, expected)
+
+
+def test_scale_features_channel_mismatch():
+    tensor = random_sparse_tensor(seed=9, nnz=5, channels=2)
+    with pytest.raises(ValueError):
+        scale_features(tensor, np.ones(3))
+    with pytest.raises(ValueError):
+        scale_features(tensor, np.ones(2), np.ones(3))
+
+
+def test_add_sparse_same_sites():
+    tensor = random_sparse_tensor(seed=10, nnz=12, channels=2)
+    doubled = add_sparse(tensor, tensor)
+    assert np.allclose(doubled.features, 2 * tensor.features)
+
+
+def test_add_sparse_rejects_different_sites():
+    a = random_sparse_tensor(seed=11, nnz=12)
+    b = random_sparse_tensor(seed=12, nnz=12)
+    with pytest.raises(ValueError):
+        add_sparse(a, b)
+
+
+def test_concat_features():
+    tensor = random_sparse_tensor(seed=13, nnz=8, channels=2)
+    out = concat_features(tensor, tensor)
+    assert out.num_channels == 4
+    assert np.allclose(out.features[:, :2], tensor.features)
+    assert np.allclose(out.features[:, 2:], tensor.features)
+
+
+def test_sparse_allclose_detects_differences():
+    tensor = random_sparse_tensor(seed=14, nnz=9, channels=2)
+    assert sparse_allclose(tensor, tensor)
+    perturbed = tensor.with_features(tensor.features + 1e-3)
+    assert not sparse_allclose(tensor, perturbed)
+
+
+def test_dense_round_trip_through_helpers():
+    tensor = random_sparse_tensor(seed=15, shape=(5, 5, 5), nnz=10, channels=2)
+    dense = sparse_to_dense(tensor)
+    rebuilt = dense_to_sparse(dense)
+    assert sparse_allclose(tensor, rebuilt)
+
+
+def test_dense_to_sparse_tolerance():
+    dense = np.zeros((3, 3, 3, 1))
+    dense[0, 0, 0, 0] = 1e-6
+    dense[1, 1, 1, 0] = 1.0
+    assert dense_to_sparse(dense, tol=1e-3).nnz == 1
+    assert dense_to_sparse(dense).nnz == 2
+
+
+def test_dense_to_sparse_accepts_3d():
+    dense = np.zeros((2, 2, 2))
+    dense[1, 0, 1] = 3.0
+    tensor = dense_to_sparse(dense)
+    assert tensor.nnz == 1
+    assert tensor.num_channels == 1
+    assert tensor.feature_at((1, 0, 1))[0] == 3.0

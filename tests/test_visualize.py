@@ -1,0 +1,81 @@
+"""Tests for the ASCII visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import occupancy_summary, render_projection, render_tile_map
+from repro.arch import TileGrid
+from repro.sparse import SparseTensor3D
+from tests.conftest import random_sparse_tensor
+
+
+def test_projection_shape_and_symbols():
+    coords = np.array([[0, 0, 0], [3, 3, 3]])
+    tensor = SparseTensor3D(coords, np.ones((2, 1)), (4, 4, 4))
+    art = render_projection(tensor, axis="z")
+    lines = art.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == 4 for line in lines)
+    # Both occupied cells render as the densest symbol.
+    assert lines[0][0] == "@"
+    assert lines[3][3] == "@"
+    assert lines[0][3] == " "
+
+
+def test_projection_axis_selection():
+    coords = np.array([[1, 0, 0]])
+    tensor = SparseTensor3D(coords, np.ones((1, 1)), (4, 8, 16))
+    # Projecting along x removes the first axis: (y, z) = 8 x 16 canvas.
+    art = render_projection(tensor, axis="x")
+    lines = art.splitlines()
+    assert len(lines) == 8
+    assert all(len(line) == 16 for line in lines)
+
+
+def test_projection_invalid_axis():
+    tensor = SparseTensor3D.empty((4, 4, 4))
+    with pytest.raises(ValueError):
+        render_projection(tensor, axis="w")
+
+
+def test_projection_empty_tensor_blank():
+    tensor = SparseTensor3D.empty((4, 4, 4))
+    art = render_projection(tensor)
+    assert set(art) <= {" ", "\n"}
+
+
+def test_projection_downsamples_large_grids():
+    tensor = random_sparse_tensor(seed=180, shape=(192, 192, 192), nnz=50)
+    art = render_projection(tensor, axis="z", max_size=64)
+    lines = art.splitlines()
+    assert len(lines) <= 64
+    assert max(len(line) for line in lines) <= 64
+    with pytest.raises(ValueError):
+        render_projection(tensor, max_size=0)
+
+
+def test_density_ramp_monotonic():
+    # One stack of 10 occupied voxels vs a single voxel: denser symbol.
+    coords = np.array([[0, 0, z] for z in range(10)] + [[3, 3, 0]])
+    tensor = SparseTensor3D(coords, np.ones((11, 1)), (4, 4, 10))
+    art = render_projection(tensor, axis="z")
+    lines = art.splitlines()
+    ramp = " .:-=+*#%@"
+    assert ramp.index(lines[0][0]) > ramp.index(lines[3][3])
+
+
+def test_tile_map():
+    coords = np.array([[0, 0, 0], [9, 9, 9]])
+    tensor = SparseTensor3D(coords, np.ones((2, 1)), (16, 16, 16))
+    grid = TileGrid(tensor, (8, 8, 8))
+    art = render_tile_map(grid, axis="z")
+    lines = art.splitlines()
+    assert lines[0] == "#."
+    assert lines[1] == ".#"
+
+
+def test_occupancy_summary():
+    tensor = random_sparse_tensor(seed=181, shape=(8, 8, 8), nnz=12)
+    text = occupancy_summary(tensor)
+    assert "12 active sites" in text
+    assert "8x8x8" in text
