@@ -31,7 +31,7 @@ from repro.arch.host import HostExecutionModel, HostLayerRun
 from repro.arch.sdmu import Sdmu
 from repro.nn.init import conv_weight
 from repro.nn.functional import normalize_weights
-from repro.nn.rulebook import build_submanifold_rulebook
+from repro.nn.rulebook import build_submanifold_rulebook, get_submanifold_rulebook
 from repro.nn.unet import SSUNet, collect_all_executions
 from repro.quant.fixed_point import ACT_INT16, WEIGHT_INT8
 from repro.quant.quantizer import quantize_tensor
@@ -590,15 +590,32 @@ class AnalyticalModel:
     def __init__(self, config: Optional[AcceleratorConfig] = None) -> None:
         self.config = config or AcceleratorConfig()
 
-    def workload_statistics(
-        self, tensor: SparseTensor3D
-    ) -> Tuple[int, int]:
-        """``(scanned_positions, total_matches)`` for ``tensor``."""
+    def matching(self, tensor: SparseTensor3D, cache=None):
+        """The submanifold rulebook for ``tensor`` at the configured kernel.
+
+        ``cache`` (a :class:`repro.nn.rulebook.RulebookCache`) lets
+        repeated estimates over the same site set — e.g. consecutive
+        frames of a static scene — skip the matching pass entirely.
+        """
+        return get_submanifold_rulebook(
+            tensor, self.config.kernel_size, cache=cache
+        )
+
+    def scanned_positions(self, tensor: SparseTensor3D) -> int:
+        """Positions the SDMU scans under the zero-removing tiling."""
         encoded = EncodedFeatureMap(
             tensor, self.config.tile_shape, kernel_size=self.config.kernel_size
         )
-        rulebook = build_submanifold_rulebook(tensor, self.config.kernel_size)
-        return encoded.grid.scanned_positions(), rulebook.total_matches
+        return encoded.grid.scanned_positions()
+
+    def workload_statistics(
+        self, tensor: SparseTensor3D, cache=None
+    ) -> Tuple[int, int]:
+        """``(scanned_positions, total_matches)`` for ``tensor``."""
+        return (
+            self.scanned_positions(tensor),
+            self.matching(tensor, cache=cache).total_matches,
+        )
 
     def estimate_cycles(
         self,
@@ -620,8 +637,9 @@ class AnalyticalModel:
         tensor: SparseTensor3D,
         in_channels: int,
         out_channels: int,
+        cache=None,
     ) -> int:
-        scanned, matches = self.workload_statistics(tensor)
+        scanned, matches = self.workload_statistics(tensor, cache=cache)
         return self.estimate_cycles(scanned, matches, in_channels, out_channels)
 
     def estimate_layer_without_zero_removing(

@@ -12,12 +12,17 @@ nonzero activation, find the nonzero neighbors under each kernel offset.
 """
 
 from repro.nn.rulebook import (
+    GatherScatterPlan,
     Rulebook,
+    RulebookCache,
     build_sparse_conv_rulebook,
     build_submanifold_rulebook,
     kernel_offsets,
 )
 from repro.nn.functional import (
+    ApplyStats,
+    apply_rulebook,
+    apply_rulebook_reference,
     dense_conv3d_reference,
     global_avg_pool,
     global_max_pool,
@@ -44,6 +49,11 @@ from repro.nn.unet import (
 
 __all__ = [
     "Rulebook",
+    "RulebookCache",
+    "GatherScatterPlan",
+    "ApplyStats",
+    "apply_rulebook",
+    "apply_rulebook_reference",
     "kernel_offsets",
     "build_submanifold_rulebook",
     "build_sparse_conv_rulebook",

@@ -64,6 +64,8 @@ class SubmanifoldConv3d(Module):
             self.weight.value,
             bias=None if self.bias is None else self.bias.value,
             kernel_size=self.kernel_size,
+            cache=self._resolve_rulebook_cache(kwargs),
+            stats=kwargs.get("stats"),
         )
 
 
@@ -114,6 +116,8 @@ class SparseConv3d(Module):
             stride=self.stride,
             bias=None if self.bias is None else self.bias.value,
             kernel_size=self.kernel_size,
+            cache=self._resolve_rulebook_cache(kwargs),
+            stats=kwargs.get("stats"),
         )
 
 
@@ -175,6 +179,8 @@ class SparseInverseConv3d(Module):
             stride=self.stride,
             bias=None if self.bias is None else self.bias.value,
             kernel_size=self.kernel_size,
+            cache=self._resolve_rulebook_cache(kwargs),
+            stats=kwargs.get("stats"),
         )
 
 

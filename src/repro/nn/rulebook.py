@@ -12,8 +12,9 @@ doubles as a correctness oracle for the hardware SDMU model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,6 +40,31 @@ def kernel_offsets(kernel_size: int, center: bool = True) -> np.ndarray:
     return grid.reshape(-1, 3)
 
 
+@dataclass(frozen=True)
+class GatherScatterPlan:
+    """Feature-independent execution plan of a rulebook.
+
+    Precomputes everything the fused gather-GEMM-scatter evaluation in
+    :func:`repro.nn.functional.apply_rulebook` needs beyond the features
+    and weights: the concatenated (offset-major) input rows for one big
+    gather, per-offset segment boundaries into that concatenation, and
+    contiguous per-offset output-row arrays for the scatter.  Because the
+    plan depends only on the matching result it is built once per rulebook
+    and amortized across every layer (and frame) that reuses the rulebook.
+
+    A key structural invariant makes the fast scatter possible: within one
+    kernel offset every output row appears *at most once* (an output site
+    has at most one neighbor per offset), so ``out[rows] += contribution``
+    is well-defined without :func:`np.add.at` buffering.
+    """
+
+    in_rows: np.ndarray
+    segment_starts: np.ndarray
+    out_rows: List[np.ndarray]
+    active_offsets: List[int]
+    total_matches: int
+
+
 @dataclass
 class Rulebook:
     """Matching result of one sparse convolution.
@@ -61,6 +87,12 @@ class Rulebook:
     rules: List[np.ndarray]
     num_inputs: int
     num_outputs: int
+    _plan: Optional[GatherScatterPlan] = field(
+        default=None, repr=False, compare=False
+    )
+    _transposed: Optional["Rulebook"] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def total_matches(self) -> int:
@@ -68,12 +100,64 @@ class Rulebook:
         return int(sum(len(rule) for rule in self.rules))
 
     def matches_per_output(self) -> np.ndarray:
-        """Histogram: number of matches landing on each output row."""
-        counts = np.zeros(self.num_outputs, dtype=np.int64)
-        for rule in self.rules:
-            if len(rule):
-                np.add.at(counts, rule[:, 1], 1)
-        return counts
+        """Histogram: number of matches landing on each output row.
+
+        Vectorized as a single :func:`np.bincount` over the concatenated
+        output rows of every offset (each offset's rows are unique, but
+        rows repeat *across* offsets — bincount handles both).
+        """
+        per_offset = [rule[:, 1] for rule in self.rules if len(rule)]
+        if not per_offset:
+            return np.zeros(self.num_outputs, dtype=np.int64)
+        return np.bincount(
+            np.concatenate(per_offset), minlength=self.num_outputs
+        ).astype(np.int64)
+
+    def plan(self) -> GatherScatterPlan:
+        """The memoized :class:`GatherScatterPlan` for this rulebook."""
+        if self._plan is None:
+            sizes = [len(rule) for rule in self.rules]
+            total = int(sum(sizes))
+            segment_starts = np.zeros(len(self.rules) + 1, dtype=np.int64)
+            np.cumsum(sizes, out=segment_starts[1:])
+            if total:
+                in_rows = np.concatenate(
+                    [rule[:, 0] for rule in self.rules if len(rule)]
+                )
+            else:
+                in_rows = np.zeros(0, dtype=np.int64)
+            out_rows = [np.ascontiguousarray(rule[:, 1]) for rule in self.rules]
+            active = [k for k, size in enumerate(sizes) if size]
+            self._plan = GatherScatterPlan(
+                in_rows=in_rows,
+                segment_starts=segment_starts,
+                out_rows=out_rows,
+                active_offsets=active,
+                total_matches=total,
+            )
+        return self._plan
+
+    def transposed(self) -> "Rulebook":
+        """The rulebook with input and output roles swapped (memoized).
+
+        Evaluating the transposed rulebook is exactly the transposed
+        strided convolution: forward rule ``p -> q`` under offset ``d``
+        becomes ``q -> p``.  The ``offsets`` array is kept as the forward
+        offsets (it indexes the shared weight tensor), only the row roles
+        swap.  Output-row uniqueness per offset is preserved, because each
+        forward input row appears at most once per offset.
+        """
+        if self._transposed is None:
+            self._transposed = Rulebook(
+                kernel_size=self.kernel_size,
+                offsets=self.offsets,
+                rules=[
+                    np.ascontiguousarray(rule[:, ::-1]) for rule in self.rules
+                ],
+                num_inputs=self.num_outputs,
+                num_outputs=self.num_inputs,
+            )
+        return self._transposed
 
     def effective_macs(self, in_channels: int, out_channels: int) -> int:
         """Number of scalar multiply-accumulates implied by the rulebook."""
@@ -199,3 +283,130 @@ def build_sparse_conv_rulebook(
         num_outputs=len(out_coords),
     )
     return rulebook, out_coords
+
+
+def get_submanifold_rulebook(
+    tensor: SparseTensor3D,
+    kernel_size: int = 3,
+    cache: Optional["RulebookCache"] = None,
+) -> Rulebook:
+    """Cache-or-build dispatch for submanifold matching.
+
+    The single place that encodes "a ``None`` cache means build fresh" —
+    every consumer (functional convs, the analytical model) goes through
+    here so future lookup-semantics changes happen once.
+    """
+    if cache is not None:
+        return cache.submanifold(tensor, kernel_size)
+    return build_submanifold_rulebook(tensor, kernel_size)
+
+
+def get_sparse_conv_rulebook(
+    tensor: SparseTensor3D,
+    kernel_size: int = 2,
+    stride: int = 2,
+    cache: Optional["RulebookCache"] = None,
+) -> Tuple[Rulebook, np.ndarray]:
+    """Cache-or-build dispatch for strided (and transposed) matching."""
+    if cache is not None:
+        return cache.sparse_conv(tensor, kernel_size, stride)
+    return build_sparse_conv_rulebook(tensor, kernel_size, stride)
+
+
+class RulebookCache:
+    """LRU cache of rulebooks keyed on the packed coordinate set.
+
+    The matching operation depends only on the active-site set, the grid
+    shape, and the kernel geometry — not on features or weights.  Inside a
+    submanifold network every layer at the same U-Net scale therefore
+    shares one matching pass, and in a streaming deployment consecutive
+    frames with unchanged voxel sets skip matching entirely.
+
+    Keying / invalidation rule
+    --------------------------
+    The key is ``(kind, kernel_size, stride, grid shape,
+    coords_digest)`` where ``coords_digest`` is the BLAKE2b digest of the
+    canonically sorted coordinate array
+    (:meth:`repro.sparse.coo.SparseTensor3D.coords_digest`).  Tensors are
+    immutable by convention (every transformation builds a new instance),
+    so there is no explicit invalidation: any operation that changes the
+    site set produces a different digest and misses, while site-preserving
+    operations (ReLU, folded batch norm, feature replacement) keep the
+    digest and hit.
+
+    Entries are evicted least-recently-used beyond ``capacity``.  ``hits``
+    and ``misses`` count lookups since construction (or the last
+    :meth:`reset_stats`).
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def clear(self) -> None:
+        """Drop every cached rulebook (statistics are kept)."""
+        self._entries.clear()
+
+    def _lookup(self, key: Hashable, builder):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        entry = builder()
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return entry
+
+    def submanifold(
+        self, tensor: SparseTensor3D, kernel_size: int = 3
+    ) -> Rulebook:
+        """Cached :func:`build_submanifold_rulebook`."""
+        key = ("sub", int(kernel_size), tensor.shape, tensor.coords_digest())
+        return self._lookup(
+            key, lambda: build_submanifold_rulebook(tensor, kernel_size)
+        )
+
+    def sparse_conv(
+        self, tensor: SparseTensor3D, kernel_size: int = 2, stride: int = 2
+    ) -> Tuple[Rulebook, np.ndarray]:
+        """Cached :func:`build_sparse_conv_rulebook`.
+
+        The entry is shared between the downsampling convolution and the
+        transposed convolution that reverses it (which calls this with the
+        *reference* tensor), so one matching pass serves both directions.
+        """
+        key = (
+            "down",
+            int(kernel_size),
+            int(stride),
+            tensor.shape,
+            tensor.coords_digest(),
+        )
+        return self._lookup(
+            key,
+            lambda: build_sparse_conv_rulebook(tensor, kernel_size, stride),
+        )

@@ -26,6 +26,7 @@ from repro.nn.layers import (
     SubmanifoldConv3d,
 )
 from repro.nn.network import Module, Sequential
+from repro.nn.rulebook import RulebookCache
 from repro.sparse.coo import SparseTensor3D
 from repro.sparse.ops import concat_features
 
@@ -102,9 +103,20 @@ def _conv_block(
 
 
 class SSUNet(Module):
-    """Submanifold sparse U-Net for point-cloud semantic segmentation."""
+    """Submanifold sparse U-Net for point-cloud semantic segmentation.
 
-    def __init__(self, config: Optional[UNetConfig] = None) -> None:
+    Pass ``rulebook_cache`` (or call :meth:`use_rulebook_cache` later) to
+    share one matching pass across every convolution operating on the
+    same site set: all Sub-Conv layers of a U-Net scale hit the cache
+    after the first, and each decoder's transposed convolution reuses the
+    rulebook its encoder downsampling built.
+    """
+
+    def __init__(
+        self,
+        config: Optional[UNetConfig] = None,
+        rulebook_cache: Optional[RulebookCache] = None,
+    ) -> None:
         super().__init__()
         self.config = config or UNetConfig()
         cfg = self.config
@@ -156,24 +168,32 @@ class SSUNet(Module):
             ),
         )
 
+        if rulebook_cache is not None:
+            self.use_rulebook_cache(rulebook_cache)
+
     def forward(self, tensor: SparseTensor3D, **kwargs) -> SparseTensor3D:
-        """Forward pass; pass ``record=[]`` to capture Sub-Conv executions."""
+        """Forward pass.
+
+        Pass ``record=[]`` to capture convolution executions, ``cache=``
+        to use a rulebook cache for this call only, and ``stats=`` (an
+        :class:`repro.nn.functional.ApplyStats`) to accumulate the fused
+        engine's gather/GEMM/scatter timings.
+        """
         cfg = self.config
-        record = kwargs.get("record")
         skips: List[SparseTensor3D] = []
         current = tensor
         for level in range(cfg.levels - 1):
-            current = self.encoders[level](current, record=record)
+            current = self.encoders[level](current, **kwargs)
             skips.append(current)
-            current = self.downs[level](current, record=record)
-        current = self.bottom(current, record=record)
+            current = self.downs[level](current, **kwargs)
+        current = self.bottom(current, **kwargs)
         for level in reversed(range(cfg.levels - 1)):
             current = self.ups[level](
-                current, reference=skips[level], record=record
+                current, reference=skips[level], **kwargs
             )
             current = concat_features(skips[level], current)
-            current = self.decoders[level](current, record=record)
-        return self.head(current, record=record)
+            current = self.decoders[level](current, **kwargs)
+        return self.head(current, **kwargs)
 
 
 def collect_all_executions(

@@ -1,7 +1,15 @@
-"""Streaming execution of point-cloud frames on the accelerator model."""
+"""Streaming execution of point-cloud frames on the accelerator model.
+
+The runner owns a cross-frame :class:`repro.nn.rulebook.RulebookCache`:
+frames whose voxel set matches a previously seen frame (a static scene,
+or a stalled sensor) skip the matching pass entirely, and the per-frame
+engine statistics (rulebook hits/misses, matching and scatter seconds)
+are reported in :class:`FrameResult` / :class:`StreamStats`.
+"""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
@@ -14,6 +22,9 @@ from repro.arch.tiling import TileGrid
 from repro.geometry.point_cloud import PointCloud
 from repro.geometry.synthetic import make_shapenet_like_cloud
 from repro.geometry.voxelizer import Voxelizer
+from repro.nn.functional import ApplyStats, apply_rulebook
+from repro.nn.init import conv_weight
+from repro.nn.rulebook import RulebookCache
 from repro.sparse.coo import SparseTensor3D
 
 
@@ -62,7 +73,15 @@ class RotatingSceneSource:
 
 @dataclass(frozen=True)
 class FrameResult:
-    """Execution record of one streamed frame."""
+    """Execution record of one streamed frame.
+
+    The engine fields describe the software-side sparse-conv engine:
+    ``rulebook_hits`` / ``rulebook_misses`` are this frame's rulebook
+    cache lookups, ``matching_seconds`` is the wall-clock time spent in
+    (or saved by skipping) rulebook construction, and ``scatter_seconds``
+    is the fused engine's scatter-stage time when the runner executes the
+    reference convolution (see ``StreamingRunner(execute_reference=True)``).
+    """
 
     frame_id: int
     nnz: int
@@ -71,6 +90,10 @@ class FrameResult:
     core_seconds: float
     total_seconds: float
     effective_ops: int
+    rulebook_hits: int = 0
+    rulebook_misses: int = 0
+    matching_seconds: float = 0.0
+    scatter_seconds: float = 0.0
 
 
 @dataclass
@@ -106,6 +129,32 @@ class StreamStats:
         ops = sum(frame.effective_ops for frame in self.frames)
         return ops / self.total_seconds / 1e9
 
+    # ------------------------------------------------------------------
+    # Engine statistics
+    # ------------------------------------------------------------------
+    @property
+    def rulebook_hits(self) -> int:
+        return sum(frame.rulebook_hits for frame in self.frames)
+
+    @property
+    def rulebook_misses(self) -> int:
+        return sum(frame.rulebook_misses for frame in self.frames)
+
+    @property
+    def rulebook_hit_rate(self) -> float:
+        lookups = self.rulebook_hits + self.rulebook_misses
+        if lookups == 0:
+            return 0.0
+        return self.rulebook_hits / lookups
+
+    @property
+    def matching_seconds(self) -> float:
+        return sum(frame.matching_seconds for frame in self.frames)
+
+    @property
+    def scatter_seconds(self) -> float:
+        return sum(frame.scatter_seconds for frame in self.frames)
+
 
 class StreamingRunner:
     """Runs a Sub-Conv layer per frame and collects latency statistics.
@@ -123,6 +172,15 @@ class StreamingRunner:
         ``True`` runs the cycle-accurate simulator per frame; ``False``
         (default) uses the validated analytical model, which is what a
         deployment-planning sweep wants.
+    rulebook_cache:
+        Cross-frame rulebook cache; a fresh :class:`RulebookCache` is
+        created when omitted.  Frames whose voxel set matches an earlier
+        frame skip the matching pass (a cache hit).
+    execute_reference:
+        ``True`` additionally runs the fused software engine
+        (:func:`repro.nn.functional.apply_rulebook`) on every frame with
+        deterministic weights, populating ``FrameResult.scatter_seconds``.
+        Only meaningful in analytical mode; adds real compute per frame.
     """
 
     def __init__(
@@ -133,6 +191,8 @@ class StreamingRunner:
         resolution: int = 192,
         detailed: bool = False,
         overheads: Optional[SystemOverheadModel] = None,
+        rulebook_cache: Optional[RulebookCache] = None,
+        execute_reference: bool = False,
     ) -> None:
         self.config = config or AcceleratorConfig()
         self.in_channels = int(in_channels)
@@ -143,6 +203,20 @@ class StreamingRunner:
         self.detailed = bool(detailed)
         self.overheads = overheads if overheads is not None else SystemOverheadModel()
         self._analytical = AnalyticalModel(self.config)
+        self.rulebook_cache = (
+            rulebook_cache if rulebook_cache is not None else RulebookCache()
+        )
+        self.execute_reference = bool(execute_reference)
+        self._reference_weights = (
+            conv_weight(
+                np.random.default_rng(0),
+                self.config.kernel_size ** 3,
+                self.in_channels,
+                self.out_channels,
+            )
+            if self.execute_reference
+            else None
+        )
 
     def _frame_tensor(self, cloud: PointCloud, rng: np.random.Generator) -> SparseTensor3D:
         grid = self.voxelizer.voxelize(cloud)
@@ -157,9 +231,13 @@ class StreamingRunner:
         stats = StreamStats()
         rng = np.random.default_rng(source.seed)
         accelerator = EscaAccelerator(self.config, overheads=self.overheads)
+        cache = self.rulebook_cache
         for frame_id, cloud in enumerate(source):
             tensor = self._frame_tensor(cloud, rng)
             tiles = TileGrid(tensor, self.config.tile_shape)
+            hits_before, misses_before = cache.hits, cache.misses
+            matching_seconds = 0.0
+            scatter_seconds = 0.0
             if self.detailed:
                 run = accelerator.run_layer(
                     tensor, out_channels=self.out_channels,
@@ -170,7 +248,11 @@ class StreamingRunner:
                 matches = run.matches
                 ops = run.effective_ops
             else:
-                scanned, matches = self._analytical.workload_statistics(tensor)
+                t0 = time.perf_counter()
+                rulebook = self._analytical.matching(tensor, cache=cache)
+                matching_seconds = time.perf_counter() - t0
+                matches = rulebook.total_matches
+                scanned = self._analytical.scanned_positions(tensor)
                 cycles = self._analytical.estimate_cycles(
                     scanned, matches, self.in_channels, self.out_channels
                 )
@@ -189,6 +271,16 @@ class StreamingRunner:
                     volume, compute_seconds=core_seconds
                 )
                 ops = 2 * matches * self.in_channels * self.out_channels
+                if self.execute_reference:
+                    apply_stats = ApplyStats()
+                    apply_rulebook(
+                        rulebook,
+                        tensor.features,
+                        self._reference_weights,
+                        tensor.nnz,
+                        stats=apply_stats,
+                    )
+                    scatter_seconds = apply_stats.scatter_seconds
             stats.frames.append(
                 FrameResult(
                     frame_id=frame_id,
@@ -198,6 +290,10 @@ class StreamingRunner:
                     core_seconds=core_seconds,
                     total_seconds=total_seconds,
                     effective_ops=ops,
+                    rulebook_hits=cache.hits - hits_before,
+                    rulebook_misses=cache.misses - misses_before,
+                    matching_seconds=matching_seconds,
+                    scatter_seconds=scatter_seconds,
                 )
             )
         return stats

@@ -9,6 +9,7 @@ integer triples inside a bounded ``shape``; each coordinate carries a
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -73,6 +74,7 @@ class SparseTensor3D:
             if key in self._index:
                 raise ValueError(f"duplicate coordinate {key}")
             self._index[key] = row
+        self._coords_digest: Optional[bytes] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -96,6 +98,22 @@ class SparseTensor3D:
         if self.volume == 0:
             return 0.0
         return 1.0 - self.nnz / self.volume
+
+    def coords_digest(self) -> bytes:
+        """Stable 16-byte digest of the active-site set.
+
+        Coordinates are stored canonically (lexicographically sorted,
+        contiguous ``int64``), so two tensors share a digest exactly when
+        they share an active-site set.  :class:`repro.nn.rulebook.RulebookCache`
+        uses this as its cache key; the tensor is treated as immutable
+        (every transformation constructs a new instance), so the digest is
+        computed once and memoized.
+        """
+        if self._coords_digest is None:
+            self._coords_digest = hashlib.blake2b(
+                self.coords.tobytes(), digest_size=16
+            ).digest()
+        return self._coords_digest
 
     def row_of(self, coord: Coord) -> Optional[int]:
         """Row index of ``coord`` or ``None`` when the site is inactive."""
@@ -173,7 +191,11 @@ class SparseTensor3D:
     # ------------------------------------------------------------------
     def with_features(self, features: np.ndarray) -> "SparseTensor3D":
         """Same active sites, new features (row-aligned with ``self.coords``)."""
-        return SparseTensor3D(self.coords.copy(), features, self.shape)
+        out = SparseTensor3D(self.coords.copy(), features, self.shape)
+        # The site set is unchanged, so the memoized digest carries over —
+        # rulebook-cache lookups on layer outputs stay hash-free.
+        out._coords_digest = self._coords_digest
+        return out
 
     def map_features(self, fn) -> "SparseTensor3D":
         """Apply ``fn`` to the feature matrix and rewrap."""

@@ -11,7 +11,7 @@ from repro.arch import (
 )
 from repro.arch.config import SdmuTiming
 from repro.nn import SSUNet, UNetConfig, submanifold_conv3d
-from repro.quant import ACT_INT16, WEIGHT_INT8, quantize_tensor
+from repro.quant import ACT_INT16, quantize_tensor
 from repro.sparse import SparseTensor3D
 from tests.conftest import random_sparse_tensor
 

@@ -15,7 +15,6 @@ from repro.arch import (
 )
 from repro.arch.config import SdmuTiming
 from repro.sim import SimulationError
-from repro.sparse import SparseTensor3D
 from tests.conftest import random_sparse_tensor
 
 

@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.arch import (
-    AcceleratorConfig,
     BufferBudget,
     EscaAccelerator,
     NetworkCompiler,

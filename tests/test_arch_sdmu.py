@@ -1,6 +1,5 @@
 """Tests for the cycle-accurate SDMU (Sec. III-C, Figs. 6-7)."""
 
-import numpy as np
 import pytest
 
 from repro.arch import AcceleratorConfig, Sdmu

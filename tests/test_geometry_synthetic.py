@@ -5,7 +5,6 @@ import pytest
 
 from repro.geometry import (
     PointCloud,
-    Voxelizer,
     make_nyu_like_cloud,
     make_shapenet_like_cloud,
 )

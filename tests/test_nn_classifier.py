@@ -9,7 +9,6 @@ from repro.nn import (
     global_avg_pool,
     global_max_pool,
 )
-from repro.nn.unet import collect_all_executions
 from repro.sparse import SparseTensor3D
 from tests.conftest import random_sparse_tensor
 

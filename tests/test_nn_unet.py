@@ -7,7 +7,6 @@ from repro.nn import (
     BatchNormSparse,
     ReLUSparse,
     Sequential,
-    SparseConv3d,
     SparseInverseConv3d,
     SSUNet,
     SubmanifoldConv3d,
@@ -107,6 +106,58 @@ def test_collect_subconv_workloads():
     assert workloads[-1].nnz == tensor.nnz
     # Deeper layers run on coarser site sets.
     assert workloads[1].nnz <= tensor.nnz
+
+
+def test_unet_cached_forward_bit_identical_to_seed_reference():
+    """The cached/fused engine must reproduce the seed reference exactly.
+
+    The uncached forward is additionally cross-checked per layer against
+    the seed's ``np.add.at`` rulebook evaluation, so this guards both the
+    fused scatter and the cross-layer rulebook cache.
+    """
+    from repro.nn import (
+        RulebookCache,
+        apply_rulebook,
+        apply_rulebook_reference,
+        build_submanifold_rulebook,
+    )
+    from repro.sparse.ops import sparse_allclose
+
+    tensor = random_sparse_tensor(seed=70, shape=(16, 16, 16), nnz=70, channels=1)
+    cfg = UNetConfig(in_channels=1, num_classes=4, base_channels=4, levels=3)
+    plain = SSUNet(cfg)(tensor)
+    cache = RulebookCache()
+    net = SSUNet(cfg, rulebook_cache=cache)
+    cached = net(tensor)
+    assert np.array_equal(cached.features, plain.features)
+    assert sparse_allclose(cached, plain, rtol=1e-9)
+    assert cache.hits > 0  # layers at the same scale shared a matching pass
+
+    # A second forward over the same site set must hit for every rulebook.
+    cache.reset_stats()
+    again = net(tensor)
+    assert cache.misses == 0 and cache.hits > 0
+    assert np.array_equal(again.features, cached.features)
+
+    # Per-layer: fused engine vs seed np.add.at evaluation, bit-identical.
+    workloads = collect_subconv_workloads(net, tensor)
+    rng = np.random.default_rng(71)
+    for workload in workloads:
+        if workload.kernel_size == 1:
+            continue
+        rulebook = build_submanifold_rulebook(
+            workload.input_tensor, workload.kernel_size
+        )
+        weights = rng.standard_normal(
+            (workload.kernel_size ** 3, workload.in_channels, workload.out_channels)
+        )
+        fused = apply_rulebook(
+            rulebook, workload.input_tensor.features, weights, workload.nnz
+        )
+        reference = apply_rulebook_reference(
+            rulebook, workload.input_tensor.features, weights, workload.nnz
+        )
+        assert np.array_equal(fused, reference)
 
 
 def test_unet_reps_two():

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.arch import AcceleratorConfig
 from repro.geometry import PointCloud, make_shapenet_like_cloud
 from repro.runtime import RotatingSceneSource, StreamingRunner, StreamStats
 from repro.runtime.stream import FrameResult
@@ -92,3 +91,56 @@ def test_multichannel_frames():
     runner = StreamingRunner(resolution=64, in_channels=8, out_channels=8)
     stats = runner.run(small_source(num_frames=2))
     assert stats.mean_gops() > 0
+
+
+def test_static_scene_hits_rulebook_cache():
+    """Unchanged voxel sets across frames must skip the matching pass."""
+    source = RotatingSceneSource(
+        base_cloud=make_shapenet_like_cloud(seed=3, n_points=400),
+        num_frames=4,
+        step_rad=0.0,
+        noise_sigma=0.0,
+        seed=3,
+    )
+    runner = StreamingRunner(resolution=64)
+    stats = runner.run(source)
+    assert stats.frames[0].rulebook_misses == 1
+    assert stats.frames[0].rulebook_hits == 0
+    for frame in stats.frames[1:]:
+        assert frame.rulebook_hits == 1
+        assert frame.rulebook_misses == 0
+    assert stats.rulebook_hit_rate == pytest.approx(3 / 4)
+    assert stats.matching_seconds > 0.0
+
+
+def test_rotating_scene_counts_misses():
+    runner = StreamingRunner(resolution=64)
+    stats = runner.run(small_source(num_frames=3))
+    assert stats.rulebook_misses == 3
+    assert stats.rulebook_hits == 0
+
+
+def test_execute_reference_reports_scatter_time():
+    runner = StreamingRunner(resolution=64, execute_reference=True)
+    stats = runner.run(small_source(num_frames=2))
+    assert stats.scatter_seconds > 0.0
+    for frame in stats.frames:
+        assert frame.scatter_seconds > 0.0
+
+
+def test_runner_accepts_shared_cache():
+    from repro.nn import RulebookCache
+
+    cache = RulebookCache()
+    source = RotatingSceneSource(
+        base_cloud=make_shapenet_like_cloud(seed=4, n_points=300),
+        num_frames=2,
+        step_rad=0.0,
+        noise_sigma=0.0,
+        seed=4,
+    )
+    StreamingRunner(resolution=64, rulebook_cache=cache).run(source)
+    # A second runner sharing the cache starts warm.
+    stats = StreamingRunner(resolution=64, rulebook_cache=cache).run(source)
+    assert stats.rulebook_misses == 0
+    assert stats.rulebook_hits == 2

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.sparse import (
-    SparseTensor3D,
     add_sparse,
     concat_features,
     dense_to_sparse,
