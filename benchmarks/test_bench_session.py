@@ -1,0 +1,127 @@
+"""Session-overhead smoke benchmark.
+
+The :class:`repro.engine.session.InferenceSession` is the mandatory
+front door, so its dispatch cost must be negligible: resolving a
+rulebook through the session and running the fused engine may add at
+most 5 % over calling ``RulebookCache`` + ``apply_rulebook`` directly on
+the default streaming workload.  A second check covers the batching
+surface: ``run_batch`` over repeated site sets must not be slower than
+sequential ``run`` calls by more than the same margin.
+"""
+
+import statistics
+import time
+
+import numpy as np
+
+from repro.engine import InferenceSession
+from repro.geometry.synthetic import make_shapenet_like_cloud
+from repro.geometry.voxelizer import Voxelizer
+from repro.nn import RulebookCache, UNetConfig, apply_rulebook
+
+
+def default_workload():
+    """The StreamingRunner default: occupancy grid at 192^3, Sub-Conv 1->16."""
+    cloud = make_shapenet_like_cloud(seed=0, n_points=60000)
+    grid = Voxelizer(resolution=192, normalize=False, occupancy_only=True).voxelize(
+        cloud
+    )
+    rng = np.random.default_rng(0)
+    weights = rng.standard_normal((27, 1, 16))
+    return grid, weights
+
+
+def interleaved_medians(fn_a, fn_b, reps=31, warmup=3):
+    """Median seconds of two closely-matched paths, sampled alternately.
+
+    Interleaving makes machine-load drift (noisy CI neighbors, thermal
+    throttling) hit both paths equally instead of biasing whichever ran
+    second, which is what a small relative-overhead assertion needs.
+    """
+    for _ in range(warmup):
+        fn_a()
+        fn_b()
+    samples_a, samples_b = [], []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn_a()
+        samples_a.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        samples_b.append(time.perf_counter() - start)
+    return statistics.median(samples_a), statistics.median(samples_b)
+
+
+def test_session_dispatch_overhead_under_5_percent(write_report):
+    grid, weights = default_workload()
+
+    cache = RulebookCache()
+    cache.submanifold(grid, 3)  # warm both paths
+
+    def direct_layer():
+        rulebook = cache.submanifold(grid, 3)
+        return apply_rulebook(rulebook, grid.features, weights, grid.nnz)
+
+    session = InferenceSession(rulebook_cache=cache)
+    session.subconv(grid, weights)  # warm
+
+    def session_layer():
+        return session.subconv(grid, weights)
+
+    assert np.array_equal(direct_layer(), session_layer().features)
+
+    direct_s, session_s = interleaved_medians(direct_layer, session_layer)
+    overhead = session_s / direct_s - 1.0
+
+    report = "\n".join(
+        [
+            "Session dispatch overhead — default ShapeNet-like workload "
+            f"(nnz={grid.nnz}, Sub-Conv 1->16)",
+            f"direct cache + apply_rulebook: {direct_s * 1e3:8.3f} ms",
+            f"session.subconv dispatch:      {session_s * 1e3:8.3f} ms",
+            f"overhead:                      {overhead * 100:8.2f} %",
+        ]
+    )
+    write_report("session_overhead", report)
+    assert overhead < 0.05, (
+        f"session dispatch overhead {overhead * 100:.2f}% exceeds the 5% budget"
+    )
+
+
+def test_run_batch_amortizes_planning(write_report):
+    """Batched execution over repeated site sets must not cost more than
+    sequential per-frame runs (it shares one plan lookup and one gather)."""
+    cloud = make_shapenet_like_cloud(seed=1, n_points=8000)
+    grid = Voxelizer(resolution=64, normalize=False, occupancy_only=True).voxelize(
+        cloud
+    )
+    rng = np.random.default_rng(2)
+    frames = [
+        grid.with_features(rng.standard_normal((grid.nnz, 1))) for _ in range(4)
+    ]
+    session = InferenceSession(
+        unet_config=UNetConfig(in_channels=1, num_classes=8, base_channels=8,
+                               levels=3)
+    )
+    session.run_batch(frames)  # warm plan + caches
+
+    sequential_s, batched_s = interleaved_medians(
+        lambda: [session.run(frame) for frame in frames],
+        lambda: session.run_batch(frames),
+        reps=9,
+        warmup=1,
+    )
+
+    report = "\n".join(
+        [
+            f"Batched execution — 4 frames, shared site set (nnz={grid.nnz})",
+            f"sequential session.run x4: {sequential_s * 1e3:8.3f} ms",
+            f"session.run_batch:         {batched_s * 1e3:8.3f} ms",
+            f"batch/sequential ratio:    {batched_s / sequential_s:8.3f}",
+        ]
+    )
+    write_report("session_batching", report)
+    assert batched_s <= sequential_s * 1.05, (
+        f"run_batch ({batched_s * 1e3:.3f} ms) slower than sequential runs "
+        f"({sequential_s * 1e3:.3f} ms) beyond the 5% margin"
+    )

@@ -22,6 +22,10 @@ This package is a from-scratch, repository-scale reproduction of the SOCC
   used for the comparisons in Table III and Fig. 10.
 * ``repro.analysis`` — metrics, report formatting, and one experiment
   function per table/figure of the paper's evaluation.
+* ``repro.engine`` — the unified :class:`InferenceSession` front door:
+  one object owning the rulebook cache, cross-scale plan cache,
+  accelerator/host configuration, and quantization settings, with
+  single-frame, batched, and estimate execution surfaces.
 
 Quickstart::
 
@@ -59,6 +63,7 @@ from repro.analysis import (
     run_table2,
     run_table3,
 )
+from repro.engine import InferenceSession, PlanCache, QuantizationSpec
 
 __all__ = [
     "__version__",
@@ -80,4 +85,7 @@ __all__ = [
     "run_table2",
     "run_table3",
     "run_fig10",
+    "InferenceSession",
+    "PlanCache",
+    "QuantizationSpec",
 ]

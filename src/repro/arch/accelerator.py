@@ -398,6 +398,7 @@ class EscaAccelerator:
         compiler: Optional["NetworkCompiler"] = None,
         verify: bool = False,
         max_cycles: int = 50_000_000,
+        rulebook_cache=None,
     ) -> "PlannedLayerRunResult":
         """Execute a layer under a compiler plan (chunks x channel passes).
 
@@ -424,7 +425,7 @@ class EscaAccelerator:
                 f"weights expect Cin={weights.shape[1]}, tensor has "
                 f"{tensor.num_channels}"
             )
-        compiler = compiler or NetworkCompiler(cfg)
+        compiler = compiler or NetworkCompiler(cfg, rulebook_cache=rulebook_cache)
         plan = compiler.plan_layer(
             tensor, int(weights.shape[2]), name=layer_name
         )
@@ -521,6 +522,7 @@ class EscaAccelerator:
         verify: bool = False,
         include_host_layers: bool = False,
         host_model: Optional[HostExecutionModel] = None,
+        rulebook_cache=None,
     ) -> NetworkRunResult:
         """Simulate every Sub-Conv execution of ``net`` applied to ``tensor``.
 
@@ -531,8 +533,13 @@ class EscaAccelerator:
         PS-side cost is estimated by :class:`HostExecutionModel` and
         reported in ``host_layers`` (an end-to-end extension beyond the
         paper's published accounting).
+
+        ``rulebook_cache`` (typically session-owned, see
+        :class:`repro.engine.session.InferenceSession`) is threaded
+        through both the recording forward pass and the host model, so
+        no consumer rebuilds a matching the session already holds.
         """
-        executions = collect_all_executions(net, tensor)
+        executions = collect_all_executions(net, tensor, cache=rulebook_cache)
         workloads = [
             ex
             for ex in executions
@@ -549,7 +556,7 @@ class EscaAccelerator:
                     and ex.kernel_size == self.config.kernel_size
                 )
             ]
-            result.host_layers = model.run_layers(host_side)
+            result.host_layers = model.run_layers(host_side, cache=rulebook_cache)
         for workload in workloads:
             layer = self._find_layer(net, workload.name)
             run = self.run_layer(

@@ -27,7 +27,11 @@ from typing import List, Optional, Tuple
 
 from repro.arch.config import AcceleratorConfig
 from repro.arch.tiling import TileGrid
-from repro.nn.rulebook import build_submanifold_rulebook
+from repro.nn.rulebook import (
+    Rulebook,
+    RulebookCache,
+    get_submanifold_rulebook,
+)
 from repro.sparse.coo import SparseTensor3D
 
 
@@ -133,15 +137,23 @@ class CompilationError(ValueError):
 
 
 class NetworkCompiler:
-    """Plans layers onto the accelerator's finite buffers."""
+    """Plans layers onto the accelerator's finite buffers.
+
+    A :class:`repro.nn.rulebook.RulebookCache` (typically the one owned
+    by an :class:`repro.engine.session.InferenceSession`) lets the
+    channel-pass/tile-chunk planner reuse the matching pass the network
+    forward already performed instead of rebuilding it per layer.
+    """
 
     def __init__(
         self,
         config: Optional[AcceleratorConfig] = None,
         budget: Optional[BufferBudget] = None,
+        rulebook_cache: Optional[RulebookCache] = None,
     ) -> None:
         self.config = config or AcceleratorConfig()
         self.budget = budget or BufferBudget.from_config(self.config)
+        self.rulebook_cache = rulebook_cache
 
     # ------------------------------------------------------------------
     # Channel splitting
@@ -204,12 +216,17 @@ class NetworkCompiler:
     # Tile chunking
     # ------------------------------------------------------------------
     def plan_tile_chunks(
-        self, tensor: SparseTensor3D, in_channels: int
+        self,
+        tensor: SparseTensor3D,
+        in_channels: int,
+        rulebook: Optional[Rulebook] = None,
     ) -> List[TileChunk]:
         """Group active tiles so activations/outputs fit per chunk.
 
         Matches are attributed to the chunk of their *output* site via
         the reference rulebook, so per-chunk cycle estimates are exact.
+        A session-provided ``rulebook`` (or the compiler's attached
+        cache) avoids re-running the matching the forward already did.
         """
         grid = TileGrid(tensor, self.config.tile_shape)
         tiles = grid.active_tiles
@@ -219,7 +236,10 @@ class NetworkCompiler:
         act_capacity_sites = self.budget.activation_words_per_bank // ic_steps
         out_capacity_sites = self.budget.output_words
         capacity = max(1, min(act_capacity_sites, out_capacity_sites))
-        rulebook = build_submanifold_rulebook(tensor, self.config.kernel_size)
+        if rulebook is None:
+            rulebook = get_submanifold_rulebook(
+                tensor, self.config.kernel_size, cache=self.rulebook_cache
+            )
         per_output = rulebook.matches_per_output()
         tile_volume = grid.tile_volume()
 
@@ -266,12 +286,13 @@ class NetworkCompiler:
         tensor: SparseTensor3D,
         out_channels: int,
         name: str = "subconv",
+        rulebook: Optional[Rulebook] = None,
     ) -> LayerPlan:
         """Full mapping of one Sub-Conv layer: passes, chunks, commands."""
         cfg = self.config
         in_channels = tensor.num_channels
         passes = self.plan_channel_passes(in_channels, out_channels)
-        chunks = self.plan_tile_chunks(tensor, in_channels)
+        chunks = self.plan_tile_chunks(tensor, in_channels, rulebook=rulebook)
         plan = LayerPlan(
             name=name,
             in_channels=in_channels,

@@ -9,6 +9,12 @@ a true end-to-end latency — an extension beyond the paper's published
 numbers (which the ESCA calibration constants already absorb; see
 EXPERIMENTS.md).
 
+Rulebooks are **session-provided**: pass an explicit ``rulebook`` (as
+:meth:`repro.engine.session.InferenceSession.estimate` does from its
+network plan) or a shared :class:`repro.nn.rulebook.RulebookCache`;
+only when neither is given does the model fall back to building the
+matching itself, the pre-session behavior.
+
 Rates are set to conservative Cortex-A53 values: NEON GEMM throughput of
 about 1.2 effective GOPS and ~8 M coordinate-hash probes per second.
 """
@@ -16,9 +22,14 @@ about 1.2 effective GOPS and ~8 M coordinate-hash probes per second.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
-from repro.nn.rulebook import build_sparse_conv_rulebook, build_submanifold_rulebook
+from repro.nn.rulebook import (
+    Rulebook,
+    RulebookCache,
+    get_sparse_conv_rulebook,
+    get_submanifold_rulebook,
+)
 from repro.nn.unet import LayerExecution
 
 
@@ -50,25 +61,42 @@ class HostExecutionModel:
         self.probe_rate_per_s = probe_rate_per_s
         self.dispatch_seconds = dispatch_seconds
 
-    def run_layer(self, execution: LayerExecution) -> HostLayerRun:
-        """Estimate one recorded layer execution."""
+    def run_layer(
+        self,
+        execution: LayerExecution,
+        rulebook: Optional[Rulebook] = None,
+        cache: Optional[RulebookCache] = None,
+    ) -> HostLayerRun:
+        """Estimate one recorded layer execution.
+
+        ``rulebook`` short-circuits matching entirely (the session's
+        plan already holds it); otherwise ``cache`` amortizes it across
+        layers and frames; otherwise the matching is rebuilt per call.
+        The timing model still charges the probe cost either way — the
+        host CPU performs the hash probes regardless of what the model
+        software reuses.
+        """
         tensor = execution.input_tensor
         if execution.kind == "subconv":
-            rulebook = build_submanifold_rulebook(tensor, execution.kernel_size)
-            matches = rulebook.total_matches
+            if rulebook is None:
+                rulebook = get_submanifold_rulebook(
+                    tensor, execution.kernel_size, cache=cache
+                )
             probes = tensor.nnz * execution.kernel_size ** 3
         elif execution.kind in ("sparseconv", "invconv"):
             # For "invconv" the recorded tensor is the fine reference set,
             # whose forward rulebook is exactly the transposed matching.
-            rulebook, _ = build_sparse_conv_rulebook(
-                tensor,
-                kernel_size=execution.kernel_size,
-                stride=execution.stride,
-            )
-            matches = rulebook.total_matches
+            if rulebook is None:
+                rulebook, _ = get_sparse_conv_rulebook(
+                    tensor,
+                    kernel_size=execution.kernel_size,
+                    stride=execution.stride,
+                    cache=cache,
+                )
             probes = tensor.nnz * execution.kernel_size ** 3
         else:
             raise ValueError(f"unknown layer kind {execution.kind!r}")
+        matches = rulebook.total_matches
         ops = 2 * matches * execution.in_channels * execution.out_channels
         seconds = (
             self.dispatch_seconds
@@ -83,5 +111,11 @@ class HostExecutionModel:
             seconds=seconds,
         )
 
-    def run_layers(self, executions: List[LayerExecution]) -> List[HostLayerRun]:
-        return [self.run_layer(execution) for execution in executions]
+    def run_layers(
+        self,
+        executions: List[LayerExecution],
+        cache: Optional[RulebookCache] = None,
+    ) -> List[HostLayerRun]:
+        return [
+            self.run_layer(execution, cache=cache) for execution in executions
+        ]

@@ -1,0 +1,35 @@
+"""Unified inference engine: the session front door of the reproduction.
+
+:class:`repro.engine.session.InferenceSession` is the single entry point
+for running the SS U-Net against every consumer of the matching results:
+the numeric network forward, the analytical cycle/latency estimate, the
+cycle-accurate accelerator simulation, and the host-side (PS) model all
+draw their rulebooks from one session-owned :class:`RulebookCache`, and
+whole-network execution plans (one per input site set) are reused across
+frames, batches, and estimates through the cross-scale
+:class:`repro.engine.session.PlanCache`.
+"""
+
+from repro.engine.session import (
+    InferenceSession,
+    LayerEstimate,
+    NetworkEstimate,
+    NetworkPlan,
+    PlanCache,
+    QuantizationSpec,
+    ScalePlan,
+    SessionStats,
+    SubconvEstimate,
+)
+
+__all__ = [
+    "InferenceSession",
+    "PlanCache",
+    "NetworkPlan",
+    "ScalePlan",
+    "QuantizationSpec",
+    "SessionStats",
+    "SubconvEstimate",
+    "LayerEstimate",
+    "NetworkEstimate",
+]

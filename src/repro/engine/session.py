@@ -1,0 +1,959 @@
+"""The unified :class:`InferenceSession` — one entry point for the SS U-Net.
+
+The paper's matching-reuse story (one matching pass serving many
+consumers) only pays off when every consumer shares the same rulebooks.
+Before this module, each consumer owned its own ad-hoc entry point: the
+numeric network threaded a cache through forward kwargs, the streaming
+runtime built its own, and the host/compiler models rebuilt rulebooks
+from scratch.  The session centralizes that state:
+
+* a :class:`repro.nn.rulebook.RulebookCache` — one matching pass per
+  (site set, kernel geometry), shared by the network forward, the
+  analytical estimate, the cycle-accurate simulation, the host model,
+  and the compiler;
+* a cross-scale :class:`PlanCache` — the strided rulebook of U-Net level
+  ``L`` fixes the site set of level ``L + 1``, so one walk down the
+  scales yields every rulebook the whole network needs (a
+  :class:`NetworkPlan`), amortized across frames, batches and estimates;
+* the :class:`repro.arch.config.AcceleratorConfig`,
+  :class:`repro.arch.host.HostExecutionModel`,
+  :class:`repro.arch.overhead.SystemOverheadModel`, and the session's
+  quantization settings (:class:`QuantizationSpec`).
+
+Three execution surfaces::
+
+    session.run(tensor)          # single-frame network forward
+    session.run_batch(tensors)   # multi-frame, stacked features over
+                                 # cached plans; bit-identical to
+                                 # per-frame run() calls
+    session.estimate(tensor)     # analytical cycle/latency model,
+                                 # accelerated + host layers
+
+``run_batch`` groups frames by their coordinate digest: frames sharing a
+site set share one plan, one gather and one scatter per offset, with the
+per-offset GEMM executed frame by frame on identical contiguous blocks
+(:func:`repro.nn.functional.apply_rulebook_batch`) so batched outputs
+are bit-identical to sequential ones.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.accelerator import (
+    AnalyticalModel,
+    EscaAccelerator,
+    NetworkRunResult,
+)
+from repro.arch.config import AcceleratorConfig
+from repro.arch.host import HostExecutionModel, HostLayerRun
+from repro.arch.overhead import SystemOverheadModel, layer_transfer_volume
+from repro.arch.tiling import TileGrid
+from repro.nn.functional import (
+    ApplyStats,
+    apply_rulebook,
+    apply_rulebook_batch,
+    normalize_weights,
+)
+from repro.nn.layers import (
+    BatchNormSparse,
+    ReLUSparse,
+    SparseConv3d,
+    SparseInverseConv3d,
+    SubmanifoldConv3d,
+)
+from repro.nn.network import Parameter, Sequential
+from repro.nn.rulebook import Rulebook, RulebookCache
+from repro.nn.unet import LayerExecution, SSUNet, UNetConfig
+from repro.quant.fixed_point import (
+    ACC_INT32,
+    ACT_INT16,
+    WEIGHT_INT8,
+    FixedPointFormat,
+    dequantize,
+    quantize,
+    saturate,
+)
+from repro.quant.quantizer import calibrate_scale
+from repro.sparse.coo import SparseTensor3D
+
+PRECISIONS = ("float64", "float32", "int")
+
+
+@dataclass(frozen=True)
+class QuantizationSpec:
+    """Fixed-point formats of the session's quantized (``int``) path.
+
+    Defaults follow the paper's FPGA deployment: INT8 weights, INT16
+    activations, INT32 accumulators (saturation applied once per layer).
+    """
+
+    weight_fmt: FixedPointFormat = WEIGHT_INT8
+    act_fmt: FixedPointFormat = ACT_INT16
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Snapshot of a session's engine counters.
+
+    ``matching_passes`` counts actual rulebook constructions (cache
+    misses); every other rulebook consumption was a reuse.  The tentpole
+    invariant — a warm session performs exactly one matching pass per
+    (scale, kind) — is asserted against this field in the test suite.
+    """
+
+    frames_run: int
+    batches_run: int
+    estimates: int
+    matching_passes: int
+    rulebook_hits: int
+    rulebook_misses: int
+    rulebook_hit_rate: float
+    plan_hits: int
+    plan_misses: int
+    apply_matches: int
+    gather_seconds: float
+    gemm_seconds: float
+    scatter_seconds: float
+
+
+@dataclass(frozen=True)
+class SubconvEstimate:
+    """Analytical estimate of one Sub-Conv layer (streaming hot path)."""
+
+    rulebook: Rulebook
+    matches: int
+    scanned_positions: int
+    cycles: int
+    core_seconds: float
+
+
+@dataclass(frozen=True)
+class LayerEstimate:
+    """Analytical estimate of one accelerated (Sub-Conv) network layer."""
+
+    name: str
+    level: int
+    kernel_size: int
+    in_channels: int
+    out_channels: int
+    nnz: int
+    matches: int
+    cycles: int
+    core_seconds: float
+    overhead_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.core_seconds + self.overhead_seconds
+
+    @property
+    def effective_ops(self) -> int:
+        return 2 * self.matches * self.in_channels * self.out_channels
+
+
+@dataclass
+class NetworkEstimate:
+    """Whole-network analytical estimate: accelerated + host layers."""
+
+    layers: List[LayerEstimate] = field(default_factory=list)
+    host_layers: List[HostLayerRun] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def accel_seconds(self) -> float:
+        return sum(layer.total_seconds for layer in self.layers)
+
+    @property
+    def host_seconds(self) -> float:
+        return sum(run.seconds for run in self.host_layers)
+
+    @property
+    def end_to_end_seconds(self) -> float:
+        return self.accel_seconds + self.host_seconds
+
+    @property
+    def effective_ops(self) -> int:
+        return sum(layer.effective_ops for layer in self.layers) + sum(
+            run.effective_ops for run in self.host_layers
+        )
+
+    def effective_gops(self) -> float:
+        if self.end_to_end_seconds == 0.0:
+            return 0.0
+        return self.effective_ops / self.end_to_end_seconds / 1e9
+
+
+@dataclass
+class ScalePlan:
+    """Per-scale matching artifacts of a :class:`NetworkPlan`.
+
+    ``template`` is an occupancy tensor carrying this scale's site set
+    (features are irrelevant to matching).  ``sub_rulebooks`` maps the
+    submanifold kernel sizes used at this scale to their rulebooks;
+    ``down_rulebook`` / ``down_coords`` describe the strided convolution
+    leaving this scale (``None`` at the deepest scale) — its output
+    coordinates *seed the next scale's site set*, which is what makes
+    one walk down the scales sufficient for the whole network.
+    """
+
+    level: int
+    template: SparseTensor3D
+    sub_rulebooks: Dict[int, Rulebook] = field(default_factory=dict)
+    down_rulebook: Optional[Rulebook] = None
+    down_coords: Optional[np.ndarray] = None
+    down_kernel: int = 0
+    down_stride: int = 0
+    _encoding_memo: Dict[Hashable, Tuple[int, int]] = field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def nnz(self) -> int:
+        return self.template.nnz
+
+    def encoding_statistics(
+        self, config: AcceleratorConfig, analytical: AnalyticalModel
+    ) -> Tuple[int, int]:
+        """Memoized ``(scanned_positions, mask_bits)`` for ``config``."""
+        key = (config.tile_shape, config.kernel_size)
+        if key not in self._encoding_memo:
+            scanned = analytical.scanned_positions(self.template)
+            tiles = TileGrid(self.template, config.tile_shape)
+            mask_bits = tiles.num_active_tiles * tiles.tile_volume()
+            self._encoding_memo[key] = (scanned, mask_bits)
+        return self._encoding_memo[key]
+
+
+@dataclass
+class NetworkPlan:
+    """Every matching artifact one network forward needs, by scale."""
+
+    signature: Tuple
+    scales: List[ScalePlan]
+    cache_entries: List[Tuple[Hashable, object]] = field(default_factory=list)
+
+    @property
+    def num_scales(self) -> int:
+        return len(self.scales)
+
+    def scale(self, level: int) -> ScalePlan:
+        return self.scales[level]
+
+    @property
+    def matching_passes(self) -> int:
+        """Distinct (scale, kind) matchings the plan comprises."""
+        count = 0
+        for sp in self.scales:
+            count += len(sp.sub_rulebooks)
+            if sp.down_rulebook is not None:
+                count += 1
+        return count
+
+
+def _net_signature(net: SSUNet) -> Tuple:
+    """Geometry fingerprint of a network: what a plan's validity depends on."""
+    downs = tuple(
+        (down.kernel_size, down.stride) for down in net.downs
+    )
+    return (
+        "ssunet",
+        net.config.levels,
+        net.config.reps,
+        net.config.kernel_size,
+        net.head.kernel_size,
+        downs,
+    )
+
+
+class PlanCache:
+    """LRU cache of :class:`NetworkPlan` objects, keyed on the root site set.
+
+    A plan depends only on the input site set, the grid shape and the
+    network geometry — never on features or weights — so consecutive
+    frames with unchanged voxel sets, every frame of a batch group, and
+    every estimate over the same scene reuse one plan.  On a hit, the
+    plan's rulebooks are re-seeded into the session's
+    :class:`RulebookCache` (without perturbing its hit/miss statistics)
+    so module-path forwards stay all-hits even if LRU pressure evicted
+    individual entries in between.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Hashable, NetworkPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def network_plan(
+        self, tensor: SparseTensor3D, net: SSUNet, rulebook_cache: RulebookCache
+    ) -> NetworkPlan:
+        """The (cached) whole-network plan of ``net`` applied to ``tensor``."""
+        signature = _net_signature(net)
+        key = (signature, tensor.shape, tensor.coords_digest())
+        plan = self._entries.get(key)
+        if plan is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            for entry_key, entry in plan.cache_entries:
+                rulebook_cache.ensure(entry_key, entry)
+            return plan
+        self.misses += 1
+        plan = self._build(tensor, net, signature, rulebook_cache)
+        self._entries[key] = plan
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return plan
+
+    @staticmethod
+    def _build(
+        tensor: SparseTensor3D,
+        net: SSUNet,
+        signature: Tuple,
+        cache: RulebookCache,
+    ) -> NetworkPlan:
+        """Walk down the scales once, building every rulebook via ``cache``.
+
+        The strided rulebook of level ``L`` emits the exact output
+        coordinate set of level ``L + 1``, so the next scale's template
+        is constructed directly from it — no re-derivation of site sets,
+        and every build is routed through the shared cache so the
+        network forward, estimate, and host model all hit afterwards.
+        """
+        levels = len(net.downs) + 1
+        kernel = net.config.kernel_size
+        template = tensor.occupancy()
+        scales: List[ScalePlan] = []
+        entries: List[Tuple[Hashable, object]] = []
+        for level in range(levels):
+            plan = ScalePlan(level=level, template=template)
+            kernels = {kernel}
+            if level == 0:
+                kernels.add(net.head.kernel_size)
+            for k in sorted(kernels):
+                rulebook = cache.submanifold(template, k)
+                plan.sub_rulebooks[k] = rulebook
+                entries.append(
+                    (RulebookCache.submanifold_key(template, k), rulebook)
+                )
+            if level < levels - 1:
+                down = net.downs[level]
+                rulebook, down_coords = cache.sparse_conv(
+                    template, down.kernel_size, down.stride
+                )
+                plan.down_rulebook = rulebook
+                plan.down_coords = down_coords
+                plan.down_kernel = down.kernel_size
+                plan.down_stride = down.stride
+                entries.append(
+                    (
+                        RulebookCache.sparse_conv_key(
+                            template, down.kernel_size, down.stride
+                        ),
+                        (rulebook, down_coords),
+                    )
+                )
+                down_shape = tuple(
+                    max(1, -(-s // down.stride)) for s in template.shape
+                )
+                template = SparseTensor3D(
+                    down_coords,
+                    np.ones((len(down_coords), 1), dtype=np.float64),
+                    down_shape,
+                )
+            scales.append(plan)
+        return NetworkPlan(
+            signature=signature, scales=scales, cache_entries=entries
+        )
+
+
+class InferenceSession:
+    """The single front door for running the SS U-Net.
+
+    Owns the rulebook cache, the cross-scale plan cache, the accelerator
+    configuration, the host execution model, the system-overhead model,
+    and the quantization settings; exposes :meth:`run`,
+    :meth:`run_batch`, :meth:`estimate`, and :meth:`simulate`.
+
+    Parameters
+    ----------
+    net / unet_config:
+        The network to serve.  Omitting both defers construction of a
+        default :class:`SSUNet` until first use (sessions that only
+        serve single-layer streaming estimates never build one).
+    precision:
+        ``"float64"`` (default, the reference arithmetic), ``"float32"``
+        (weights and activations cast once, the pipeline stays float32),
+        or ``"int"`` (the paper's fixed-point pipeline per convolution:
+        quantize activations, integer accumulate, saturate, dequantize,
+        requantize — formats from ``quantization``).
+    rulebook_cache / plan_cache:
+        Injectable for sharing across sessions; fresh ones by default.
+    """
+
+    def __init__(
+        self,
+        net: Optional[SSUNet] = None,
+        unet_config: Optional[UNetConfig] = None,
+        accelerator_config: Optional[AcceleratorConfig] = None,
+        host_model: Optional[HostExecutionModel] = None,
+        overheads: Optional[SystemOverheadModel] = None,
+        rulebook_cache: Optional[RulebookCache] = None,
+        plan_cache: Optional[PlanCache] = None,
+        precision: str = "float64",
+        quantization: Optional[QuantizationSpec] = None,
+    ) -> None:
+        if net is not None and unet_config is not None and net.config != unet_config:
+            raise ValueError("net and unet_config disagree; pass only one")
+        if precision not in PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {PRECISIONS}, got {precision!r}"
+            )
+        self._net = net
+        self._unet_config = net.config if net is not None else unet_config
+        self.accelerator_config = accelerator_config or AcceleratorConfig()
+        self.host_model = host_model or HostExecutionModel()
+        self.overheads = (
+            overheads if overheads is not None else SystemOverheadModel()
+        )
+        self.rulebook_cache = (
+            rulebook_cache if rulebook_cache is not None else RulebookCache()
+        )
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.precision = precision
+        self.quantization = quantization or QuantizationSpec()
+        self.analytical = AnalyticalModel(self.accelerator_config)
+        self.apply_stats = ApplyStats()
+        self._frames_run = 0
+        self._batches_run = 0
+        self._estimates = 0
+        # Memoized parameter views: id(param) -> (param, derived arrays).
+        # The param object is pinned in the value to keep ids stable.
+        self._param_casts: Dict[int, Tuple[Parameter, np.ndarray]] = {}
+        self._param_quant: Dict[int, Tuple[Parameter, np.ndarray, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Owned components
+    # ------------------------------------------------------------------
+    @property
+    def net(self) -> SSUNet:
+        """The served network (constructed lazily from the config)."""
+        if self._net is None:
+            self._net = SSUNet(self._unet_config or UNetConfig())
+            self._unet_config = self._net.config
+        return self._net
+
+    @property
+    def unet_config(self) -> UNetConfig:
+        return self.net.config
+
+    def accelerator(self) -> EscaAccelerator:
+        """A cycle-accurate simulator sharing the session's config/overheads."""
+        return EscaAccelerator(self.accelerator_config, overheads=self.overheads)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> SessionStats:
+        """Point-in-time snapshot of the session's engine counters."""
+        cache = self.rulebook_cache
+        return SessionStats(
+            frames_run=self._frames_run,
+            batches_run=self._batches_run,
+            estimates=self._estimates,
+            matching_passes=cache.misses,
+            rulebook_hits=cache.hits,
+            rulebook_misses=cache.misses,
+            rulebook_hit_rate=cache.hit_rate,
+            plan_hits=self.plan_cache.hits,
+            plan_misses=self.plan_cache.misses,
+            apply_matches=self.apply_stats.matches,
+            gather_seconds=self.apply_stats.gather_seconds,
+            gemm_seconds=self.apply_stats.gemm_seconds,
+            scatter_seconds=self.apply_stats.scatter_seconds,
+        )
+
+    def reset_stats(self) -> None:
+        self.rulebook_cache.reset_stats()
+        self.plan_cache.reset_stats()
+        self.apply_stats = ApplyStats()
+        self._frames_run = 0
+        self._batches_run = 0
+        self._estimates = 0
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def warm(self, tensor: SparseTensor3D) -> NetworkPlan:
+        """Build (or fetch) the whole-network plan for ``tensor``'s site set.
+
+        One walk down the scales constructs every rulebook the network,
+        the estimate, and the host model will consume; afterwards every
+        consumer is a cache hit.  Idempotent and cheap when warm.
+        """
+        return self.plan_cache.network_plan(tensor, self.net, self.rulebook_cache)
+
+    def matching(
+        self, tensor: SparseTensor3D, kernel_size: Optional[int] = None
+    ) -> Rulebook:
+        """The submanifold rulebook of ``tensor`` via the session cache."""
+        k = kernel_size or self.accelerator_config.kernel_size
+        return self.rulebook_cache.submanifold(tensor, k)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, tensor: SparseTensor3D) -> SparseTensor3D:
+        """Network forward of one frame through the session caches."""
+        plan = self.warm(tensor)
+        self._frames_run += 1
+        if self.precision == "float64":
+            # The module-tree forward is the reference path; every conv
+            # resolves its rulebook from the (pre-seeded) session cache.
+            return self.net(
+                tensor, cache=self.rulebook_cache, stats=self.apply_stats
+            )
+        stack = self._prepare_stack([tensor])
+        out = _BatchExecutor(self, plan).run(stack)
+        return tensor.with_features(out[0])
+
+    def run_batch(
+        self, tensors: Sequence[SparseTensor3D]
+    ) -> List[SparseTensor3D]:
+        """Run many frames with shared weights and stacked features.
+
+        Frames are grouped by coordinate digest: each group shares one
+        plan, one gather, and one scatter per offset
+        (:func:`repro.nn.functional.apply_rulebook_batch`), which keeps
+        outputs bit-identical to per-frame :meth:`run` calls.  Groups of
+        one degenerate gracefully to single-frame execution.
+        """
+        tensors = list(tensors)
+        if not tensors:
+            return []
+        groups: "OrderedDict[Hashable, List[int]]" = OrderedDict()
+        for index, tensor in enumerate(tensors):
+            key = (tensor.shape, tensor.coords_digest())
+            groups.setdefault(key, []).append(index)
+        results: List[Optional[SparseTensor3D]] = [None] * len(tensors)
+        for indices in groups.values():
+            representative = tensors[indices[0]]
+            plan = self.warm(representative)
+            stack = self._prepare_stack([tensors[i] for i in indices])
+            out = _BatchExecutor(self, plan).run(stack)
+            for row, index in enumerate(indices):
+                results[index] = tensors[index].with_features(out[row])
+        self._batches_run += 1
+        self._frames_run += len(tensors)
+        return results  # type: ignore[return-value]
+
+    def _prepare_stack(self, tensors: Sequence[SparseTensor3D]) -> np.ndarray:
+        """Stack frame features into ``(B, N, C)`` in the session dtype."""
+        expected = self.unet_config.in_channels
+        for tensor in tensors:
+            if tensor.num_channels != expected:
+                raise ValueError(
+                    f"network expects {expected} input channels, frame has "
+                    f"{tensor.num_channels}"
+                )
+        stack = np.stack([tensor.features for tensor in tensors])
+        if self.precision == "float32":
+            return stack.astype(np.float32)
+        return stack.astype(np.float64, copy=False)
+
+    # ------------------------------------------------------------------
+    # Single-layer helpers (streaming hot path, benchmarks)
+    # ------------------------------------------------------------------
+    def subconv(
+        self,
+        tensor: SparseTensor3D,
+        weights: np.ndarray,
+        kernel_size: Optional[int] = None,
+    ) -> SparseTensor3D:
+        """One submanifold convolution through the session caches."""
+        k = kernel_size or self.accelerator_config.kernel_size
+        weights = normalize_weights(weights, k)
+        rulebook = self.rulebook_cache.submanifold(tensor, k)
+        out = apply_rulebook(
+            rulebook, tensor.features, weights, tensor.nnz, stats=self.apply_stats
+        )
+        return tensor.with_features(out)
+
+    def estimate_subconv(
+        self, tensor: SparseTensor3D, in_channels: int, out_channels: int
+    ) -> SubconvEstimate:
+        """Analytical single-layer estimate (the streaming per-frame path)."""
+        rulebook = self.matching(tensor)
+        scanned = self.analytical.scanned_positions(tensor)
+        cycles = self.analytical.estimate_cycles(
+            scanned, rulebook.total_matches, in_channels, out_channels
+        )
+        return SubconvEstimate(
+            rulebook=rulebook,
+            matches=rulebook.total_matches,
+            scanned_positions=scanned,
+            cycles=cycles,
+            core_seconds=cycles / self.accelerator_config.clock_hz,
+        )
+
+    # ------------------------------------------------------------------
+    # Estimation / simulation
+    # ------------------------------------------------------------------
+    def estimate(self, tensor: SparseTensor3D) -> NetworkEstimate:
+        """Analytical cycle/latency estimate of a full network forward.
+
+        Sub-Conv layers matching the accelerator kernel are estimated
+        with the validated analytical model (plus system overheads); the
+        strided/transposed/pointwise layers go through the host model —
+        all consuming the session plan's rulebooks, so a warm session
+        estimates without a single additional matching pass.
+        """
+        plan = self.warm(tensor)
+        self._estimates += 1
+        estimate = NetworkEstimate()
+        net = self.net
+        accel_kernel = self.accelerator_config.kernel_size
+        levels = plan.num_scales
+
+        def subconv_layers(block: Sequential) -> Iterable[SubmanifoldConv3d]:
+            for module in block:
+                if isinstance(module, SubmanifoldConv3d):
+                    yield module
+
+        def add_subconv(layer: SubmanifoldConv3d, level: int) -> None:
+            scale = plan.scale(level)
+            if layer.kernel_size == accel_kernel:
+                estimate.layers.append(
+                    self._estimate_accelerated(layer.name, layer, scale)
+                )
+            else:
+                execution = LayerExecution(
+                    name=layer.name,
+                    input_tensor=scale.template,
+                    in_channels=layer.in_channels,
+                    out_channels=layer.out_channels,
+                    kernel_size=layer.kernel_size,
+                    kind="subconv",
+                )
+                estimate.host_layers.append(
+                    self.host_model.run_layer(
+                        execution,
+                        rulebook=scale.sub_rulebooks[layer.kernel_size],
+                    )
+                )
+
+        for level in range(levels - 1):
+            for layer in subconv_layers(net.encoders[level]):
+                add_subconv(layer, level)
+            scale = plan.scale(level)
+            down = net.downs[level]
+            estimate.host_layers.append(
+                self.host_model.run_layer(
+                    LayerExecution(
+                        name=down.name,
+                        input_tensor=scale.template,
+                        in_channels=down.in_channels,
+                        out_channels=down.out_channels,
+                        kernel_size=down.kernel_size,
+                        kind="sparseconv",
+                        stride=down.stride,
+                    ),
+                    rulebook=scale.down_rulebook,
+                )
+            )
+        for layer in subconv_layers(net.bottom):
+            add_subconv(layer, levels - 1)
+        for level in reversed(range(levels - 1)):
+            scale = plan.scale(level)
+            up = net.ups[level]
+            estimate.host_layers.append(
+                self.host_model.run_layer(
+                    LayerExecution(
+                        name=up.name,
+                        # Matching work of a transposed conv is driven by
+                        # the fine reference set it restores.
+                        input_tensor=scale.template,
+                        in_channels=up.in_channels,
+                        out_channels=up.out_channels,
+                        kernel_size=up.kernel_size,
+                        kind="invconv",
+                        stride=up.stride,
+                    ),
+                    rulebook=scale.down_rulebook,
+                )
+            )
+            for layer in subconv_layers(net.decoders[level]):
+                add_subconv(layer, level)
+        add_subconv(net.head, 0)
+        return estimate
+
+    def _estimate_accelerated(
+        self, name: str, layer: SubmanifoldConv3d, scale: ScalePlan
+    ) -> LayerEstimate:
+        cfg = self.accelerator_config
+        rulebook = scale.sub_rulebooks[layer.kernel_size]
+        scanned, mask_bits = scale.encoding_statistics(cfg, self.analytical)
+        cycles = self.analytical.estimate_cycles(
+            scanned, rulebook.total_matches, layer.in_channels, layer.out_channels
+        )
+        core_seconds = cycles / cfg.clock_hz
+        volume = layer_transfer_volume(
+            nnz_in=scale.nnz,
+            nnz_out=scale.nnz,
+            in_channels=layer.in_channels,
+            out_channels=layer.out_channels,
+            kernel_volume=layer.kernel_size ** 3,
+            mask_bits=mask_bits,
+            weight_bits=cfg.weight_bits,
+            activation_bits=cfg.activation_bits,
+        )
+        overhead_seconds = self.overheads.layer_overhead_seconds(
+            volume, compute_seconds=core_seconds
+        )
+        return LayerEstimate(
+            name=name,
+            level=scale.level,
+            kernel_size=layer.kernel_size,
+            in_channels=layer.in_channels,
+            out_channels=layer.out_channels,
+            nnz=scale.nnz,
+            matches=rulebook.total_matches,
+            cycles=cycles,
+            core_seconds=core_seconds,
+            overhead_seconds=overhead_seconds,
+        )
+
+    def simulate(
+        self,
+        tensor: SparseTensor3D,
+        verify: bool = False,
+        include_host_layers: bool = True,
+    ) -> NetworkRunResult:
+        """Cycle-accurate simulation of the network, session-cached rulebooks."""
+        self.warm(tensor)
+        return self.accelerator().run_network(
+            self.net,
+            tensor,
+            verify=verify,
+            include_host_layers=include_host_layers,
+            host_model=self.host_model,
+            rulebook_cache=self.rulebook_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # Parameter views (per-precision weight memoization)
+    # ------------------------------------------------------------------
+    def _cast_param(self, param: Parameter) -> np.ndarray:
+        """The parameter value in the session dtype (memoized)."""
+        if self.precision != "float32":
+            return param.value
+        cached = self._param_casts.get(id(param))
+        if cached is None or cached[0] is not param:
+            cached = (param, param.value.astype(np.float32))
+            self._param_casts[id(param)] = cached
+        return cached[1]
+
+    def _quantized_param(self, param: Parameter) -> Tuple[np.ndarray, float]:
+        """Integer weights plus scale for the fixed-point path (memoized)."""
+        cached = self._param_quant.get(id(param))
+        if cached is None or cached[0] is not param:
+            fmt = self.quantization.weight_fmt
+            scale = calibrate_scale(param.value, fmt)
+            data = quantize(param.value, scale, fmt)
+            cached = (param, data, scale)
+            self._param_quant[id(param)] = cached
+        return cached[1], cached[2]
+
+
+class _BatchExecutor:
+    """Stacked-feature mirror of :meth:`SSUNet.forward`.
+
+    Walks the module tree in exactly the forward's order, applying each
+    layer to a ``(B, N, C)`` feature stack using the plan's rulebooks.
+    In float precisions the per-frame arithmetic is bit-identical to the
+    module-tree forward (same rulebooks, same contiguous GEMM blocks,
+    same elementwise operations); the ``int`` precision runs the
+    fixed-point pipeline per convolution.
+    """
+
+    def __init__(self, session: InferenceSession, plan: NetworkPlan) -> None:
+        self.session = session
+        self.plan = plan
+
+    def run(self, stack: np.ndarray) -> np.ndarray:
+        net = self.session.net
+        plan = self.plan
+        levels = plan.num_scales
+        skips: List[np.ndarray] = []
+        current = stack
+        for level in range(levels - 1):
+            current = self._block(net.encoders[level], plan.scale(level), current)
+            skips.append(current)
+            scale = plan.scale(level)
+            down = net.downs[level]
+            current = self._conv(
+                scale.down_rulebook,
+                current,
+                down.weight,
+                down.bias,
+                len(scale.down_coords),
+            )
+        current = self._block(net.bottom, plan.scale(levels - 1), current)
+        for level in reversed(range(levels - 1)):
+            scale = plan.scale(level)
+            up = net.ups[level]
+            if (up.kernel_size, up.stride) != (scale.down_kernel, scale.down_stride):
+                raise ValueError(
+                    f"upsampling layer {up.name!r} does not mirror the "
+                    f"encoder downsampling at level {level}"
+                )
+            current = self._conv(
+                scale.down_rulebook.transposed(),
+                current,
+                up.weight,
+                up.bias,
+                scale.nnz,
+            )
+            current = np.concatenate([skips[level], current], axis=-1)
+            current = self._block(net.decoders[level], scale, current)
+        head = net.head
+        scale0 = plan.scale(0)
+        return self._conv(
+            self._sub_rulebook(scale0, head.kernel_size),
+            current,
+            head.weight,
+            head.bias,
+            scale0.nnz,
+        )
+
+    def _sub_rulebook(self, scale: ScalePlan, kernel_size: int) -> Rulebook:
+        rulebook = scale.sub_rulebooks.get(kernel_size)
+        if rulebook is None:
+            rulebook = self.session.rulebook_cache.submanifold(
+                scale.template, kernel_size
+            )
+            scale.sub_rulebooks[kernel_size] = rulebook
+        return rulebook
+
+    def _block(
+        self, block: Sequential, scale: ScalePlan, stack: np.ndarray
+    ) -> np.ndarray:
+        for module in block:
+            if isinstance(module, Sequential):
+                stack = self._block(module, scale, stack)
+            elif isinstance(module, SubmanifoldConv3d):
+                stack = self._conv(
+                    self._sub_rulebook(scale, module.kernel_size),
+                    stack,
+                    module.weight,
+                    module.bias,
+                    scale.nnz,
+                )
+            elif isinstance(module, BatchNormSparse):
+                stack = self._batchnorm(module, stack)
+            elif isinstance(module, ReLUSparse):
+                stack = np.maximum(stack, 0.0)
+            elif isinstance(module, (SparseConv3d, SparseInverseConv3d)):
+                raise ValueError(
+                    "strided convolutions inside encoder/decoder blocks are "
+                    "not supported by batched execution"
+                )
+            else:
+                raise ValueError(
+                    f"unsupported module {type(module).__name__} in batched "
+                    "execution"
+                )
+        return stack
+
+    def _batchnorm(self, module: BatchNormSparse, stack: np.ndarray) -> np.ndarray:
+        session = self.session
+        scale = session._cast_param(module.scale).reshape(1, 1, -1)
+        shift = session._cast_param(module.shift).reshape(1, 1, -1)
+        out = stack * scale
+        return out + shift
+
+    def _conv(
+        self,
+        rulebook: Rulebook,
+        stack: np.ndarray,
+        weight: Parameter,
+        bias: Optional[Parameter],
+        num_outputs: int,
+    ) -> np.ndarray:
+        session = self.session
+        if session.precision == "int":
+            return self._conv_fixed_point(
+                rulebook, stack, weight, bias, num_outputs
+            )
+        weights = session._cast_param(weight)
+        out = apply_rulebook_batch(
+            rulebook, stack, weights, num_outputs, stats=session.apply_stats
+        )
+        if bias is not None:
+            out = out + session._cast_param(bias).reshape(1, 1, -1)
+        return out
+
+    def _conv_fixed_point(
+        self,
+        rulebook: Rulebook,
+        stack: np.ndarray,
+        weight: Parameter,
+        bias: Optional[Parameter],
+        num_outputs: int,
+    ) -> np.ndarray:
+        """Per-frame fixed-point convolution (the paper's arithmetic contract).
+
+        Quantize activations (per-frame calibration), integer-accumulate
+        through the rulebook, saturate to the accumulator format,
+        dequantize, then requantize the output activations.  Each frame
+        is processed independently, so batched and per-frame results are
+        identical by construction.
+        """
+        session = self.session
+        spec = session.quantization
+        weights_q, weight_scale = session._quantized_param(weight)
+        batch = stack.shape[0]
+        out = np.empty(
+            (batch, num_outputs, weights_q.shape[2]), dtype=np.float64
+        )
+        for b in range(batch):
+            features = stack[b]
+            act_scale = calibrate_scale(features, spec.act_fmt)
+            acts_q = quantize(features, act_scale, spec.act_fmt)
+            acc = apply_rulebook(
+                rulebook, acts_q, weights_q, num_outputs,
+                stats=session.apply_stats,
+            )
+            acc = saturate(acc, ACC_INT32)
+            real = dequantize(acc, act_scale * weight_scale)
+            if bias is not None:
+                real = real + bias.value.reshape(1, -1)
+            out_scale = calibrate_scale(real, spec.act_fmt)
+            out[b] = dequantize(
+                quantize(real, out_scale, spec.act_fmt), out_scale
+            )
+        return out

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
@@ -29,10 +30,13 @@ class Module:
     """Base class for layers; subclasses implement :meth:`forward`.
 
     A module tree can carry a shared rulebook cache
-    (:class:`repro.nn.rulebook.RulebookCache`): :meth:`use_rulebook_cache`
-    attaches one to the module and every registered child, and
-    convolution layers resolve it at call time (an explicit ``cache=``
-    call kwarg takes precedence over the attached one).
+    (:class:`repro.nn.rulebook.RulebookCache`): convolution layers
+    resolve it at call time (an explicit ``cache=`` call kwarg takes
+    precedence over the attached one).  Attaching via
+    :meth:`use_rulebook_cache` is deprecated — the supported owner of
+    the cache is :class:`repro.engine.session.InferenceSession`, which
+    threads it through every consumer (forward, estimate, host model,
+    compiler) rather than just the module tree.
     """
 
     def __init__(self) -> None:
@@ -47,19 +51,37 @@ class Module:
     def register_child(self, name: str, module: "Module") -> "Module":
         self._children[name] = module
         if self._rulebook_cache is not None:
-            module.use_rulebook_cache(self._rulebook_cache)
+            module._set_rulebook_cache(self._rulebook_cache)
         return module
+
+    def _set_rulebook_cache(self, cache) -> "Module":
+        """Attach ``cache`` to this module and all its children."""
+        self._rulebook_cache = cache
+        for child in self._children.values():
+            child._set_rulebook_cache(cache)
+        return self
 
     def use_rulebook_cache(self, cache) -> "Module":
         """Attach ``cache`` to this module and all its children.
 
+        .. deprecated::
+            Threading a rulebook cache through the module tree is
+            superseded by session ownership — construct an
+            :class:`repro.engine.session.InferenceSession` and let it
+            own the cache (``session.run`` resolves rulebooks for every
+            layer).  This method remains for standalone module use.
+
         Children registered later inherit the cache automatically.  Pass
         ``None`` to detach.  Returns ``self`` for chaining.
         """
-        self._rulebook_cache = cache
-        for child in self._children.values():
-            child.use_rulebook_cache(cache)
-        return self
+        warnings.warn(
+            "Module.use_rulebook_cache is deprecated; construct a "
+            "repro.engine.InferenceSession and let it own the rulebook "
+            "cache instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._set_rulebook_cache(cache)
 
     @property
     def rulebook_cache(self):

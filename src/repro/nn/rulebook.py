@@ -368,6 +368,46 @@ class RulebookCache:
         """Drop every cached rulebook (statistics are kept)."""
         self._entries.clear()
 
+    # ------------------------------------------------------------------
+    # Key construction (shared with plan re-seeding)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def submanifold_key(tensor: SparseTensor3D, kernel_size: int) -> Hashable:
+        """Cache key of a submanifold matching on ``tensor``."""
+        return ("sub", int(kernel_size), tensor.shape, tensor.coords_digest())
+
+    @staticmethod
+    def sparse_conv_key(
+        tensor: SparseTensor3D, kernel_size: int, stride: int
+    ) -> Hashable:
+        """Cache key of a strided (and transposed) matching on ``tensor``."""
+        return (
+            "down",
+            int(kernel_size),
+            int(stride),
+            tensor.shape,
+            tensor.coords_digest(),
+        )
+
+    def _insert(self, key: Hashable, entry: object) -> None:
+        """Insert ``entry`` as most-recently-used, evicting beyond capacity."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def ensure(self, key: Hashable, entry: object) -> None:
+        """Insert ``entry`` under ``key`` without counting a lookup.
+
+        Used by :class:`repro.engine.session.PlanCache` to re-seed
+        rulebooks held by a cached network plan, so a warm session stays
+        all-hits even after intervening LRU pressure evicted entries.
+        """
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        self._insert(key, entry)
+
     def _lookup(self, key: Hashable, builder):
         entry = self._entries.get(key)
         if entry is not None:
@@ -376,16 +416,14 @@ class RulebookCache:
             return entry
         self.misses += 1
         entry = builder()
-        self._entries[key] = entry
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        self._insert(key, entry)
         return entry
 
     def submanifold(
         self, tensor: SparseTensor3D, kernel_size: int = 3
     ) -> Rulebook:
         """Cached :func:`build_submanifold_rulebook`."""
-        key = ("sub", int(kernel_size), tensor.shape, tensor.coords_digest())
+        key = self.submanifold_key(tensor, kernel_size)
         return self._lookup(
             key, lambda: build_submanifold_rulebook(tensor, kernel_size)
         )
@@ -399,13 +437,7 @@ class RulebookCache:
         transposed convolution that reverses it (which calls this with the
         *reference* tensor), so one matching pass serves both directions.
         """
-        key = (
-            "down",
-            int(kernel_size),
-            int(stride),
-            tensor.shape,
-            tensor.coords_digest(),
-        )
+        key = self.sparse_conv_key(tensor, kernel_size, stride)
         return self._lookup(
             key,
             lambda: build_sparse_conv_rulebook(tensor, kernel_size, stride),

@@ -105,11 +105,14 @@ def _conv_block(
 class SSUNet(Module):
     """Submanifold sparse U-Net for point-cloud semantic segmentation.
 
-    Pass ``rulebook_cache`` (or call :meth:`use_rulebook_cache` later) to
-    share one matching pass across every convolution operating on the
-    same site set: all Sub-Conv layers of a U-Net scale hit the cache
-    after the first, and each decoder's transposed convolution reuses the
-    rulebook its encoder downsampling built.
+    Pass ``rulebook_cache`` to share one matching pass across every
+    convolution operating on the same site set: all Sub-Conv layers of a
+    U-Net scale hit the cache after the first, and each decoder's
+    transposed convolution reuses the rulebook its encoder downsampling
+    built.  The preferred front door is
+    :class:`repro.engine.session.InferenceSession`, which owns the cache
+    (plus cross-scale plans, batching, and estimation) on the network's
+    behalf.
     """
 
     def __init__(
@@ -169,7 +172,7 @@ class SSUNet(Module):
         )
 
         if rulebook_cache is not None:
-            self.use_rulebook_cache(rulebook_cache)
+            self._set_rulebook_cache(rulebook_cache)
 
     def forward(self, tensor: SparseTensor3D, **kwargs) -> SparseTensor3D:
         """Forward pass.
@@ -197,16 +200,21 @@ class SSUNet(Module):
 
 
 def collect_all_executions(
-    net: SSUNet, tensor: SparseTensor3D
+    net: SSUNet, tensor: SparseTensor3D, cache: Optional[RulebookCache] = None
 ) -> List[LayerExecution]:
     """Run ``net`` on ``tensor`` recording *every* convolution execution.
 
     Includes the strided downsampling and transposed upsampling layers,
     which the paper's accelerator leaves to the host side; the
     end-to-end system model (:mod:`repro.arch.host`) consumes these.
+    Pass a session-owned ``cache`` so the recording forward reuses the
+    session's rulebooks instead of rebuilding them.
     """
     raw: list = []
-    net(tensor, record=raw)
+    if cache is not None:
+        net(tensor, record=raw, cache=cache)
+    else:
+        net(tensor, record=raw)
     executions: List[LayerExecution] = []
     for kind, layer, input_tensor in raw:
         executions.append(

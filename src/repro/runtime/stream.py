@@ -1,8 +1,11 @@
 """Streaming execution of point-cloud frames on the accelerator model.
 
-The runner owns a cross-frame :class:`repro.nn.rulebook.RulebookCache`:
-frames whose voxel set matches a previously seen frame (a static scene,
-or a stalled sensor) skip the matching pass entirely, and the per-frame
+The runner is a thin per-frame loop over an
+:class:`repro.engine.session.InferenceSession`: the session owns the
+cross-frame :class:`repro.nn.rulebook.RulebookCache` (frames whose voxel
+set matches a previously seen frame skip the matching pass entirely),
+the accelerator configuration, and the overhead model, so the streaming
+path shares one matching state with every other consumer.  Per-frame
 engine statistics (rulebook hits/misses, matching and scatter seconds)
 are reported in :class:`FrameResult` / :class:`StreamStats`.
 """
@@ -15,10 +18,10 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
-from repro.arch.accelerator import AnalyticalModel, EscaAccelerator
 from repro.arch.config import AcceleratorConfig
 from repro.arch.overhead import SystemOverheadModel, layer_transfer_volume
 from repro.arch.tiling import TileGrid
+from repro.engine.session import InferenceSession
 from repro.geometry.point_cloud import PointCloud
 from repro.geometry.synthetic import make_shapenet_like_cloud
 from repro.geometry.voxelizer import Voxelizer
@@ -112,14 +115,34 @@ class StreamStats:
 
     @property
     def fps(self) -> float:
+        """Sustained frames per second over the whole stream.
+
+        Raises a clear :class:`ValueError` on an empty stream (there is
+        no frame rate to report) instead of surfacing a zero division.
+        """
+        if not self.frames:
+            raise ValueError(
+                "fps is undefined on an empty stream (no frames recorded)"
+            )
         if self.total_seconds == 0.0:
             return 0.0
         return self.num_frames / self.total_seconds
 
     def latency_percentile(self, percentile: float) -> float:
-        """Per-frame end-to-end latency percentile in seconds."""
+        """Per-frame end-to-end latency percentile in seconds.
+
+        ``percentile`` must lie in ``[0, 100]``; an empty stream raises
+        :class:`ValueError` (there is no latency distribution to query).
+        """
+        if not np.isfinite(percentile) or not 0.0 <= percentile <= 100.0:
+            raise ValueError(
+                f"percentile must be in [0, 100], got {percentile!r}"
+            )
         if not self.frames:
-            raise ValueError("no frames recorded")
+            raise ValueError(
+                "latency_percentile is undefined on an empty stream "
+                "(no frames recorded)"
+            )
         values = [frame.total_seconds for frame in self.frames]
         return float(np.percentile(values, percentile))
 
@@ -159,10 +182,19 @@ class StreamStats:
 class StreamingRunner:
     """Runs a Sub-Conv layer per frame and collects latency statistics.
 
+    The runner is a thin frame loop: matching, cycle estimation, and
+    configuration all live in the :class:`InferenceSession` it wraps.
+    Construct it either from a ``session`` (sharing caches with other
+    consumers) or from the individual components, which are then used to
+    build a private session.
+
     Parameters
     ----------
+    session:
+        The inference session to run against.  Mutually exclusive with
+        ``config`` / ``overheads`` / ``rulebook_cache``.
     config:
-        Accelerator configuration.
+        Accelerator configuration (legacy construction path).
     in_channels / out_channels:
         The Sub-Conv workload executed per frame (the full-resolution
         encoder layer is the latency-dominant one; see Fig. 10).
@@ -173,9 +205,8 @@ class StreamingRunner:
         (default) uses the validated analytical model, which is what a
         deployment-planning sweep wants.
     rulebook_cache:
-        Cross-frame rulebook cache; a fresh :class:`RulebookCache` is
-        created when omitted.  Frames whose voxel set matches an earlier
-        frame skip the matching pass (a cache hit).
+        Cross-frame rulebook cache; frames whose voxel set matches an
+        earlier frame skip the matching pass (a cache hit).
     execute_reference:
         ``True`` additionally runs the fused software engine
         (:func:`repro.nn.functional.apply_rulebook`) on every frame with
@@ -193,19 +224,29 @@ class StreamingRunner:
         overheads: Optional[SystemOverheadModel] = None,
         rulebook_cache: Optional[RulebookCache] = None,
         execute_reference: bool = False,
+        session: Optional[InferenceSession] = None,
     ) -> None:
-        self.config = config or AcceleratorConfig()
+        if session is None:
+            session = InferenceSession(
+                accelerator_config=config,
+                overheads=overheads,
+                rulebook_cache=rulebook_cache,
+            )
+        elif config is not None or overheads is not None or rulebook_cache is not None:
+            raise ValueError(
+                "pass either session= or config/overheads/rulebook_cache, "
+                "not both — the session owns those components"
+            )
+        self.session = session
+        self.config = session.accelerator_config
+        self.overheads = session.overheads
+        self.rulebook_cache = session.rulebook_cache
         self.in_channels = int(in_channels)
         self.out_channels = int(out_channels)
         self.voxelizer = Voxelizer(
             resolution=resolution, normalize=False, occupancy_only=True
         )
         self.detailed = bool(detailed)
-        self.overheads = overheads if overheads is not None else SystemOverheadModel()
-        self._analytical = AnalyticalModel(self.config)
-        self.rulebook_cache = (
-            rulebook_cache if rulebook_cache is not None else RulebookCache()
-        )
         self.execute_reference = bool(execute_reference)
         self._reference_weights = (
             conv_weight(
@@ -230,7 +271,8 @@ class StreamingRunner:
         """Stream every frame of ``source`` through the accelerator model."""
         stats = StreamStats()
         rng = np.random.default_rng(source.seed)
-        accelerator = EscaAccelerator(self.config, overheads=self.overheads)
+        session = self.session
+        accelerator = session.accelerator()
         cache = self.rulebook_cache
         for frame_id, cloud in enumerate(source):
             tensor = self._frame_tensor(cloud, rng)
@@ -249,11 +291,11 @@ class StreamingRunner:
                 ops = run.effective_ops
             else:
                 t0 = time.perf_counter()
-                rulebook = self._analytical.matching(tensor, cache=cache)
+                rulebook = session.matching(tensor)
                 matching_seconds = time.perf_counter() - t0
                 matches = rulebook.total_matches
-                scanned = self._analytical.scanned_positions(tensor)
-                cycles = self._analytical.estimate_cycles(
+                scanned = session.analytical.scanned_positions(tensor)
+                cycles = session.analytical.estimate_cycles(
                     scanned, matches, self.in_channels, self.out_channels
                 )
                 core_seconds = cycles / self.config.clock_hz

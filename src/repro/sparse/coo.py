@@ -68,12 +68,16 @@ class SparseTensor3D:
         self.features = np.ascontiguousarray(features[order])
         self.shape = shape
 
-        self._index: Dict[Coord, int] = {}
-        for row, (x, y, z) in enumerate(self.coords.tolist()):
-            key = (x, y, z)
-            if key in self._index:
+        # Coordinates are sorted, so duplicates are adjacent — detected
+        # vectorized here; the per-coordinate lookup dict is built lazily
+        # (constructing one per tensor made with_features a hot-path cost).
+        if len(self.coords) > 1:
+            repeated = np.all(self.coords[1:] == self.coords[:-1], axis=1)
+            if repeated.any():
+                row = int(np.argmax(repeated)) + 1
+                key = tuple(int(v) for v in self.coords[row])
                 raise ValueError(f"duplicate coordinate {key}")
-            self._index[key] = row
+        self._index: Optional[Dict[Coord, int]] = None
         self._coords_digest: Optional[bytes] = None
 
     # ------------------------------------------------------------------
@@ -115,9 +119,19 @@ class SparseTensor3D:
             ).digest()
         return self._coords_digest
 
+    @property
+    def _coord_index(self) -> Dict[Coord, int]:
+        """Lazily built coordinate -> row lookup table."""
+        if self._index is None:
+            self._index = {
+                (x, y, z): row
+                for row, (x, y, z) in enumerate(self.coords.tolist())
+            }
+        return self._index
+
     def row_of(self, coord: Coord) -> Optional[int]:
         """Row index of ``coord`` or ``None`` when the site is inactive."""
-        return self._index.get((int(coord[0]), int(coord[1]), int(coord[2])))
+        return self._coord_index.get((int(coord[0]), int(coord[1]), int(coord[2])))
 
     def __contains__(self, coord: Coord) -> bool:
         return self.row_of(coord) is not None
@@ -190,10 +204,32 @@ class SparseTensor3D:
     # Transformations
     # ------------------------------------------------------------------
     def with_features(self, features: np.ndarray) -> "SparseTensor3D":
-        """Same active sites, new features (row-aligned with ``self.coords``)."""
-        out = SparseTensor3D(self.coords.copy(), features, self.shape)
-        # The site set is unchanged, so the memoized digest carries over —
-        # rulebook-cache lookups on layer outputs stay hash-free.
+        """Same active sites, new features (row-aligned with ``self.coords``).
+
+        This is the layer-output hot path (every convolution, ReLU and
+        batch norm rewraps features), so it bypasses the constructor:
+        the coordinates are already canonically sorted and
+        duplicate-free, and tensors are immutable by convention, so the
+        coordinate array, the memoized digest, and the lazy coordinate
+        index are shared with the source tensor — rulebook-cache lookups
+        on layer outputs stay hash-free and no re-sorting happens.  The
+        feature array is copied, preserving the constructor's ownership
+        semantics: the new tensor never aliases the caller's buffer (or
+        a batch-output stack), so later mutation of the input cannot
+        corrupt it.
+        """
+        features = np.asarray(features)
+        if features.ndim == 1:
+            features = features.reshape(-1, 1)
+        if features.ndim != 2 or len(features) != self.nnz:
+            raise ValueError(
+                f"features must be ({self.nnz}, C), got {features.shape}"
+            )
+        out = SparseTensor3D.__new__(SparseTensor3D)
+        out.coords = self.coords
+        out.features = np.array(features, order="C", copy=True)
+        out.shape = self.shape
+        out._index = self._index
         out._coords_digest = self._coords_digest
         return out
 

@@ -185,3 +185,39 @@ def test_property_channel_passes_cover_everything(cin, cout):
         covered[p.ic_start:p.ic_stop, p.oc_start:p.oc_stop] += 1
         assert compiler.weight_words(p.ic_size, p.oc_size) <= 2000
     assert np.all(covered == 1)
+
+
+# ----------------------------------------------------------------------
+# Session rulebook threading
+# ----------------------------------------------------------------------
+def test_compiler_uses_session_cache():
+    """Channel-pass planning stops rebuilding rulebooks when the compiler
+    shares a session's rulebook cache."""
+    from repro.nn import RulebookCache
+
+    tensor = random_sparse_tensor(seed=70, shape=(16, 16, 16), nnz=60, channels=4)
+    cache = RulebookCache()
+    compiler = NetworkCompiler(rulebook_cache=cache)
+    plan_cold = compiler.plan_layer(tensor, 8)
+    assert cache.misses == 1
+    plan_warm = compiler.plan_layer(tensor, 8)
+    assert cache.misses == 1
+    assert cache.hits == 1
+    assert [c.nnz for c in plan_warm.chunks] == [c.nnz for c in plan_cold.chunks]
+    assert [c.matches for c in plan_warm.chunks] == [
+        c.matches for c in plan_cold.chunks
+    ]
+
+
+def test_compiler_accepts_explicit_rulebook():
+    """An explicit session-provided rulebook bypasses matching entirely
+    and yields the identical chunking."""
+    from repro.nn import build_submanifold_rulebook
+
+    tensor = random_sparse_tensor(seed=71, shape=(16, 16, 16), nnz=50, channels=2)
+    compiler = NetworkCompiler()
+    rulebook = build_submanifold_rulebook(tensor, compiler.config.kernel_size)
+    with_rb = compiler.plan_tile_chunks(tensor, 2, rulebook=rulebook)
+    without = compiler.plan_tile_chunks(tensor, 2)
+    assert [c.tile_indices for c in with_rb] == [c.tile_indices for c in without]
+    assert [c.matches for c in with_rb] == [c.matches for c in without]

@@ -83,6 +83,67 @@ def test_run_network_with_host_layers(net_and_tensor):
     assert with_host.total_cycles == without.total_cycles
 
 
+def test_host_model_accepts_session_rulebook(net_and_tensor):
+    """A session-provided rulebook short-circuits matching entirely and
+    yields the same estimate as the self-built path."""
+    from repro.nn.rulebook import build_sparse_conv_rulebook
+
+    net, tensor = net_and_tensor
+    executions = collect_all_executions(net, tensor)
+    down = next(ex for ex in executions if ex.kind == "sparseconv")
+    rulebook, _ = build_sparse_conv_rulebook(
+        down.input_tensor, kernel_size=down.kernel_size, stride=down.stride
+    )
+    model = HostExecutionModel()
+    provided = model.run_layer(down, rulebook=rulebook)
+    rebuilt = model.run_layer(down)
+    assert provided == rebuilt
+
+
+def test_host_model_threads_cache(net_and_tensor):
+    """With a shared cache the host model stops rebuilding rulebooks:
+    the down and inverse conv share one matching pass."""
+    from repro.nn import RulebookCache
+
+    net, tensor = net_and_tensor
+    executions = collect_all_executions(net, tensor)
+    host_side = [ex for ex in executions if ex.kind != "subconv"]
+    cache = RulebookCache()
+    model = HostExecutionModel()
+    first = model.run_layers(host_side, cache=cache)
+    # down0 and up0 share the strided matching keyed on the fine tensor.
+    assert cache.misses == 1
+    assert cache.hits == 1
+    second = model.run_layers(host_side, cache=cache)
+    assert cache.misses == 1
+    assert first == second
+
+
+def test_run_network_threads_session_cache(net_and_tensor):
+    """run_network with a session cache performs no matching beyond what
+    a warm session already holds."""
+    from repro.engine import InferenceSession
+
+    net, tensor = net_and_tensor
+    session = InferenceSession(net=net)
+    session.warm(tensor)
+    passes = session.rulebook_cache.misses
+    hits_before = session.rulebook_cache.hits
+    result = EscaAccelerator().run_network(
+        net,
+        tensor,
+        include_host_layers=True,
+        host_model=session.host_model,
+        rulebook_cache=session.rulebook_cache,
+    )
+    assert session.rulebook_cache.misses == passes
+    # Not vacuous: the recording forward (6 conv layers for levels=2) and
+    # the host model (3 layers) must actually consult the cache, not
+    # silently rebuild outside it.
+    assert session.rulebook_cache.hits >= hits_before + 9
+    assert len(result.host_layers) == 3
+
+
 def test_host_layers_minor_vs_accelerated(net_and_tensor):
     """The non-Sub-Conv layers are a small fraction of total work, which
     is why the paper focuses the accelerator on Sub-Conv."""

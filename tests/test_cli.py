@@ -36,3 +36,29 @@ def test_cli_multiple_experiments(capsys):
     out = capsys.readouterr().out
     assert "Table I" in out and "Table II" in out
     assert "Table III" not in out
+
+
+def test_cli_stream_subcommand(capsys):
+    assert main(
+        ["stream", "--frames", "3", "--resolution", "48", "--points", "2000",
+         "--step-rad", "0", "--noise", "0"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "streamed 3 frames" in out
+    assert "rulebook hit rate" in out
+    assert "matching seconds" in out
+    assert "scatter seconds" in out
+    # Static scene: frames after the first hit the session's cache.
+    assert "(2 hits, 1 misses)" in out
+
+
+def test_cli_stream_rejects_bad_frames():
+    with pytest.raises(SystemExit):
+        main(["stream", "--frames", "0"])
+
+
+def test_cli_stream_help_does_not_run_experiments(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["stream", "--help"])
+    assert excinfo.value.code == 0
+    assert "InferenceSession" in capsys.readouterr().out

@@ -1,0 +1,350 @@
+"""Tests for the unified InferenceSession, PlanCache, and batched execution."""
+
+import numpy as np
+import pytest
+
+from repro.engine import InferenceSession, PlanCache, QuantizationSpec
+from repro.nn import (
+    RulebookCache,
+    SSUNet,
+    UNetConfig,
+    apply_rulebook,
+    apply_rulebook_batch,
+    build_submanifold_rulebook,
+)
+from repro.sparse.coo import SparseTensor3D
+from tests.conftest import random_sparse_tensor
+
+SMALL_CFG = UNetConfig(in_channels=2, num_classes=5, base_channels=4, levels=3)
+
+
+def small_session(**kwargs):
+    return InferenceSession(unet_config=SMALL_CFG, **kwargs)
+
+
+def frame(seed, nnz=50, channels=2, shape=(16, 16, 16)):
+    return random_sparse_tensor(seed=seed, shape=shape, nnz=nnz, channels=channels)
+
+
+def expected_matching_passes(cfg: UNetConfig) -> int:
+    """One submanifold pass per scale, one strided pass per downsample,
+    plus the 1^3 head at full resolution."""
+    return cfg.levels + (cfg.levels - 1) + 1
+
+
+# ----------------------------------------------------------------------
+# apply_rulebook_batch
+# ----------------------------------------------------------------------
+def test_apply_rulebook_batch_matches_per_frame():
+    rng = np.random.default_rng(0)
+    tensor = frame(1, nnz=70, channels=3)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    weights = rng.standard_normal((27, 3, 5))
+    stack = rng.standard_normal((4, tensor.nnz, 3))
+    batched = apply_rulebook_batch(rulebook, stack, weights, tensor.nnz)
+    for b in range(4):
+        single = apply_rulebook(rulebook, stack[b], weights, tensor.nnz)
+        assert np.array_equal(batched[b], single)
+
+
+def test_apply_rulebook_batch_integer_dtype():
+    tensor = frame(2, nnz=30, channels=2)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    stack = np.rint(
+        np.random.default_rng(3).standard_normal((2, tensor.nnz, 2)) * 50
+    ).astype(np.int16)
+    weights = np.ones((27, 2, 3), dtype=np.int8)
+    out = apply_rulebook_batch(rulebook, stack, weights, tensor.nnz)
+    assert out.dtype == np.int64
+    for b in range(2):
+        assert np.array_equal(
+            out[b], apply_rulebook(rulebook, stack[b], weights, tensor.nnz)
+        )
+
+
+def test_apply_rulebook_batch_rejects_2d():
+    tensor = frame(4, nnz=10)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    with pytest.raises(ValueError, match=r"\(B, N, Cin\)"):
+        apply_rulebook_batch(
+            rulebook, tensor.features, np.zeros((27, 4, 2)), tensor.nnz
+        )
+
+
+def test_apply_rulebook_batch_empty():
+    tensor = SparseTensor3D.empty((6, 6, 6), channels=2)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    out = apply_rulebook_batch(
+        rulebook, np.zeros((3, 0, 2)), np.zeros((27, 2, 4)), 0
+    )
+    assert out.shape == (3, 0, 4)
+
+
+# ----------------------------------------------------------------------
+# session.run — the module-tree forward through session caches
+# ----------------------------------------------------------------------
+def test_run_matches_plain_network_bit_identically():
+    tensor = frame(5, nnz=60)
+    session = small_session()
+    out = session.run(tensor)
+    plain = SSUNet(SMALL_CFG)(tensor)
+    assert np.array_equal(out.features, plain.features)
+    assert np.array_equal(out.coords, plain.coords)
+
+
+def test_run_uses_shared_weights_across_frames():
+    session = small_session()
+    a = session.run(frame(6))
+    b = session.run(frame(6))
+    assert np.array_equal(a.features, b.features)
+
+
+# ----------------------------------------------------------------------
+# Satellite: batched execution bit-identical to per-frame runs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("precision", ["float64", "float32", "int"])
+def test_run_batch_bit_identical_cold_and_warm(precision):
+    frames = [frame(seed, nnz=40 + seed) for seed in (10, 11, 12)]
+    # A repeated site set with fresh features exercises true stacking.
+    frames.append(
+        frames[0].with_features(
+            np.random.default_rng(13).standard_normal((frames[0].nnz, 2))
+        )
+    )
+    reference = small_session(precision=precision)
+    singles = [reference.run(f) for f in frames]
+
+    cold = small_session(precision=precision)
+    for batch_out in (cold.run_batch(frames), cold.run_batch(frames)):
+        for out, single in zip(batch_out, singles):
+            assert out.features.dtype == single.features.dtype
+            assert np.array_equal(out.features, single.features)
+            assert np.array_equal(out.coords, single.coords)
+
+
+def test_run_batch_groups_by_site_set():
+    frames = [frame(20, nnz=35), frame(21, nnz=36)]
+    frames.append(frames[0].with_features(frames[0].features * 2.0))
+    session = small_session()
+    session.run_batch(frames)
+    # Two distinct site sets -> two plans, the third frame reuses the first.
+    assert session.plan_cache.misses == 2
+    stats = session.stats
+    assert stats.frames_run == 3
+    assert stats.batches_run == 1
+
+
+def test_run_batch_empty_and_mixed_channels():
+    session = small_session()
+    assert session.run_batch([]) == []
+    bad = [frame(22, channels=2), frame(23, channels=3)]
+    with pytest.raises(ValueError, match="channel"):
+        session.run_batch(bad)
+
+
+def test_float32_output_dtype():
+    session = small_session(precision="float32")
+    out = session.run(frame(24))
+    assert out.features.dtype == np.float32
+
+
+def test_int_precision_runs_fixed_point_pipeline():
+    session = small_session(precision="int")
+    out = session.run(frame(25))
+    # Dequantized outputs are float but must be representable on the
+    # session's activation grid: out = q * scale for integer q.
+    assert out.features.dtype == np.float64
+    assert np.isfinite(out.features).all()
+    spec = session.quantization
+    assert isinstance(spec, QuantizationSpec)
+
+
+# ----------------------------------------------------------------------
+# Tentpole invariant: one matching pass per (scale, kind)
+# ----------------------------------------------------------------------
+def test_warm_session_one_matching_pass_per_scale_and_kind():
+    tensor = frame(30, nnz=80)
+    session = small_session()
+    plan = session.warm(tensor)
+    expected = expected_matching_passes(SMALL_CFG)
+    assert plan.matching_passes == expected
+    assert session.stats.matching_passes == expected
+
+    # Network forward, analytical estimate (incl. host model), and a
+    # repeated warm() must not add a single matching pass.
+    session.run(tensor)
+    estimate = session.estimate(tensor)
+    session.warm(tensor)
+    stats = session.stats
+    assert stats.matching_passes == expected
+    assert stats.rulebook_hits > 0
+    assert estimate.total_cycles > 0
+    assert estimate.host_seconds > 0
+    assert estimate.end_to_end_seconds > estimate.accel_seconds
+
+
+def test_default_unet_warm_session_matching_passes():
+    """Acceptance criterion: the default SS U-Net on a warm session does
+    exactly one matching pass per (scale, kind) — 4 submanifold scales,
+    3 strided downsamples, and the 1^3 head — across network forward,
+    analytical estimate, and host model."""
+    cfg = UNetConfig()  # the paper's default: levels=4, kernel 3, head 1^3
+    tensor = random_sparse_tensor(seed=34, shape=(16, 16, 16), nnz=80, channels=1)
+    session = InferenceSession(unet_config=cfg)
+    session.run(tensor)
+    expected = expected_matching_passes(cfg)
+    assert expected == 8
+    assert session.stats.matching_passes == expected
+    session.estimate(tensor)  # host model included
+    session.run(tensor)
+    stats = session.stats
+    assert stats.matching_passes == expected
+    assert stats.rulebook_misses == expected
+
+
+def test_cycle_accurate_simulation_reuses_session_rulebooks():
+    cfg = UNetConfig(in_channels=1, num_classes=4, base_channels=4, levels=2)
+    tensor = random_sparse_tensor(seed=31, shape=(16, 16, 16), nnz=50, channels=1)
+    session = InferenceSession(unet_config=cfg)
+    session.warm(tensor)
+    passes = session.stats.matching_passes
+    assert passes == expected_matching_passes(cfg)
+    result = session.simulate(tensor)
+    assert session.stats.matching_passes == passes
+    assert len(result.layers) > 0
+    assert len(result.host_layers) == 3  # down0, up0, 1^3 head
+    assert result.end_to_end_seconds > 0
+
+
+def test_estimate_layer_accounting():
+    tensor = frame(32, nnz=70)
+    session = small_session()
+    estimate = session.estimate(tensor)
+    # levels=3, reps=1: subconvs enc0, enc1, bottom, dec1, dec0 accelerated;
+    # host side: down0, down1, up1, up0, head.
+    assert [layer.name for layer in estimate.layers] == [
+        "enc0.conv0", "enc1.conv0", "bottom.conv0", "dec1.conv0", "dec0.conv0"
+    ]
+    assert [run.name for run in estimate.host_layers] == [
+        "down0", "down1", "up1", "up0", "head"
+    ]
+    assert {run.kind for run in estimate.host_layers} == {
+        "sparseconv", "invconv", "subconv"
+    }
+    for layer in estimate.layers:
+        assert layer.cycles > 0
+        assert layer.total_seconds >= layer.core_seconds
+        assert layer.effective_ops > 0
+    assert estimate.effective_gops() > 0
+
+
+def test_estimate_matches_streamed_per_layer_model():
+    """The network estimate's full-resolution encoder layer must agree
+    with the single-layer analytical path on matches and cycles."""
+    tensor = frame(33, nnz=90)
+    session = small_session()
+    estimate = session.estimate(tensor)
+    enc0 = estimate.layers[0]
+    single = session.estimate_subconv(
+        tensor, enc0.in_channels, enc0.out_channels
+    )
+    assert enc0.matches == single.matches
+    assert enc0.cycles == single.cycles
+
+
+# ----------------------------------------------------------------------
+# PlanCache
+# ----------------------------------------------------------------------
+def test_plan_cache_hits_on_same_site_set():
+    session = small_session()
+    tensor = frame(40)
+    session.warm(tensor)
+    session.warm(tensor.with_features(tensor.features * 3.0))
+    assert session.plan_cache.hits == 1
+    assert session.plan_cache.misses == 1
+
+
+def test_plan_cache_lru_eviction():
+    session = small_session(plan_cache=PlanCache(capacity=2))
+    tensors = [frame(seed, nnz=20 + seed) for seed in (41, 42, 43)]
+    for tensor in tensors:
+        session.warm(tensor)
+    assert len(session.plan_cache) == 2
+    session.warm(tensors[0])  # evicted -> rebuilt
+    assert session.plan_cache.misses == 4
+
+
+def test_plan_cache_reseeds_rulebook_cache():
+    """A cached plan restores its rulebooks after rulebook-cache eviction,
+    keeping warm forwards all-hits without new matching passes."""
+    tensor = frame(44, nnz=60)
+    session = small_session()
+    session.warm(tensor)
+    session.rulebook_cache.clear()
+    session.rulebook_cache.reset_stats()
+    session.run(tensor)  # plan hit re-seeds every entry
+    assert session.stats.matching_passes == 0
+    assert session.stats.rulebook_hits > 0
+
+
+def test_plan_cache_validates_capacity():
+    with pytest.raises(ValueError):
+        PlanCache(capacity=0)
+
+
+def test_plan_distinguishes_network_geometry():
+    tensor = frame(45)
+    cache = PlanCache()
+    shared_rulebooks = RulebookCache()
+    net_a = SSUNet(SMALL_CFG)
+    net_b = SSUNet(UNetConfig(in_channels=2, num_classes=5, base_channels=4, levels=2))
+    cache.network_plan(tensor, net_a, shared_rulebooks)
+    cache.network_plan(tensor, net_b, shared_rulebooks)
+    assert cache.misses == 2
+
+
+# ----------------------------------------------------------------------
+# Session configuration and statistics
+# ----------------------------------------------------------------------
+def test_session_validates_precision():
+    with pytest.raises(ValueError, match="precision"):
+        InferenceSession(precision="float16")
+
+
+def test_session_rejects_conflicting_net_and_config():
+    net = SSUNet(SMALL_CFG)
+    with pytest.raises(ValueError, match="disagree"):
+        InferenceSession(net=net, unet_config=UNetConfig(levels=2))
+
+
+def test_session_lazy_default_network():
+    session = InferenceSession()
+    assert session.unet_config == UNetConfig()
+
+
+def test_reset_stats():
+    session = small_session()
+    session.run(frame(46))
+    session.reset_stats()
+    stats = session.stats
+    assert stats.frames_run == 0
+    assert stats.matching_passes == 0
+    assert stats.apply_matches == 0
+    assert stats.plan_misses == 0
+
+
+def test_subconv_helper_uses_session_cache():
+    session = InferenceSession()
+    tensor = frame(47, channels=1)
+    weights = np.random.default_rng(0).standard_normal((27, 1, 8))
+    first = session.subconv(tensor, weights)
+    second = session.subconv(tensor, weights)
+    assert session.stats.matching_passes == 1
+    assert session.stats.rulebook_hits == 1
+    assert np.array_equal(first.features, second.features)
+
+
+def test_use_rulebook_cache_is_deprecated():
+    layer_net = SSUNet(SMALL_CFG)
+    with pytest.warns(DeprecationWarning, match="InferenceSession"):
+        layer_net.use_rulebook_cache(RulebookCache())

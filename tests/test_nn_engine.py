@@ -238,6 +238,7 @@ def test_cache_lru_eviction():
     assert cache.misses == 4
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_explicit_cache_none_disables_attached_cache():
     from repro.nn import SubmanifoldConv3d
 

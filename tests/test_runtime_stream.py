@@ -83,8 +83,32 @@ def test_latency_percentiles():
 
 
 def test_percentile_empty_raises():
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="no frames"):
         StreamStats().latency_percentile(50)
+
+
+def test_fps_empty_raises():
+    """Empty streams must raise a clear error, not divide by zero."""
+    with pytest.raises(ValueError, match="no frames"):
+        StreamStats().fps
+
+
+@pytest.mark.parametrize("bad", [-0.1, 100.5, float("nan"), float("inf")])
+def test_percentile_validates_range(bad):
+    stats = StreamStats(frames=[FrameResult(0, 1, 1, 1, 0.001, 0.001, 100)])
+    with pytest.raises(ValueError, match=r"\[0, 100\]"):
+        stats.latency_percentile(bad)
+
+
+def test_percentile_bounds_accepted():
+    stats = StreamStats(
+        frames=[
+            FrameResult(i, 1, 1, 1, 0.001 * (i + 1), 0.001 * (i + 1), 100)
+            for i in range(3)
+        ]
+    )
+    assert stats.latency_percentile(0) == pytest.approx(0.001)
+    assert stats.latency_percentile(100) == pytest.approx(0.003)
 
 
 def test_multichannel_frames():
@@ -126,6 +150,39 @@ def test_execute_reference_reports_scatter_time():
     assert stats.scatter_seconds > 0.0
     for frame in stats.frames:
         assert frame.scatter_seconds > 0.0
+
+
+def test_runner_wraps_session():
+    """The runner is a thin loop over an InferenceSession: a shared
+    session carries its rulebook cache across runners."""
+    from repro.engine import InferenceSession
+
+    session = InferenceSession()
+    source = RotatingSceneSource(
+        base_cloud=make_shapenet_like_cloud(seed=5, n_points=300),
+        num_frames=2,
+        step_rad=0.0,
+        noise_sigma=0.0,
+        seed=5,
+    )
+    runner = StreamingRunner(resolution=64, session=session)
+    assert runner.rulebook_cache is session.rulebook_cache
+    assert runner.config is session.accelerator_config
+    runner.run(source)
+    warm = StreamingRunner(resolution=64, session=session).run(source)
+    assert warm.rulebook_misses == 0
+    assert warm.rulebook_hits == 2
+    assert session.rulebook_cache.hits >= 3
+
+
+def test_runner_rejects_session_plus_components():
+    from repro.engine import InferenceSession
+    from repro.nn import RulebookCache
+
+    with pytest.raises(ValueError, match="session"):
+        StreamingRunner(
+            session=InferenceSession(), rulebook_cache=RulebookCache()
+        )
 
 
 def test_runner_accepts_shared_cache():

@@ -137,3 +137,22 @@ def test_occupancy_has_single_ones_channel():
 def test_1d_features_promoted_to_single_channel():
     tensor = SparseTensor3D(np.array([[0, 0, 0]]), np.array([7.0]), (2, 2, 2))
     assert tensor.features.shape == (1, 1)
+
+
+def test_with_features_does_not_alias_caller_buffer():
+    """with_features must copy: later mutation of the input buffer (or a
+    batch-output stack it was sliced from) cannot corrupt the tensor."""
+    coords = np.array([[0, 0, 0], [1, 1, 1], [2, 2, 2]])
+    tensor = SparseTensor3D(coords, np.zeros((3, 1)), (4, 4, 4))
+    buffer = np.ones((3, 2))
+    out = tensor.with_features(buffer)
+    buffer[:] = 99.0
+    assert (out.features == 1.0).all()
+    assert not np.shares_memory(out.features, buffer)
+
+
+def test_with_features_validates_row_count():
+    coords = np.array([[0, 0, 0], [1, 1, 1]])
+    tensor = SparseTensor3D(coords, np.zeros((2, 1)), (4, 4, 4))
+    with pytest.raises(ValueError, match="features"):
+        tensor.with_features(np.zeros((3, 1)))
