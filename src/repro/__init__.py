@@ -63,7 +63,15 @@ from repro.analysis import (
     run_table2,
     run_table3,
 )
-from repro.engine import InferenceSession, PlanCache, QuantizationSpec
+from repro.engine import (
+    ExecutionBackend,
+    InferenceSession,
+    PlanCache,
+    QuantizationSpec,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 
 __all__ = [
     "__version__",
@@ -88,4 +96,8 @@ __all__ = [
     "InferenceSession",
     "PlanCache",
     "QuantizationSpec",
+    "ExecutionBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
 ]

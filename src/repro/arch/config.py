@@ -42,7 +42,16 @@ class SdmuTiming:
 
 @dataclass(frozen=True)
 class AcceleratorConfig:
-    """Full parameter set of one ESCA instance."""
+    """Full parameter set of one ESCA instance.
+
+    ``execution_backend`` names the software compute engine a session
+    built from this config evaluates rulebooks with (see
+    :mod:`repro.engine.backend`); it parameterizes the deployment the
+    same way the hardware knobs do and travels with the config through
+    :meth:`to_dict` / :meth:`from_dict`.  Validation against the
+    registry happens at session construction (the registry is openly
+    extensible, so the config only checks the name's well-formedness).
+    """
 
     kernel_size: int = 3
     tile_shape: Tuple[int, int, int] = (8, 8, 8)
@@ -57,9 +66,15 @@ class AcceleratorConfig:
     activation_buffer_depth: int = 8192
     weight_buffer_depth: int = 16384
     output_buffer_depth: int = 4096
+    execution_backend: str = "numpy"
     timing: SdmuTiming = field(default_factory=SdmuTiming)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.execution_backend, str) or not self.execution_backend:
+            raise ValueError(
+                "execution_backend must be a non-empty backend name, got "
+                f"{self.execution_backend!r}"
+            )
         if self.kernel_size <= 0 or self.kernel_size % 2 == 0:
             raise ValueError(
                 f"kernel_size must be odd and positive, got {self.kernel_size}"
@@ -120,6 +135,7 @@ class AcceleratorConfig:
             "activation_buffer_depth": self.activation_buffer_depth,
             "weight_buffer_depth": self.weight_buffer_depth,
             "output_buffer_depth": self.output_buffer_depth,
+            "execution_backend": self.execution_backend,
             "timing": {
                 "srf_cadence_cycles": self.timing.srf_cadence_cycles,
                 "judge_cycles": self.timing.judge_cycles,

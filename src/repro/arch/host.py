@@ -22,8 +22,11 @@ about 1.2 effective GOPS and ~8 M coordinate-hash probes per second.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+import numpy as np
+
+from repro.nn.functional import normalize_weights
 from repro.nn.rulebook import (
     Rulebook,
     RulebookCache,
@@ -119,3 +122,64 @@ class HostExecutionModel:
         return [
             self.run_layer(execution, cache=cache) for execution in executions
         ]
+
+    def execute_layer(
+        self,
+        execution: LayerExecution,
+        features: np.ndarray,
+        weights: np.ndarray,
+        rulebook: Optional[Rulebook] = None,
+        cache: Optional[RulebookCache] = None,
+        backend=None,
+        stats=None,
+    ) -> Tuple[np.ndarray, HostLayerRun]:
+        """Numerically execute one host-side layer through the backend seam.
+
+        Where :meth:`run_layer` only *estimates* the PS cost, this runs
+        the actual arithmetic the PS would perform, through an
+        :class:`repro.engine.backend.ExecutionBackend` (``backend`` is a
+        registry name, a backend instance, or ``None`` for the fused
+        numpy default).  Returns the output feature rows alongside the
+        usual :class:`HostLayerRun` timing record, so deployment
+        software can serve the non-accelerated layers with the same
+        swappable engines as the session's hot path.
+        """
+        # Imported lazily: repro.engine.session imports this module.
+        from repro.engine.backend import ExecutionBackend, get_backend
+
+        if backend is None or isinstance(backend, str):
+            backend = get_backend(backend or "numpy")
+        if not isinstance(backend, ExecutionBackend):
+            raise TypeError(
+                "backend must be a registry name or an ExecutionBackend, "
+                f"got {type(backend).__name__}"
+            )
+        tensor = execution.input_tensor
+        weights = normalize_weights(weights, execution.kernel_size)
+        if execution.kind == "subconv":
+            if rulebook is None:
+                rulebook = get_submanifold_rulebook(
+                    tensor, execution.kernel_size, cache=cache
+                )
+            apply_rb, num_outputs = rulebook, tensor.nnz
+        elif execution.kind in ("sparseconv", "invconv"):
+            # The recorded tensor is the matching reference: the strided
+            # conv's input, or the fine site set a transposed conv restores.
+            if rulebook is None:
+                rulebook, _ = get_sparse_conv_rulebook(
+                    tensor,
+                    kernel_size=execution.kernel_size,
+                    stride=execution.stride,
+                    cache=cache,
+                )
+            if execution.kind == "invconv":
+                apply_rb, num_outputs = rulebook.transposed(), tensor.nnz
+            else:
+                apply_rb, num_outputs = rulebook, rulebook.num_outputs
+        else:
+            raise ValueError(f"unknown layer kind {execution.kind!r}")
+        out = backend.execute(
+            apply_rb, features, weights, num_outputs, stats=stats
+        )
+        run = self.run_layer(execution, rulebook=rulebook)
+        return out, run

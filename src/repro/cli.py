@@ -6,6 +6,7 @@ Usage::
     python -m repro table1 fig10    # a subset
     python -m repro --seed 3 table1 # different synthetic sample
     python -m repro stream          # streaming demo via InferenceSession
+    python -m repro serve           # async micro-batching serve demo
 """
 
 from __future__ import annotations
@@ -40,7 +41,9 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         epilog=(
             "The 'stream' subcommand (python -m repro stream --help) runs "
-            "the streaming runtime through an InferenceSession instead."
+            "the streaming runtime through an InferenceSession instead; "
+            "'serve' (python -m repro serve --help) runs the async "
+            "micro-batching request queue."
         ),
     )
     parser.add_argument(
@@ -100,7 +103,137 @@ def build_stream_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="scene seed (default 0)"
     )
+    _add_backend_argument(parser)
     return parser
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    # Imported lazily so --help stays cheap and experiment runs stay light.
+    from repro.engine import available_backends
+
+    parser.add_argument(
+        "--backend", default="numpy", choices=available_backends(),
+        help="execution backend evaluating rulebooks (default numpy); all "
+        "backends are bit-identical, they differ in how work is computed",
+    )
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Serve a rotating synthetic scene through the asyncio "
+            "micro-batching request queue (SessionServer) and compare "
+            "sustained throughput against unbatched sequential execution."
+        ),
+    )
+    parser.add_argument(
+        "--frames", type=int, default=4,
+        help="distinct scene frames (default 4)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent clients submitting each frame (default 4); "
+        "requests sharing a frame's voxel set batch into one digest group",
+    )
+    parser.add_argument(
+        "--resolution", type=int, default=48,
+        help="voxel grid side (default 48)",
+    )
+    parser.add_argument(
+        "--points", type=int, default=8000,
+        help="points per synthetic cloud (default 8000)",
+    )
+    parser.add_argument(
+        "--step-rad", type=float, default=0.15,
+        help="per-frame rotation in radians (default 0.15)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=16,
+        help="micro-batch size cap per dispatch (default 16)",
+    )
+    parser.add_argument(
+        "--max-delay-ms", type=float, default=2.0,
+        help="dispatcher linger for stragglers in ms (default 2.0)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the sequential (unbatched) baseline comparison",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="scene seed (default 0)"
+    )
+    _add_backend_argument(parser)
+    return parser
+
+
+def run_serve(argv: List[str]) -> int:
+    """The ``serve`` subcommand: concurrent clients -> SessionServer."""
+    import time
+
+    from repro.engine import InferenceSession
+    from repro.geometry import Voxelizer, make_shapenet_like_cloud
+    from repro.runtime import RotatingSceneSource, serve_frames
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.frames <= 0:
+        parser.error("--frames must be positive")
+    if args.clients <= 0:
+        parser.error("--clients must be positive")
+    source = RotatingSceneSource(
+        base_cloud=make_shapenet_like_cloud(seed=args.seed, n_points=args.points),
+        num_frames=args.frames,
+        step_rad=args.step_rad,
+        seed=args.seed,
+    )
+    voxelizer = Voxelizer(
+        resolution=args.resolution, normalize=False, occupancy_only=True
+    )
+    scene = [voxelizer.voxelize(cloud) for cloud in source]
+    # args.clients concurrent users per frame: same voxel sets, so the
+    # dispatcher's micro-batches collapse into large digest groups.
+    requests = [frame for frame in scene for _ in range(args.clients)]
+
+    session = InferenceSession(backend=args.backend)
+    session.warm(scene[0])  # touch the lazy net outside the timed region
+    outputs, stats = serve_frames(
+        requests,
+        session=session,
+        concurrency=args.clients,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1e3,
+    )
+    print(
+        f"served {stats.requests} requests ({args.frames} frames x "
+        f"{args.clients} clients) at {args.resolution}^3 via backend="
+        f"{args.backend}"
+    )
+    print(
+        f"  micro-batches:      {stats.micro_batches} "
+        f"(mean size {stats.mean_batch_size:.1f}, max {stats.max_batch_size})"
+    )
+    print(f"  serve throughput:   {stats.fps:10.2f} frames/s")
+    if not args.no_baseline:
+        baseline_session = InferenceSession(backend=args.backend)
+        baseline_session.warm(scene[0])
+        start = time.perf_counter()
+        baseline = [baseline_session.run(frame) for frame in requests]
+        baseline_seconds = time.perf_counter() - start
+        baseline_fps = len(requests) / baseline_seconds
+        identical = all(
+            out.features.dtype == ref.features.dtype
+            and (out.features == ref.features).all()
+            for out, ref in zip(outputs, baseline)
+        )
+        print(f"  sequential baseline:{baseline_fps:10.2f} frames/s")
+        print(
+            f"  speedup:            {stats.fps / baseline_fps:10.2f}x "
+            f"(bit-identical: {'yes' if identical else 'NO'})"
+        )
+        if not identical:
+            return 1
+    return 0
 
 
 def run_stream(argv: List[str]) -> int:
@@ -120,7 +253,7 @@ def run_stream(argv: List[str]) -> int:
         noise_sigma=args.noise,
         seed=args.seed,
     )
-    session = InferenceSession()
+    session = InferenceSession(backend=args.backend)
     runner = StreamingRunner(
         session=session,
         out_channels=args.out_channels,
@@ -170,17 +303,23 @@ def main(argv: List[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "stream":
         return run_stream(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        return run_serve(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     selected = args.experiments or ["all"]
     unknown = [name for name in selected if name not in (*_EXPERIMENTS, "all")]
     if unknown:
-        hint = (
-            "; note: 'stream' is a subcommand and must come first "
-            "(python -m repro stream [options])"
-            if "stream" in unknown
-            else ""
-        )
+        subcommands = [name for name in ("stream", "serve") if name in unknown]
+        if subcommands:
+            names = " and ".join(f"'{name}'" for name in subcommands)
+            verb = "are subcommands" if len(subcommands) > 1 else "is a subcommand"
+            hint = (
+                f"; note: {names} {verb} and must come first "
+                "(python -m repro stream|serve [options])"
+            )
+        else:
+            hint = ""
         parser.error(
             f"unknown experiment(s) {unknown}; choose from "
             f"{sorted(_EXPERIMENTS)} or 'all'{hint}"

@@ -8,8 +8,25 @@ draw their rulebooks from one session-owned :class:`RulebookCache`, and
 whole-network execution plans (one per input site set) are reused across
 frames, batches, and estimates through the cross-scale
 :class:`repro.engine.session.PlanCache`.
+
+Underneath the session sits the pluggable compute seam of
+:mod:`repro.engine.backend`: an abstract :class:`ExecutionBackend`
+(fused numpy, scipy CSR, multiprocessing-sharded, or any registered
+third-party engine) evaluates rulebooks against features, bit-identical
+across backends for every session precision.
 """
 
+from repro.engine.backend import (
+    BackendCapabilities,
+    ExecPlan,
+    ExecutionBackend,
+    NumpyFusedBackend,
+    ScipySparseBackend,
+    ShardedProcessBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.engine.session import (
     InferenceSession,
     LayerEstimate,
@@ -32,4 +49,13 @@ __all__ = [
     "SubconvEstimate",
     "LayerEstimate",
     "NetworkEstimate",
+    "ExecutionBackend",
+    "ExecPlan",
+    "BackendCapabilities",
+    "NumpyFusedBackend",
+    "ScipySparseBackend",
+    "ShardedProcessBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
 ]

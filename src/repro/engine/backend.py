@@ -1,0 +1,761 @@
+"""Pluggable execution backends — the compute seam under the session.
+
+PointAcc and HLS4PC both describe point-cloud acceleration as one
+mapping layer (the matching / rulebook machinery) with swappable compute
+engines underneath.  This module gives the reproduction the same shape
+in software: everything above the seam (sessions, plans, rulebook
+caches, the serving queue) is backend-agnostic, and the actual
+gather-GEMM-scatter arithmetic is an :class:`ExecutionBackend` resolved
+by name through a string-keyed registry.
+
+Three backends ship with the repository:
+
+``numpy`` — :class:`NumpyFusedBackend`
+    The default: the fused vectorized engine of
+    :func:`repro.nn.functional.apply_rulebook` /
+    :func:`~repro.nn.functional.apply_rulebook_batch`.  This is the
+    reference arithmetic every other backend must match bit for bit.
+
+``scipy`` — :class:`ScipySparseBackend`
+    Lowers a rulebook's gather and scatter stages into cached CSR
+    matrices (one selection matrix over the input rows, one accumulation
+    matrix over the match rows) multiplied against the feature block.
+    Degrades gracefully to the numpy engine when scipy is absent.
+
+``sharded`` — :class:`ShardedProcessBackend`
+    Fans :meth:`repro.engine.session.InferenceSession.run_batch` digest
+    groups out across a ``multiprocessing`` pool.  Each worker holds a
+    warm private session (plan and rulebook caches persist across
+    dispatches), so repeated site sets stay one matching pass per
+    worker.  Per-convolution calls delegate to the fused numpy engine —
+    sharding is a batch-level strategy, not a kernel.
+
+Every backend is **bit-identical** to ``numpy`` for all three session
+precisions (float64 / float32 / int), cache-cold and cache-warm; the
+contract is asserted in ``tests/test_engine_backend.py``.
+
+Writing a backend
+-----------------
+Subclass :class:`ExecutionBackend`, implement :meth:`~ExecutionBackend.
+prepare` (rulebook -> backend-specific :class:`ExecPlan`, memoized for
+you by :meth:`~ExecutionBackend.plan_for`), :meth:`~ExecutionBackend.
+execute` / :meth:`~ExecutionBackend.execute_batch`, and
+:meth:`~ExecutionBackend.capabilities`; then::
+
+    register_backend("mine", MyBackend)
+    session = InferenceSession(backend="mine")
+
+See ``docs/backends.md`` for the full walkthrough.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.functional import (
+    ApplyStats,
+    _accumulator_dtype,
+    apply_rulebook,
+    apply_rulebook_batch,
+)
+from repro.nn.rulebook import Rulebook
+
+try:  # pragma: no cover - exercised via ScipySparseBackend paths
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - CI installs scipy; laptops may not
+    _scipy_sparse = None
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one backend can do — consumed by the session dispatcher.
+
+    ``native_batch`` means :meth:`ExecutionBackend.execute_batch`
+    vectorizes the gather/scatter stages across frames (rather than
+    looping :meth:`~ExecutionBackend.execute`); ``sharded`` means the
+    backend accepts whole ``run_batch`` digest groups via
+    :meth:`ExecutionBackend.run_groups`; ``degraded`` marks a backend
+    whose optional dependency is missing and which is transparently
+    falling back to the fused numpy engine.
+    """
+
+    name: str
+    description: str
+    native_batch: bool = False
+    sharded: bool = False
+    degraded: bool = False
+    requires: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ExecPlan:
+    """Backend-prepared execution state of one rulebook.
+
+    Subclasses carry whatever the backend precomputes from the matching
+    result (CSR operators, device buffers, ...).  Plans depend only on
+    the rulebook — never on features or weights — so they are built once
+    per rulebook and reused across layers, frames, and batches
+    (:meth:`ExecutionBackend.plan_for` memoizes them per backend).
+    """
+
+    backend: str
+    total_matches: int
+
+
+class ExecutionBackend:
+    """Abstract compute engine: evaluates rulebooks against features.
+
+    The three required operations mirror the fused engine's signatures
+    (:func:`repro.nn.functional.apply_rulebook`), so any consumer that
+    could call the functional engine can call a backend instead:
+
+    * :meth:`prepare` — lower one rulebook into an :class:`ExecPlan`;
+    * :meth:`execute` — ``(N, Cin)`` features, one frame;
+    * :meth:`execute_batch` — ``(B, N, Cin)`` stacked features sharing
+      one site set.
+
+    Outputs must be bit-identical to the fused numpy engine for every
+    dtype the session produces (float64, float32, and the integer
+    fixed-point pipeline): equality, not closeness, is the contract the
+    session's batching and caching guarantees are built on.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    #: Bound on memoized plans: streaming workloads produce a fresh
+    #: rulebook per site set, so the memo must evict like the caches
+    #: above it rather than pin every rulebook ever executed.
+    plan_capacity: int = 64
+
+    def __init__(self) -> None:
+        # id-keyed LRU memo pinning the rulebook to keep ids stable (the
+        # same pattern as the session's parameter casts).
+        self._plans: "OrderedDict[int, Tuple[Rulebook, ExecPlan]]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------
+    # Plan preparation
+    # ------------------------------------------------------------------
+    def prepare(self, rulebook: Rulebook) -> ExecPlan:
+        """Lower ``rulebook`` into this backend's execution state."""
+        raise NotImplementedError
+
+    def plan_for(self, rulebook: Rulebook) -> ExecPlan:
+        """Memoized :meth:`prepare` — one plan per live rulebook, LRU-bounded."""
+        key = id(rulebook)
+        cached = self._plans.get(key)
+        if cached is None or cached[0] is not rulebook:
+            cached = (rulebook, self.prepare(rulebook))
+            self._plans[key] = cached
+            while len(self._plans) > self.plan_capacity:
+                self._plans.popitem(last=False)
+        else:
+            self._plans.move_to_end(key)
+        return cached[1]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        rulebook: Rulebook,
+        in_features: np.ndarray,
+        weights: np.ndarray,
+        num_outputs: int,
+        stats: Optional[ApplyStats] = None,
+    ) -> np.ndarray:
+        """Evaluate one frame: ``(N, Cin) -> (num_outputs, Cout)``."""
+        raise NotImplementedError
+
+    def execute_batch(
+        self,
+        rulebook: Rulebook,
+        stack: np.ndarray,
+        weights: np.ndarray,
+        num_outputs: int,
+        stats: Optional[ApplyStats] = None,
+    ) -> np.ndarray:
+        """Evaluate a ``(B, N, Cin)`` stack sharing one site set.
+
+        The default loops :meth:`execute` per frame, which is always
+        correct (and bit-identical by construction); backends with a
+        vectorized batch path override this and set ``native_batch``.
+        """
+        stack = np.asarray(stack)
+        if stack.ndim != 3:
+            raise ValueError(
+                f"batched features must be (B, N, Cin), got {stack.shape}"
+            )
+        weights = np.asarray(weights)
+        dtype = _accumulator_dtype(stack, weights)
+        out = np.zeros(
+            (stack.shape[0], num_outputs, weights.shape[2]), dtype=dtype
+        )
+        for b in range(stack.shape[0]):
+            out[b] = self.execute(
+                rulebook, stack[b], weights, num_outputs, stats=stats
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Batch-group fan-out (sharded backends only)
+    # ------------------------------------------------------------------
+    def run_groups(
+        self,
+        net,
+        precision: str,
+        quantization,
+        groups: Sequence["GroupTask"],
+    ) -> List[np.ndarray]:
+        """Execute whole ``run_batch`` digest groups (sharded backends).
+
+        Only meaningful when ``capabilities().sharded`` is true; the
+        base implementation refuses so mis-dispatch fails loudly.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not shard batch groups"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def capabilities(self) -> BackendCapabilities:
+        """Static description of what this backend supports."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release external resources (worker pools, devices).  Idempotent."""
+        self._plans.clear()
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# numpy — the fused reference engine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FusedExecPlan(ExecPlan):
+    """The fused engine's plan is the rulebook's own gather/scatter plan."""
+
+
+class NumpyFusedBackend(ExecutionBackend):
+    """The default backend: fused vectorized gather-GEMM-scatter.
+
+    A thin adapter over :func:`repro.nn.functional.apply_rulebook` and
+    :func:`~repro.nn.functional.apply_rulebook_batch` — the engine the
+    repository validated against the seed ``np.add.at`` reference.  This
+    is the arithmetic ground truth the other backends are held to.
+    """
+
+    name = "numpy"
+
+    def prepare(self, rulebook: Rulebook) -> ExecPlan:
+        plan = rulebook.plan()  # memoized on the rulebook itself
+        return FusedExecPlan(
+            backend=self.name, total_matches=plan.total_matches
+        )
+
+    def execute(self, rulebook, in_features, weights, num_outputs, stats=None):
+        return apply_rulebook(
+            rulebook, in_features, weights, num_outputs, stats=stats
+        )
+
+    def execute_batch(self, rulebook, stack, weights, num_outputs, stats=None):
+        return apply_rulebook_batch(
+            rulebook, stack, weights, num_outputs, stats=stats
+        )
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description="fused vectorized gather-GEMM-scatter (reference)",
+            native_batch=True,
+        )
+
+
+# ----------------------------------------------------------------------
+# scipy — CSR gather/scatter operators
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CsrExecPlan(ExecPlan):
+    """CSR lowering of one rulebook.
+
+    ``gather`` is a ``(total_matches, num_inputs)`` selection matrix
+    (one unit entry per row, offset-major row order) and ``scatter`` a
+    ``(num_outputs, total_matches)`` accumulation matrix (unit entries;
+    within each output row the stored column indices ascend, i.e. run in
+    offset-major order).  Multiplying them against the feature block
+    reproduces the fused engine bit for bit: unit products are exact,
+    and CSR row accumulation visits matches in exactly the per-offset
+    order of the fused scatter loop.
+
+    ``segment_starts`` / ``active_offsets`` drive the per-offset GEMM in
+    between, identical to the fused engine's contiguous blocks.
+    ``casts`` holds per-dtype copies of the operators (features may be
+    float64, float32, or integer depending on session precision).
+    """
+
+    segment_starts: Optional[np.ndarray] = None
+    active_offsets: Optional[Tuple[int, ...]] = None
+    gather: object = None
+    scatter: object = None
+    casts: Dict[str, Tuple[object, object]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def operators(self, dtype: np.dtype) -> Tuple[object, object]:
+        """The (gather, scatter) pair cast to ``dtype`` (memoized)."""
+        key = np.dtype(dtype).str
+        pair = self.casts.get(key)
+        if pair is None:
+            pair = (self.gather.astype(dtype), self.scatter.astype(dtype))
+            self.casts[key] = pair
+        return pair
+
+
+class ScipySparseBackend(ExecutionBackend):
+    """Gather/scatter as cached CSR operators multiplied onto features.
+
+    ``out = S @ blockdiag_gemm(G @ F)``: the gather matrix ``G`` selects
+    the (offset-major) matched input rows, the per-offset GEMMs run on
+    the same contiguous segments as the fused engine, and the scatter
+    matrix ``S`` accumulates match contributions onto output rows.  Both
+    operators have exclusively unit entries, and CSR accumulation order
+    equals the fused engine's offset order, so results are bit-identical
+    — asserted per precision in the parity suite.
+
+    When scipy is not importable the backend degrades gracefully: it
+    delegates to the fused numpy engine and reports
+    ``capabilities().degraded``.
+    """
+
+    name = "scipy"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._sparse = _scipy_sparse
+        self._fallback = NumpyFusedBackend() if self._sparse is None else None
+
+    @property
+    def degraded(self) -> bool:
+        """True when scipy is absent and the numpy engine is substituting."""
+        return self._fallback is not None
+
+    def prepare(self, rulebook: Rulebook) -> ExecPlan:
+        plan = rulebook.plan()
+        if self.degraded:
+            return FusedExecPlan(
+                backend=self.name, total_matches=plan.total_matches
+            )
+        total = plan.total_matches
+        num_inputs = rulebook.num_inputs
+        num_outputs = rulebook.num_outputs
+        if total:
+            ones = np.ones(total, dtype=np.float64)
+            gather = self._sparse.csr_matrix(
+                (ones, plan.in_rows, np.arange(total + 1)),
+                shape=(total, max(num_inputs, 1)),
+            )
+            out_rows = np.concatenate(
+                [plan.out_rows[k] for k in plan.active_offsets]
+            )
+            scatter = self._sparse.csr_matrix(
+                (ones, (out_rows, np.arange(total))),
+                shape=(max(num_outputs, 1), total),
+            )
+            scatter.sort_indices()  # offset-major accumulation order
+        else:
+            gather = scatter = None
+        return CsrExecPlan(
+            backend=self.name,
+            total_matches=total,
+            segment_starts=plan.segment_starts,
+            active_offsets=tuple(plan.active_offsets),
+            gather=gather,
+            scatter=scatter,
+        )
+
+    def execute(self, rulebook, in_features, weights, num_outputs, stats=None):
+        if self.degraded:
+            return self._fallback.execute(
+                rulebook, in_features, weights, num_outputs, stats=stats
+            )
+        in_features = np.asarray(in_features)
+        weights = np.asarray(weights)
+        out_channels = weights.shape[2]
+        dtype = _accumulator_dtype(in_features, weights)
+        plan = self.plan_for(rulebook)
+        if plan.total_matches == 0:
+            return np.zeros((num_outputs, out_channels), dtype=dtype)
+        gather_op, scatter_op = plan.operators(dtype)
+        weights = weights.astype(dtype, copy=False)
+        features = in_features.astype(dtype, copy=False)
+
+        t0 = time.perf_counter()
+        gathered = gather_op @ features
+        t1 = time.perf_counter()
+        contribution = np.empty(
+            (plan.total_matches, out_channels), dtype=dtype
+        )
+        starts = plan.segment_starts
+        for k in plan.active_offsets:
+            np.dot(
+                gathered[starts[k]:starts[k + 1]],
+                weights[k],
+                out=contribution[starts[k]:starts[k + 1]],
+            )
+        t2 = time.perf_counter()
+        out = scatter_op @ contribution
+        if out.shape[0] != num_outputs:  # num_outputs == 0 guard rows
+            out = out[:num_outputs]
+        t3 = time.perf_counter()
+
+        if stats is not None:
+            stats.matches += plan.total_matches
+            stats.gather_seconds += t1 - t0
+            stats.gemm_seconds += t2 - t1
+            stats.scatter_seconds += t3 - t2
+        return out
+
+    def execute_batch(self, rulebook, stack, weights, num_outputs, stats=None):
+        if self.degraded:
+            return self._fallback.execute_batch(
+                rulebook, stack, weights, num_outputs, stats=stats
+            )
+        stack = np.asarray(stack)
+        if stack.ndim != 3:
+            raise ValueError(
+                f"batched features must be (B, N, Cin), got {stack.shape}"
+            )
+        weights = np.asarray(weights)
+        batch = stack.shape[0]
+        out_channels = weights.shape[2]
+        dtype = _accumulator_dtype(stack, weights)
+        plan = self.plan_for(rulebook)
+        if plan.total_matches == 0 or batch == 0:
+            return np.zeros((batch, num_outputs, out_channels), dtype=dtype)
+        gather_op, scatter_op = plan.operators(dtype)
+        weights = weights.astype(dtype, copy=False)
+        features = stack.astype(dtype, copy=False)
+
+        t0 = time.perf_counter()
+        # One CSR gather for the whole batch: fold frames into columns,
+        # (N, B*Cin), select rows, unfold back to (total, B, Cin).
+        folded = np.ascontiguousarray(features.transpose(1, 0, 2)).reshape(
+            stack.shape[1], batch * stack.shape[2]
+        )
+        gathered = (gather_op @ folded).reshape(
+            plan.total_matches, batch, stack.shape[2]
+        )
+        t1 = time.perf_counter()
+        contribution = np.empty(
+            (plan.total_matches, batch, out_channels), dtype=dtype
+        )
+        starts = plan.segment_starts
+        for k in plan.active_offsets:
+            for b in range(batch):
+                # Same contiguous (n_k, Cin) @ (Cin, Cout) block as the
+                # single-frame path, so per-frame bits are identical.
+                contribution[starts[k]:starts[k + 1], b] = np.dot(
+                    np.ascontiguousarray(gathered[starts[k]:starts[k + 1], b]),
+                    weights[k],
+                )
+        t2 = time.perf_counter()
+        scattered = scatter_op @ contribution.reshape(
+            plan.total_matches, batch * out_channels
+        )
+        out = np.ascontiguousarray(
+            scattered[:num_outputs]
+            .reshape(num_outputs, batch, out_channels)
+            .transpose(1, 0, 2)
+        )
+        t3 = time.perf_counter()
+
+        if stats is not None:
+            stats.matches += batch * plan.total_matches
+            stats.gather_seconds += t1 - t0
+            stats.gemm_seconds += t2 - t1
+            stats.scatter_seconds += t3 - t2
+        return out
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description="CSR gather/scatter operators over feature blocks",
+            native_batch=True,
+            degraded=self.degraded,
+            requires="scipy",
+        )
+
+
+# ----------------------------------------------------------------------
+# sharded — multiprocessing fan-out of run_batch digest groups
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GroupTask:
+    """One ``run_batch`` digest group: shared site set, stacked features.
+
+    ``digest`` is the group's coordinate digest; the sharded backend
+    routes on it so the same site set always lands on the same worker
+    (whose plan cache is then warm for it).
+    """
+
+    coords: np.ndarray
+    shape: Tuple[int, int, int]
+    features: np.ndarray  # (B, N, C), raw per-frame features stacked
+    digest: bytes = b""
+
+
+_WORKER_SESSION = None  # per-process warm session (set by the initializer)
+
+
+def _sharded_worker_init(spec_blob: bytes) -> None:
+    """Pool initializer: build this worker's warm private session.
+
+    The session (and with it the plan and rulebook caches) persists for
+    the lifetime of the worker process, so digest groups dispatched to
+    the same worker repeatedly pay the matching cost once.
+    """
+    global _WORKER_SESSION
+    from repro.engine.session import InferenceSession
+
+    net, precision, quantization = pickle.loads(spec_blob)
+    _WORKER_SESSION = InferenceSession(
+        net=net,
+        precision=precision,
+        quantization=quantization,
+        backend="numpy",
+    )
+
+
+def _sharded_worker_run(task: GroupTask) -> np.ndarray:
+    """Execute one digest group on this worker's warm session."""
+    from repro.sparse.coo import SparseTensor3D
+
+    template = SparseTensor3D(task.coords, task.features[0], task.shape)
+    frames = [template] + [
+        template.with_features(task.features[b])
+        for b in range(1, task.features.shape[0])
+    ]
+    outs = _WORKER_SESSION.run_batch(frames)
+    return np.stack([out.features for out in outs])
+
+
+class ShardedProcessBackend(ExecutionBackend):
+    """Fans ``run_batch`` digest groups across a multiprocessing pool.
+
+    Batch-level parallelism for the "millions of users" direction: each
+    digest group (frames sharing one site set) is an independent unit of
+    work, so groups are dispatched to worker processes, each of which
+    owns a warm private session executing the fused numpy engine.
+    Results are therefore bit-identical to local execution — the workers
+    run exactly the same code on exactly the same arrays.
+
+    Per-convolution :meth:`execute` / :meth:`execute_batch` calls
+    delegate to the fused engine in-process (sharding is a batch
+    strategy, not a kernel), so a sharded session's single-frame ``run``
+    matches the numpy backend exactly as well.
+
+    Groups are routed by coordinate digest: one single-process pool per
+    worker, with a stable ``digest -> worker`` mapping, so a recurring
+    site set always reaches the worker whose plan cache already holds
+    it (true per-worker warm state, not pool-random assignment).  The
+    workers are spawned lazily on the first group dispatch and rebuilt
+    if the serving network changes; :meth:`close` terminates them.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self, num_workers: int = 2, start_method: Optional[str] = None
+    ) -> None:
+        super().__init__()
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = int(num_workers)
+        self.start_method = start_method
+        self._inner = NumpyFusedBackend()
+        self._pools: Optional[List[object]] = None
+        self._spec_blob: Optional[bytes] = None
+        # Pickling the network is O(weight bytes); memoize the blob on
+        # the served objects' identities so warm dispatches skip it.
+        self._spec_key: Optional[Tuple[int, str, int]] = None
+        # Observability: how many groups/frames were fanned out.
+        self.groups_dispatched = 0
+        self.frames_dispatched = 0
+
+    def prepare(self, rulebook: Rulebook) -> ExecPlan:
+        return self._inner.prepare(rulebook)
+
+    def execute(self, rulebook, in_features, weights, num_outputs, stats=None):
+        return self._inner.execute(
+            rulebook, in_features, weights, num_outputs, stats=stats
+        )
+
+    def execute_batch(self, rulebook, stack, weights, num_outputs, stats=None):
+        return self._inner.execute_batch(
+            rulebook, stack, weights, num_outputs, stats=stats
+        )
+
+    def _ensure_pools(self, spec_blob: bytes) -> List[object]:
+        import multiprocessing
+
+        if self._pools is not None and spec_blob != self._spec_blob:
+            self.close()
+        if self._pools is None:
+            method = self.start_method
+            if method is None:
+                # fork shares the parent image copy-on-write (cheap warm
+                # start on Linux); fall back to the platform default.
+                available = multiprocessing.get_all_start_methods()
+                method = "fork" if "fork" in available else None
+            context = multiprocessing.get_context(method)
+            # One single-process pool per worker: digest-stable routing
+            # needs addressable workers, which multiprocessing.Pool's
+            # shared task queue cannot provide.
+            self._pools = [
+                context.Pool(
+                    processes=1,
+                    initializer=_sharded_worker_init,
+                    initargs=(spec_blob,),
+                )
+                for _ in range(self.num_workers)
+            ]
+            self._spec_blob = spec_blob
+        return self._pools
+
+    def _worker_index(self, task: GroupTask) -> int:
+        """Stable digest -> worker mapping (warm plan affinity)."""
+        digest = task.digest or task.coords.tobytes()
+        return int.from_bytes(digest[:8], "little") % self.num_workers
+
+    def run_groups(self, net, precision, quantization, groups):
+        """Dispatch :class:`GroupTask` items to their affine workers.
+
+        All groups are submitted asynchronously (groups mapped to
+        different workers execute concurrently), and results are
+        returned in submission order.
+        """
+        if not groups:
+            return []
+        spec_key = (id(net), precision, id(quantization))
+        if spec_key != self._spec_key or self._pools is None:
+            spec_blob = pickle.dumps((net, precision, quantization))
+        else:
+            spec_blob = self._spec_blob
+        pools = self._ensure_pools(spec_blob)
+        self._spec_key = spec_key
+        self.groups_dispatched += len(groups)
+        self.frames_dispatched += sum(
+            task.features.shape[0] for task in groups
+        )
+        pending = [
+            pools[self._worker_index(task)].apply_async(
+                _sharded_worker_run, (task,)
+            )
+            for task in groups
+        ]
+        return [result.get() for result in pending]
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description=(
+                "digest groups fanned across a multiprocessing pool of "
+                "warm worker sessions"
+            ),
+            native_batch=True,
+            sharded=True,
+        )
+
+    def close(self) -> None:
+        super().close()
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.terminate()
+            for pool in self._pools:
+                pool.join()
+            self._pools = None
+            self._spec_blob = None
+            self._spec_key = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Callable[[], ExecutionBackend]] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], ExecutionBackend],
+    overwrite: bool = False,
+) -> None:
+    """Register ``factory`` (class or zero-arg callable) under ``name``.
+
+    Names are case-sensitive, non-empty strings.  Re-registering an
+    existing name requires ``overwrite=True`` so typos fail loudly.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass overwrite=True "
+            "to replace it"
+        )
+    if not callable(factory):
+        raise TypeError(f"backend factory must be callable, got {factory!r}")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Sorted names of every registered backend."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str, **kwargs) -> ExecutionBackend:
+    """Instantiate the backend registered under ``name``.
+
+    ``kwargs`` are forwarded to the factory (e.g.
+    ``get_backend("sharded", num_workers=4)``).  Unknown names raise a
+    :class:`ValueError` listing what is registered.
+    """
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown execution backend {name!r}; registered backends: "
+            f"{list(available_backends())}"
+        )
+    backend = factory(**kwargs)
+    if not isinstance(backend, ExecutionBackend):
+        raise TypeError(
+            f"factory for backend {name!r} returned {type(backend).__name__}, "
+            "expected an ExecutionBackend"
+        )
+    return backend
+
+
+register_backend("numpy", NumpyFusedBackend)
+register_backend("scipy", ScipySparseBackend)
+register_backend("sharded", ShardedProcessBackend)

@@ -20,20 +20,28 @@ from scratch.  The session centralizes that state:
   :class:`repro.arch.overhead.SystemOverheadModel`, and the session's
   quantization settings (:class:`QuantizationSpec`).
 
-Three execution surfaces::
+The execution surfaces::
 
-    session.run(tensor)          # single-frame network forward
-    session.run_batch(tensors)   # multi-frame, stacked features over
-                                 # cached plans; bit-identical to
-                                 # per-frame run() calls
-    session.estimate(tensor)     # analytical cycle/latency model,
-                                 # accelerated + host layers
+    session.run(tensor)            # single-frame network forward
+    session.run_batch(tensors)     # multi-frame, stacked features over
+                                   # cached plans; bit-identical to
+                                   # per-frame run() calls
+    session.estimate(tensor)       # analytical cycle/latency model,
+                                   # accelerated + host layers
+    session.estimate_batch(tensors)  # one plan/estimate per digest group
 
 ``run_batch`` groups frames by their coordinate digest: frames sharing a
 site set share one plan, one gather and one scatter per offset, with the
 per-offset GEMM executed frame by frame on identical contiguous blocks
-(:func:`repro.nn.functional.apply_rulebook_batch`) so batched outputs
-are bit-identical to sequential ones.
+so batched outputs are bit-identical to sequential ones.
+
+All numeric evaluation flows through the session's pluggable
+:class:`repro.engine.backend.ExecutionBackend` (``backend=`` /
+``AcceleratorConfig.execution_backend``): the fused numpy engine by
+default, cached scipy CSR operators, or a sharded multiprocessing pool
+that fans digest groups across warm worker sessions — all bit-identical
+for every precision.  The asyncio serving front door
+(:mod:`repro.runtime.server`) sits on top of ``run_batch``.
 """
 
 from __future__ import annotations
@@ -53,12 +61,13 @@ from repro.arch.config import AcceleratorConfig
 from repro.arch.host import HostExecutionModel, HostLayerRun
 from repro.arch.overhead import SystemOverheadModel, layer_transfer_volume
 from repro.arch.tiling import TileGrid
-from repro.nn.functional import (
-    ApplyStats,
-    apply_rulebook,
-    apply_rulebook_batch,
-    normalize_weights,
+from repro.engine.backend import (
+    ExecutionBackend,
+    GroupTask,
+    NumpyFusedBackend,
+    get_backend,
 )
+from repro.nn.functional import ApplyStats, normalize_weights
 from repro.nn.layers import (
     BatchNormSparse,
     ReLUSparse,
@@ -109,6 +118,7 @@ class SessionStats:
     frames_run: int
     batches_run: int
     estimates: int
+    backend: str
     matching_passes: int
     rulebook_hits: int
     rulebook_misses: int
@@ -412,6 +422,15 @@ class InferenceSession:
         requantize — formats from ``quantization``).
     rulebook_cache / plan_cache:
         Injectable for sharing across sessions; fresh ones by default.
+    backend:
+        The execution backend evaluating rulebooks against features: a
+        registry name (``"numpy"``, ``"scipy"``, ``"sharded"``, or any
+        :func:`repro.engine.backend.register_backend` entry) or a
+        ready :class:`repro.engine.backend.ExecutionBackend` instance.
+        Defaults to ``accelerator_config.execution_backend`` (itself
+        ``"numpy"`` by default).  Every shipped backend is bit-identical
+        to ``numpy`` for all precisions, so switching backends never
+        changes results — only how (and where) they are computed.
     """
 
     def __init__(
@@ -425,6 +444,7 @@ class InferenceSession:
         plan_cache: Optional[PlanCache] = None,
         precision: str = "float64",
         quantization: Optional[QuantizationSpec] = None,
+        backend: Optional[object] = None,
     ) -> None:
         if net is not None and unet_config is not None and net.config != unet_config:
             raise ValueError("net and unet_config disagree; pass only one")
@@ -445,6 +465,16 @@ class InferenceSession:
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.precision = precision
         self.quantization = quantization or QuantizationSpec()
+        if backend is None:
+            backend = self.accelerator_config.execution_backend
+        if isinstance(backend, str):
+            backend = get_backend(backend)
+        if not isinstance(backend, ExecutionBackend):
+            raise TypeError(
+                "backend must be a registry name or an ExecutionBackend, "
+                f"got {type(backend).__name__}"
+            )
+        self.backend = backend
         self.analytical = AnalyticalModel(self.accelerator_config)
         self.apply_stats = ApplyStats()
         self._frames_run = 0
@@ -485,6 +515,7 @@ class InferenceSession:
             frames_run=self._frames_run,
             batches_run=self._batches_run,
             estimates=self._estimates,
+            backend=self.backend.name,
             matching_passes=cache.misses,
             rulebook_hits=cache.hits,
             rulebook_misses=cache.misses,
@@ -531,12 +562,17 @@ class InferenceSession:
         """Network forward of one frame through the session caches."""
         plan = self.warm(tensor)
         self._frames_run += 1
-        if self.precision == "float64":
+        if self.precision == "float64" and isinstance(
+            self.backend, NumpyFusedBackend
+        ):
             # The module-tree forward is the reference path; every conv
             # resolves its rulebook from the (pre-seeded) session cache.
             return self.net(
                 tensor, cache=self.rulebook_cache, stats=self.apply_stats
             )
+        # Other precisions — and any non-default backend — go through the
+        # batch executor, whose per-frame arithmetic is bit-identical to
+        # the module-tree forward (same rulebooks, same GEMM blocks).
         stack = self._prepare_stack([tensor])
         out = _BatchExecutor(self, plan).run(stack)
         return tensor.with_features(out[0])
@@ -547,39 +583,93 @@ class InferenceSession:
         """Run many frames with shared weights and stacked features.
 
         Frames are grouped by coordinate digest: each group shares one
-        plan, one gather, and one scatter per offset
-        (:func:`repro.nn.functional.apply_rulebook_batch`), which keeps
+        plan, one gather, and one scatter per offset, which keeps
         outputs bit-identical to per-frame :meth:`run` calls.  Groups of
         one degenerate gracefully to single-frame execution.
+
+        With a sharded backend (``capabilities().sharded``) and more
+        than one digest group, whole groups are fanned out across the
+        backend's worker pool; each worker executes the fused numpy
+        engine in a warm private session, so results stay bit-identical
+        while groups run concurrently.
         """
         tensors = list(tensors)
         if not tensors:
             return []
+        self._validate_batch_channels(tensors)
         groups: "OrderedDict[Hashable, List[int]]" = OrderedDict()
         for index, tensor in enumerate(tensors):
             key = (tensor.shape, tensor.coords_digest())
             groups.setdefault(key, []).append(index)
         results: List[Optional[SparseTensor3D]] = [None] * len(tensors)
-        for indices in groups.values():
-            representative = tensors[indices[0]]
-            plan = self.warm(representative)
-            stack = self._prepare_stack([tensors[i] for i in indices])
-            out = _BatchExecutor(self, plan).run(stack)
-            for row, index in enumerate(indices):
-                results[index] = tensors[index].with_features(out[row])
+        if self.backend.capabilities().sharded and len(groups) > 1:
+            self._run_batch_sharded(tensors, groups, results)
+        else:
+            for indices in groups.values():
+                representative = tensors[indices[0]]
+                plan = self.warm(representative)
+                stack = self._prepare_stack([tensors[i] for i in indices])
+                out = _BatchExecutor(self, plan).run(stack)
+                for row, index in enumerate(indices):
+                    results[index] = tensors[index].with_features(out[row])
         self._batches_run += 1
         self._frames_run += len(tensors)
         return results  # type: ignore[return-value]
 
+    def _run_batch_sharded(
+        self,
+        tensors: Sequence[SparseTensor3D],
+        groups: "OrderedDict[Hashable, List[int]]",
+        results: List[Optional[SparseTensor3D]],
+    ) -> None:
+        """Fan digest groups out across the sharded backend's workers.
+
+        Raw (uncast) features are shipped so each worker's session
+        applies exactly the same precision pipeline as a local run;
+        plan/rulebook state lives in the workers, not in this session.
+        """
+        tasks = [
+            GroupTask(
+                coords=tensors[indices[0]].coords,
+                shape=tensors[indices[0]].shape,
+                features=np.stack([tensors[i].features for i in indices]),
+                digest=tensors[indices[0]].coords_digest(),
+            )
+            for indices in groups.values()
+        ]
+        outs = self.backend.run_groups(
+            self.net, self.precision, self.quantization, tasks
+        )
+        for indices, group_out in zip(groups.values(), outs):
+            for row, index in enumerate(indices):
+                results[index] = tensors[index].with_features(group_out[row])
+
+    def _validate_batch_channels(
+        self, tensors: Sequence[SparseTensor3D]
+    ) -> None:
+        """Clear errors for mismatched inputs, before any stacking.
+
+        Frames must agree with the network's input width *and* with each
+        other; without this check a mixed batch would surface as a
+        cryptic numpy broadcast/stack error deep inside the executor.
+        """
+        expected = self.unet_config.in_channels
+        for index, tensor in enumerate(tensors):
+            if tensor.num_channels != expected:
+                counts = sorted({t.num_channels for t in tensors})
+                detail = (
+                    f" (batch carries channel counts {counts})"
+                    if len(counts) > 1
+                    else ""
+                )
+                raise ValueError(
+                    f"network expects {expected} input channels, but frame "
+                    f"{index} has {tensor.num_channels}{detail}"
+                )
+
     def _prepare_stack(self, tensors: Sequence[SparseTensor3D]) -> np.ndarray:
         """Stack frame features into ``(B, N, C)`` in the session dtype."""
-        expected = self.unet_config.in_channels
-        for tensor in tensors:
-            if tensor.num_channels != expected:
-                raise ValueError(
-                    f"network expects {expected} input channels, frame has "
-                    f"{tensor.num_channels}"
-                )
+        self._validate_batch_channels(tensors)
         stack = np.stack([tensor.features for tensor in tensors])
         if self.precision == "float32":
             return stack.astype(np.float32)
@@ -598,7 +688,7 @@ class InferenceSession:
         k = kernel_size or self.accelerator_config.kernel_size
         weights = normalize_weights(weights, k)
         rulebook = self.rulebook_cache.submanifold(tensor, k)
-        out = apply_rulebook(
+        out = self.backend.execute(
             rulebook, tensor.features, weights, tensor.nnz, stats=self.apply_stats
         )
         return tensor.with_features(out)
@@ -634,6 +724,35 @@ class InferenceSession:
         """
         plan = self.warm(tensor)
         self._estimates += 1
+        return self._estimate_from_plan(plan)
+
+    def estimate_batch(
+        self, tensors: Sequence[SparseTensor3D]
+    ) -> List[NetworkEstimate]:
+        """Analytical estimates for many frames, one plan per digest group.
+
+        The estimate depends only on a frame's site set (never on its
+        features), so frames sharing a coordinate digest share one
+        :class:`NetworkPlan` *and* one :class:`NetworkEstimate` — the
+        returned list holds the same estimate object at every index of a
+        group.  Per-frame parity with :meth:`estimate` is asserted in
+        the test suite.
+        """
+        tensors = list(tensors)
+        results: List[Optional[NetworkEstimate]] = [None] * len(tensors)
+        group_estimates: Dict[Hashable, NetworkEstimate] = {}
+        for index, tensor in enumerate(tensors):
+            key = (tensor.shape, tensor.coords_digest())
+            estimate = group_estimates.get(key)
+            if estimate is None:
+                estimate = self._estimate_from_plan(self.warm(tensor))
+                group_estimates[key] = estimate
+            results[index] = estimate
+        self._estimates += len(tensors)
+        return results  # type: ignore[return-value]
+
+    def _estimate_from_plan(self, plan: NetworkPlan) -> NetworkEstimate:
+        """Build the whole-network estimate from an already-warm plan."""
         estimate = NetworkEstimate()
         net = self.net
         accel_kernel = self.accelerator_config.kernel_size
@@ -910,7 +1029,7 @@ class _BatchExecutor:
                 rulebook, stack, weight, bias, num_outputs
             )
         weights = session._cast_param(weight)
-        out = apply_rulebook_batch(
+        out = session.backend.execute_batch(
             rulebook, stack, weights, num_outputs, stats=session.apply_stats
         )
         if bias is not None:
@@ -944,7 +1063,7 @@ class _BatchExecutor:
             features = stack[b]
             act_scale = calibrate_scale(features, spec.act_fmt)
             acts_q = quantize(features, act_scale, spec.act_fmt)
-            acc = apply_rulebook(
+            acc = session.backend.execute(
                 rulebook, acts_q, weights_q, num_outputs,
                 stats=session.apply_stats,
             )

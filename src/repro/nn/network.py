@@ -76,8 +76,10 @@ class Module:
         """
         warnings.warn(
             "Module.use_rulebook_cache is deprecated; construct a "
-            "repro.engine.InferenceSession and let it own the rulebook "
-            "cache instead",
+            "repro.engine.InferenceSession, which owns the rulebook cache "
+            "and the execution backend (select engines with "
+            "InferenceSession(backend=...) instead of attaching state to "
+            "the module tree)",
             DeprecationWarning,
             stacklevel=2,
         )

@@ -3,11 +3,18 @@
 The paper motivates ESCA with streaming point-cloud workloads
 (autonomous driving, VR/AR).  This package provides a minimal runtime
 for that setting: deterministic synthetic frame sources (a rotating
-scene, as a spinning LiDAR sees), and a streaming runner that voxelizes,
-encodes and executes each frame on the accelerator model, reporting
-per-frame latency statistics and sustained frames per second.
+scene, as a spinning LiDAR sees), a streaming runner that voxelizes,
+encodes and executes each frame on the accelerator model, and an
+asyncio serving front door (:class:`SessionServer`) that micro-batches
+concurrent requests by coordinate digest into batched session runs.
 """
 
+from repro.runtime.server import (
+    ServeStats,
+    SessionServer,
+    serve,
+    serve_frames,
+)
 from repro.runtime.stream import (
     FrameResult,
     RotatingSceneSource,
@@ -20,4 +27,8 @@ __all__ = [
     "StreamingRunner",
     "FrameResult",
     "StreamStats",
+    "SessionServer",
+    "ServeStats",
+    "serve",
+    "serve_frames",
 ]

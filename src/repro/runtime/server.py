@@ -1,0 +1,286 @@
+"""Async serving front door: an asyncio request queue over a session.
+
+The ROADMAP's "millions of users" direction needs more than a per-frame
+loop: many concurrent clients submit frames, and the server should
+exploit the session's batching guarantees — frames sharing a coordinate
+digest are bit-identical whether run one at a time or stacked — to turn
+queue depth into throughput.  :class:`SessionServer` does exactly that:
+
+* clients ``await server.submit(tensor)`` and get the network output for
+  their frame back, unaware of batching;
+* a single dispatcher task drains the queue, coalescing up to
+  ``max_batch`` requests (waiting at most ``max_delay_s`` for
+  stragglers) into one
+  :meth:`repro.engine.session.InferenceSession.run_batch` call, which
+  groups the micro-batch by coordinate digest internally — so concurrent
+  requests over the same scene share one plan, one gather and one
+  scatter per offset;
+* results are **bit-identical** to per-request ``session.run`` calls,
+  for every execution backend (the batching contract of PR 2 plus the
+  backend-parity contract of this module's sibling
+  :mod:`repro.engine.backend`).
+
+``python -m repro serve`` runs a self-contained demo: a rotating scene
+with several concurrent clients per frame, reporting sustained
+throughput against a sequential (unbatched) baseline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.engine.session import InferenceSession
+from repro.sparse.coo import SparseTensor3D
+
+
+@dataclass
+class ServeStats:
+    """Aggregate statistics of one serving run.
+
+    ``wall_seconds`` spans from the first request's dequeue to the last
+    batch's completion — it *includes* the dispatcher's coalescing
+    linger and event-loop scheduling, so ``fps`` is honest sustained
+    throughput.  ``busy_seconds`` is the time actually spent inside
+    ``run_batch`` (the compute fraction of the span).
+    """
+
+    requests: int = 0
+    micro_batches: int = 0
+    batch_sizes: List[int] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    busy_seconds: float = 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    @property
+    def max_batch_size(self) -> int:
+        return max(self.batch_sizes, default=0)
+
+    @property
+    def fps(self) -> float:
+        """Sustained served frames per second (wall clock).
+
+        Raises a clear :class:`ValueError` before any request completed
+        (there is no throughput to report yet).
+        """
+        if self.requests == 0:
+            raise ValueError(
+                "fps is undefined before any request was served"
+            )
+        if self.wall_seconds == 0.0:
+            return 0.0
+        return self.requests / self.wall_seconds
+
+
+class SessionServer:
+    """Micro-batching asyncio front door over an :class:`InferenceSession`.
+
+    One dispatcher task owns the session; submissions from any number of
+    client tasks are queued, coalesced, and executed batch-wise.  The
+    server therefore composes with every backend: a sharded backend
+    additionally fans the micro-batch's digest groups across worker
+    processes.
+
+    Parameters
+    ----------
+    session:
+        The warm session to serve (a default one is built if omitted).
+    max_batch:
+        Upper bound on requests per ``run_batch`` dispatch.
+    max_delay_s:
+        How long the dispatcher waits for additional requests once one
+        is pending.  ``0`` dispatches whatever is immediately queued
+        (pure latency mode); a small positive value trades microseconds
+        of latency for larger digest groups (throughput mode).
+    """
+
+    def __init__(
+        self,
+        session: Optional[InferenceSession] = None,
+        max_batch: int = 16,
+        max_delay_s: float = 0.002,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_s < 0:
+            raise ValueError(
+                f"max_delay_s must be >= 0, got {max_delay_s}"
+            )
+        self.session = session if session is not None else InferenceSession()
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_s)
+        self.stats = ServeStats()
+        self._queue: Optional[asyncio.Queue] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._closed = False
+        self._span_start: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "SessionServer":
+        """Start the dispatcher task (idempotent)."""
+        if self._dispatcher is None:
+            self._closed = False
+            self._queue = asyncio.Queue()
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop()
+            )
+        return self
+
+    async def stop(self) -> None:
+        """Drain pending requests, then stop the dispatcher."""
+        if self._dispatcher is None:
+            return
+        self._closed = True
+        await self._queue.put(None)  # sentinel wakes the dispatcher
+        await self._dispatcher
+        self._dispatcher = None
+        self._queue = None
+
+    async def __aenter__(self) -> "SessionServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    async def submit(self, tensor: SparseTensor3D) -> SparseTensor3D:
+        """Queue one frame and await its network output.
+
+        Bit-identical to ``session.run(tensor)``; concurrency and
+        batching are invisible to the caller.
+        """
+        if self._dispatcher is None or self._closed:
+            raise RuntimeError(
+                "SessionServer is not running; use 'async with server:' or "
+                "await server.start()"
+            )
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put((tensor, future))
+        return await future
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    async def _collect_batch(self, first) -> list:
+        """Coalesce up to ``max_batch`` requests around ``first``."""
+        batch = [first]
+        if self.max_delay_s > 0:
+            deadline = asyncio.get_running_loop().time() + self.max_delay_s
+            while len(batch) < self.max_batch:
+                timeout = deadline - asyncio.get_running_loop().time()
+                if timeout <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(
+                        self._queue.get(), timeout=timeout
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if item is None:
+                    self._queue.put_nowait(None)  # keep the stop sentinel
+                    break
+                batch.append(item)
+        else:
+            while len(batch) < self.max_batch and not self._queue.empty():
+                item = self._queue.get_nowait()
+                if item is None:
+                    self._queue.put_nowait(None)
+                    break
+                batch.append(item)
+        return batch
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            first = await self._queue.get()
+            if first is None:
+                if self._queue.empty():
+                    return
+                # Requests are still queued behind the sentinel: rotate
+                # it to the back and drain them first.
+                self._queue.put_nowait(None)
+                continue
+            if self._span_start is None:
+                self._span_start = time.perf_counter()
+            batch = await self._collect_batch(first)
+            tensors = [tensor for tensor, _ in batch]
+            start = time.perf_counter()
+            try:
+                # run_batch groups the micro-batch by coordinate digest:
+                # one plan / gather / scatter per distinct site set.
+                outputs = self.session.run_batch(tensors)
+            except Exception as exc:  # propagate to every waiting client
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            end = time.perf_counter()
+            self.stats.requests += len(batch)
+            self.stats.micro_batches += 1
+            self.stats.batch_sizes.append(len(batch))
+            self.stats.busy_seconds += end - start
+            self.stats.wall_seconds = end - self._span_start
+            for (_, future), output in zip(batch, outputs):
+                if not future.done():
+                    future.set_result(output)
+
+
+async def serve(
+    frames: Sequence[SparseTensor3D],
+    session: Optional[InferenceSession] = None,
+    concurrency: int = 8,
+    max_batch: int = 16,
+    max_delay_s: float = 0.002,
+) -> tuple:
+    """Serve ``frames`` through a :class:`SessionServer`, preserving order.
+
+    Spins up the server, submits every frame from ``concurrency``
+    concurrent client tasks (modeling independent users), and returns
+    ``(outputs, stats)`` with ``outputs[i]`` corresponding to
+    ``frames[i]``.  This is both the programmatic entry point and the
+    engine under ``python -m repro serve``.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    frames = list(frames)
+    outputs: List[Optional[SparseTensor3D]] = [None] * len(frames)
+    pending = asyncio.Queue()
+    for index, frame in enumerate(frames):
+        pending.put_nowait((index, frame))
+
+    async with SessionServer(
+        session=session, max_batch=max_batch, max_delay_s=max_delay_s
+    ) as server:
+
+        async def client() -> None:
+            while True:
+                try:
+                    index, frame = pending.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                outputs[index] = await server.submit(frame)
+
+        await asyncio.gather(
+            *(client() for _ in range(min(concurrency, max(len(frames), 1))))
+        )
+        stats = server.stats
+    return outputs, stats
+
+
+def serve_frames(
+    frames: Sequence[SparseTensor3D],
+    session: Optional[InferenceSession] = None,
+    **kwargs,
+) -> tuple:
+    """Blocking convenience wrapper around :func:`serve`."""
+    return asyncio.run(serve(frames, session=session, **kwargs))

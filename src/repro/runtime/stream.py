@@ -25,7 +25,7 @@ from repro.engine.session import InferenceSession
 from repro.geometry.point_cloud import PointCloud
 from repro.geometry.synthetic import make_shapenet_like_cloud
 from repro.geometry.voxelizer import Voxelizer
-from repro.nn.functional import ApplyStats, apply_rulebook
+from repro.nn.functional import ApplyStats
 from repro.nn.init import conv_weight
 from repro.nn.rulebook import RulebookCache
 from repro.sparse.coo import SparseTensor3D
@@ -208,10 +208,14 @@ class StreamingRunner:
         Cross-frame rulebook cache; frames whose voxel set matches an
         earlier frame skip the matching pass (a cache hit).
     execute_reference:
-        ``True`` additionally runs the fused software engine
-        (:func:`repro.nn.functional.apply_rulebook`) on every frame with
-        deterministic weights, populating ``FrameResult.scatter_seconds``.
-        Only meaningful in analytical mode; adds real compute per frame.
+        ``True`` additionally runs the session's execution backend on
+        every frame with deterministic weights, populating
+        ``FrameResult.scatter_seconds``.  Only meaningful in analytical
+        mode; adds real compute per frame.
+    backend:
+        Execution-backend registry name (or instance) for the private
+        session built from the legacy keyword form; mutually exclusive
+        with ``session=`` (the session already owns its backend).
     """
 
     def __init__(
@@ -225,17 +229,24 @@ class StreamingRunner:
         rulebook_cache: Optional[RulebookCache] = None,
         execute_reference: bool = False,
         session: Optional[InferenceSession] = None,
+        backend=None,
     ) -> None:
         if session is None:
             session = InferenceSession(
                 accelerator_config=config,
                 overheads=overheads,
                 rulebook_cache=rulebook_cache,
+                backend=backend,
             )
-        elif config is not None or overheads is not None or rulebook_cache is not None:
+        elif (
+            config is not None
+            or overheads is not None
+            or rulebook_cache is not None
+            or backend is not None
+        ):
             raise ValueError(
-                "pass either session= or config/overheads/rulebook_cache, "
-                "not both — the session owns those components"
+                "pass either session= or config/overheads/rulebook_cache/"
+                "backend, not both — the session owns those components"
             )
         self.session = session
         self.config = session.accelerator_config
@@ -315,7 +326,7 @@ class StreamingRunner:
                 ops = 2 * matches * self.in_channels * self.out_channels
                 if self.execute_reference:
                     apply_stats = ApplyStats()
-                    apply_rulebook(
+                    session.backend.execute(
                         rulebook,
                         tensor.features,
                         self._reference_weights,

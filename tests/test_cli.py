@@ -62,3 +62,58 @@ def test_cli_stream_help_does_not_run_experiments(capsys):
         main(["stream", "--help"])
     assert excinfo.value.code == 0
     assert "InferenceSession" in capsys.readouterr().out
+
+
+def test_cli_stream_backend_flag(capsys):
+    assert main(
+        ["stream", "--frames", "2", "--resolution", "48", "--points", "2000",
+         "--step-rad", "0", "--noise", "0", "--backend", "scipy"]
+    ) == 0
+    assert "streamed 2 frames" in capsys.readouterr().out
+
+
+def test_cli_stream_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        main(["stream", "--frames", "1", "--backend", "cuda"])
+
+
+def test_cli_serve_subcommand(capsys):
+    assert main(
+        ["serve", "--frames", "2", "--clients", "3", "--resolution", "24",
+         "--points", "1500", "--max-delay-ms", "20"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "served 6 requests" in out
+    assert "micro-batches" in out
+    assert "bit-identical: yes" in out
+
+
+def test_cli_serve_no_baseline(capsys):
+    assert main(
+        ["serve", "--frames", "1", "--clients", "2", "--resolution", "24",
+         "--points", "1000", "--no-baseline"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "serve throughput" in out
+    assert "baseline" not in out
+
+
+def test_cli_serve_rejects_bad_arguments():
+    with pytest.raises(SystemExit):
+        main(["serve", "--frames", "0"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--clients", "0"])
+
+
+def test_cli_serve_help_mentions_micro_batching(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["serve", "--help"])
+    assert excinfo.value.code == 0
+    assert "micro-batching" in capsys.readouterr().out
+
+
+def test_cli_misplaced_subcommand_hint(capsys):
+    with pytest.raises(SystemExit):
+        main(["table1", "serve"])
+    err = capsys.readouterr().err
+    assert "'serve' is a subcommand and must come first" in err

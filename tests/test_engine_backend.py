@@ -1,0 +1,463 @@
+"""Tests for the pluggable ExecutionBackend API, registry, and parity.
+
+The contract under test is the tentpole invariant: every registered
+backend produces **bit-identical** outputs to the fused numpy engine
+(the pre-refactor path) for all three session precisions, cache-cold
+and cache-warm, at both the convolution level and the whole-network
+level.
+"""
+
+import numpy as np
+import pytest
+
+import repro.engine.backend as backend_mod
+from repro.engine import (
+    BackendCapabilities,
+    ExecutionBackend,
+    InferenceSession,
+    NumpyFusedBackend,
+    ScipySparseBackend,
+    ShardedProcessBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.engine.backend import CsrExecPlan, FusedExecPlan, GroupTask
+from repro.nn import (
+    UNetConfig,
+    apply_rulebook,
+    apply_rulebook_batch,
+    build_submanifold_rulebook,
+)
+from repro.nn.rulebook import build_sparse_conv_rulebook
+from tests.conftest import random_sparse_tensor
+
+SMALL_CFG = UNetConfig(in_channels=2, num_classes=5, base_channels=4, levels=3)
+BACKENDS = ("numpy", "scipy", "sharded")
+PRECISIONS = ("float64", "float32", "int")
+
+
+def frame(seed, nnz=45, channels=2, shape=(16, 16, 16)):
+    return random_sparse_tensor(seed=seed, shape=shape, nnz=nnz, channels=channels)
+
+
+def batch_frames():
+    """Three distinct site sets plus one repeat (a true digest group)."""
+    frames = [frame(seed, nnz=38 + seed) for seed in (1, 2, 3)]
+    frames.append(
+        frames[0].with_features(
+            np.random.default_rng(7).standard_normal((frames[0].nnz, 2))
+        )
+    )
+    return frames
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_builtin_backends_registered():
+    assert set(BACKENDS) <= set(available_backends())
+
+
+def test_get_backend_unknown_name_lists_registered():
+    with pytest.raises(ValueError, match="numpy"):
+        get_backend("cuda")
+
+
+def test_get_backend_forwards_kwargs():
+    backend = get_backend("sharded", num_workers=3)
+    assert backend.num_workers == 3
+    backend.close()
+
+
+def test_register_backend_rejects_duplicates_and_bad_names():
+    with pytest.raises(ValueError, match="already registered"):
+        register_backend("numpy", NumpyFusedBackend)
+    with pytest.raises(ValueError, match="non-empty"):
+        register_backend("", NumpyFusedBackend)
+    with pytest.raises(TypeError, match="callable"):
+        register_backend("broken", object())
+
+
+def test_register_backend_overwrite_and_custom_backend():
+    class TracingBackend(NumpyFusedBackend):
+        name = "tracing"
+
+        def __init__(self):
+            super().__init__()
+            self.calls = 0
+
+        def execute(self, *args, **kwargs):
+            self.calls += 1
+            return super().execute(*args, **kwargs)
+
+    register_backend("tracing", TracingBackend, overwrite=True)
+    try:
+        session = InferenceSession(
+            unet_config=SMALL_CFG, precision="float32", backend="tracing"
+        )
+        session.run(frame(10))
+        assert session.backend.calls == 0  # float path uses execute_batch
+        assert session.stats.backend == "tracing"
+    finally:
+        backend_mod._REGISTRY.pop("tracing", None)
+
+
+def test_session_rejects_non_backend():
+    with pytest.raises(TypeError, match="ExecutionBackend"):
+        InferenceSession(backend=42)
+
+
+def test_capabilities_shape():
+    for name in BACKENDS:
+        backend = get_backend(name)
+        caps = backend.capabilities()
+        assert isinstance(caps, BackendCapabilities)
+        assert caps.name == name == backend.name
+        assert caps.native_batch
+        backend.close()
+    assert get_backend("sharded").capabilities().sharded
+    assert not get_backend("numpy").capabilities().sharded
+
+
+# ----------------------------------------------------------------------
+# Convolution-level parity (submanifold + strided/transposed rulebooks)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", BACKENDS)
+def test_execute_parity_submanifold(name):
+    tensor = frame(20, nnz=70, channels=3)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    weights = np.random.default_rng(0).standard_normal((27, 3, 6))
+    expected = apply_rulebook(rulebook, tensor.features, weights, tensor.nnz)
+    backend = get_backend(name)
+    for _ in range(2):  # cold then warm (plan memoized on second call)
+        out = backend.execute(rulebook, tensor.features, weights, tensor.nnz)
+        assert out.dtype == expected.dtype
+        assert np.array_equal(out, expected)
+    backend.close()
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_execute_parity_strided_and_transposed(name):
+    tensor = frame(21, nnz=60, channels=2)
+    rulebook, out_coords = build_sparse_conv_rulebook(tensor, 2, 2)
+    weights = np.random.default_rng(1).standard_normal((8, 2, 4))
+    backend = get_backend(name)
+    expected = apply_rulebook(
+        rulebook, tensor.features, weights, len(out_coords)
+    )
+    assert np.array_equal(
+        backend.execute(rulebook, tensor.features, weights, len(out_coords)),
+        expected,
+    )
+    # Transposed direction: coarse -> fine restoration.
+    coarse = np.random.default_rng(2).standard_normal((len(out_coords), 2))
+    expected_t = apply_rulebook(
+        rulebook.transposed(), coarse, weights, tensor.nnz
+    )
+    assert np.array_equal(
+        backend.execute(rulebook.transposed(), coarse, weights, tensor.nnz),
+        expected_t,
+    )
+    backend.close()
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_execute_batch_parity_and_integer_dtype(name):
+    tensor = frame(22, nnz=50, channels=2)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    backend = get_backend(name)
+    # Float batch.
+    stack = np.random.default_rng(3).standard_normal((4, tensor.nnz, 2))
+    weights = np.random.default_rng(4).standard_normal((27, 2, 5))
+    expected = apply_rulebook_batch(rulebook, stack, weights, tensor.nnz)
+    out = backend.execute_batch(rulebook, stack, weights, tensor.nnz)
+    assert out.dtype == expected.dtype
+    assert np.array_equal(out, expected)
+    # Integer batch: the fixed-point pipeline's accumulator contract.
+    stack_q = np.rint(stack * 50).astype(np.int16)
+    weights_q = np.rint(weights * 3).astype(np.int8)
+    expected_q = apply_rulebook_batch(rulebook, stack_q, weights_q, tensor.nnz)
+    out_q = backend.execute_batch(rulebook, stack_q, weights_q, tensor.nnz)
+    assert out_q.dtype == np.int64
+    assert np.array_equal(out_q, expected_q)
+    backend.close()
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_execute_empty_rulebook(name):
+    from repro.sparse.coo import SparseTensor3D
+
+    tensor = SparseTensor3D.empty((6, 6, 6), channels=2)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    backend = get_backend(name)
+    out = backend.execute(rulebook, tensor.features, np.zeros((27, 2, 3)), 0)
+    assert out.shape == (0, 3)
+    batched = backend.execute_batch(
+        rulebook, np.zeros((2, 0, 2)), np.zeros((27, 2, 3)), 0
+    )
+    assert batched.shape == (2, 0, 3)
+    backend.close()
+
+
+def test_execute_batch_rejects_2d():
+    tensor = frame(23, nnz=15)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    for name in ("numpy", "scipy"):
+        with pytest.raises(ValueError, match=r"\(B, N, Cin\)"):
+            get_backend(name).execute_batch(
+                rulebook, tensor.features, np.zeros((27, 2, 3)), tensor.nnz
+            )
+
+
+# ----------------------------------------------------------------------
+# Satellite: session-level parity matrix — every backend x every
+# precision, cache-cold and cache-warm, bit-identical to numpy.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("precision", PRECISIONS)
+@pytest.mark.parametrize("name", BACKENDS)
+def test_session_parity_matrix(name, precision):
+    frames = batch_frames()
+    reference = InferenceSession(unet_config=SMALL_CFG, precision=precision)
+    expected = [reference.run(f) for f in frames]
+
+    session = InferenceSession(
+        unet_config=SMALL_CFG, precision=precision, backend=name
+    )
+    try:
+        cold = session.run_batch(frames)
+        warm = session.run_batch(frames)
+        singles = [session.run(f) for f in frames]
+        for i, ref in enumerate(expected):
+            for out in (cold[i], warm[i], singles[i]):
+                assert out.features.dtype == ref.features.dtype
+                assert np.array_equal(out.features, ref.features)
+                assert np.array_equal(out.coords, ref.coords)
+    finally:
+        session.backend.close()
+
+
+# ----------------------------------------------------------------------
+# scipy specifics
+# ----------------------------------------------------------------------
+def test_scipy_plan_is_csr_and_memoized():
+    backend = ScipySparseBackend()
+    if backend.degraded:
+        pytest.skip("scipy not installed")
+    tensor = frame(30, nnz=40)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    plan = backend.plan_for(rulebook)
+    assert isinstance(plan, CsrExecPlan)
+    assert plan.gather.shape == (plan.total_matches, tensor.nnz)
+    assert plan.scatter.shape == (tensor.nnz, plan.total_matches)
+    assert plan.gather.nnz == plan.total_matches == rulebook.total_matches
+    assert backend.plan_for(rulebook) is plan  # memoized per rulebook
+    # Per-dtype operator casts are memoized too.
+    g32, s32 = plan.operators(np.float32)
+    g32_again, s32_again = plan.operators(np.float32)
+    assert g32_again is g32 and s32_again is s32
+    assert g32.dtype == np.float32 and s32.dtype == np.float32
+
+
+def test_scipy_degraded_fallback(monkeypatch):
+    monkeypatch.setattr(backend_mod, "_scipy_sparse", None)
+    backend = ScipySparseBackend()
+    assert backend.degraded
+    assert backend.capabilities().degraded
+    tensor = frame(31, nnz=35)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    weights = np.random.default_rng(5).standard_normal((27, 2, 4))
+    expected = apply_rulebook(rulebook, tensor.features, weights, tensor.nnz)
+    assert np.array_equal(
+        backend.execute(rulebook, tensor.features, weights, tensor.nnz),
+        expected,
+    )
+    assert isinstance(backend.plan_for(rulebook), FusedExecPlan)
+
+
+def test_scipy_records_apply_stats():
+    from repro.nn.functional import ApplyStats
+
+    backend = ScipySparseBackend()
+    if backend.degraded:
+        pytest.skip("scipy not installed")
+    tensor = frame(32, nnz=40)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    weights = np.random.default_rng(6).standard_normal((27, 2, 4))
+    stats = ApplyStats()
+    backend.execute(rulebook, tensor.features, weights, tensor.nnz, stats=stats)
+    assert stats.matches == rulebook.total_matches
+    assert stats.total_seconds > 0
+
+
+# ----------------------------------------------------------------------
+# sharded specifics
+# ----------------------------------------------------------------------
+def test_sharded_fans_out_digest_groups():
+    frames = batch_frames()  # 3 distinct site sets -> 3 groups
+    backend = ShardedProcessBackend(num_workers=2)
+    session = InferenceSession(unet_config=SMALL_CFG, backend=backend)
+    try:
+        reference = InferenceSession(unet_config=SMALL_CFG)
+        expected = reference.run_batch(frames)
+        outs = session.run_batch(frames)
+        for out, ref in zip(outs, expected):
+            assert np.array_equal(out.features, ref.features)
+        assert backend.groups_dispatched == 3
+        assert backend.frames_dispatched == 4
+        # The parent session did not build any plan: work lived in workers.
+        assert session.plan_cache.misses == 0
+        # Warm re-dispatch reuses the live worker pools, and the
+        # digest-affine routing is deterministic.
+        pools = backend._pools
+        routes = [backend._worker_index(t) for t in _tasks_of(frames)]
+        session.run_batch(frames)
+        assert backend._pools is pools
+        assert [backend._worker_index(t) for t in _tasks_of(frames)] == routes
+        assert backend.groups_dispatched == 6
+    finally:
+        backend.close()
+    assert backend._pools is None  # close() is effective and idempotent
+    backend.close()
+
+
+def _tasks_of(frames):
+    """Distinct-digest GroupTasks mirroring run_batch's grouping."""
+    seen = {}
+    for tensor in frames:
+        seen.setdefault(
+            tensor.coords_digest(),
+            GroupTask(
+                coords=tensor.coords,
+                shape=tensor.shape,
+                features=tensor.features[None],
+                digest=tensor.coords_digest(),
+            ),
+        )
+    return list(seen.values())
+
+
+def test_sharded_single_group_runs_locally():
+    frames = [frame(40, nnz=30)]
+    frames.append(frames[0].with_features(frames[0].features * 2.0))
+    backend = ShardedProcessBackend(num_workers=2)
+    session = InferenceSession(unet_config=SMALL_CFG, backend=backend)
+    try:
+        session.run_batch(frames)
+        assert backend.groups_dispatched == 0  # one group: no fan-out
+        assert session.plan_cache.misses == 1
+    finally:
+        backend.close()
+
+
+def test_sharded_validates_workers_and_refuses_run_groups_on_numpy():
+    with pytest.raises(ValueError, match="num_workers"):
+        ShardedProcessBackend(num_workers=0)
+    with pytest.raises(NotImplementedError, match="does not shard"):
+        NumpyFusedBackend().run_groups(None, "float64", None, [
+            GroupTask(np.zeros((0, 3), np.int64), (4, 4, 4), np.zeros((1, 0, 1)))
+        ])
+
+
+# ----------------------------------------------------------------------
+# Backend seam elsewhere: host model, streaming runner, config
+# ----------------------------------------------------------------------
+def test_execution_backend_base_is_abstract():
+    base = ExecutionBackend()
+    tensor = frame(41, nnz=10)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    with pytest.raises(NotImplementedError):
+        base.prepare(rulebook)
+    with pytest.raises(NotImplementedError):
+        base.capabilities()
+
+
+def test_accelerator_config_carries_backend():
+    from repro.arch.config import AcceleratorConfig
+
+    config = AcceleratorConfig(execution_backend="scipy")
+    data = config.to_dict()
+    assert data["execution_backend"] == "scipy"
+    assert AcceleratorConfig.from_dict(data) == config
+    session = InferenceSession(unet_config=SMALL_CFG, accelerator_config=config)
+    assert session.backend.name == "scipy"
+    with pytest.raises(ValueError, match="execution_backend"):
+        AcceleratorConfig(execution_backend="")
+
+
+def test_streaming_runner_backend_knob():
+    from repro.runtime import RotatingSceneSource, StreamingRunner
+
+    runner = StreamingRunner(
+        backend="scipy", resolution=32, execute_reference=True
+    )
+    assert runner.session.backend.name == "scipy"
+    stats = runner.run(RotatingSceneSource(num_frames=2, step_rad=0.0, noise_sigma=0.0))
+    assert stats.num_frames == 2
+    with pytest.raises(ValueError, match="session owns"):
+        StreamingRunner(session=runner.session, backend="numpy")
+
+
+def test_host_model_execute_layer_through_backends():
+    from repro.arch.host import HostExecutionModel
+    from repro.nn.functional import sparse_conv3d, submanifold_conv3d
+    from repro.nn.unet import LayerExecution
+
+    tensor = frame(42, nnz=55, channels=3)
+    model = HostExecutionModel()
+    weights = np.random.default_rng(8).standard_normal((27, 3, 4))
+    execution = LayerExecution(
+        name="head", input_tensor=tensor, in_channels=3, out_channels=4,
+        kernel_size=3, kind="subconv",
+    )
+    expected = submanifold_conv3d(tensor, weights, kernel_size=3)
+    for name in ("numpy", "scipy"):
+        out, run = model.execute_layer(
+            execution, tensor.features, weights, backend=name
+        )
+        assert np.array_equal(out, expected.features)
+        assert run.matches > 0 and run.seconds > 0
+    # Strided host layer agrees with the functional reference too.
+    weights_down = np.random.default_rng(9).standard_normal((8, 3, 4))
+    down_exec = LayerExecution(
+        name="down0", input_tensor=tensor, in_channels=3, out_channels=4,
+        kernel_size=2, kind="sparseconv", stride=2,
+    )
+    down_ref = sparse_conv3d(tensor, weights_down, stride=2, kernel_size=2)
+    out, _ = model.execute_layer(down_exec, tensor.features, weights_down)
+    assert np.array_equal(out, down_ref.features)
+    with pytest.raises(TypeError, match="ExecutionBackend"):
+        model.execute_layer(execution, tensor.features, weights, backend=3.5)
+
+
+def test_plan_memo_is_lru_bounded():
+    """Streaming workloads mint a new rulebook per site set; the plan
+    memo must evict rather than pin every rulebook ever executed."""
+    backend = ScipySparseBackend()
+    backend.plan_capacity = 2
+    rulebooks = [
+        build_submanifold_rulebook(frame(70 + i, nnz=20 + i), 3)
+        for i in range(4)
+    ]
+    plans = [backend.plan_for(rb) for rb in rulebooks]
+    assert len(backend._plans) == 2
+    # The most recent entries survive; the oldest were evicted.
+    assert backend.plan_for(rulebooks[3]) is plans[3]
+    assert backend.plan_for(rulebooks[0]) is not plans[0]
+    backend.close()
+    assert len(backend._plans) == 0
+
+
+def test_sharded_spec_blob_memoized_across_dispatches():
+    frames = batch_frames()
+    backend = ShardedProcessBackend(num_workers=2)
+    session = InferenceSession(unet_config=SMALL_CFG, backend=backend)
+    try:
+        session.run_batch(frames)
+        blob = backend._spec_blob
+        key = backend._spec_key
+        session.run_batch(frames)  # warm: same net -> no re-pickle
+        assert backend._spec_blob is blob
+        assert backend._spec_key == key
+    finally:
+        backend.close()

@@ -142,6 +142,57 @@ def test_run_batch_empty_and_mixed_channels():
         session.run_batch(bad)
 
 
+def test_run_batch_mixed_channels_error_names_frame_and_counts():
+    """Satellite: mismatched inputs raise a clear ValueError (naming the
+    offending frame and the channel counts present), never a cryptic
+    numpy broadcast/stack error."""
+    session = small_session()
+    bad = [frame(22, channels=2), frame(23, channels=3), frame(24, channels=2)]
+    with pytest.raises(ValueError, match=r"frame 1 has 3.*\[2, 3\]"):
+        session.run_batch(bad)
+    # All frames wrong (consistent with each other) still names the width.
+    with pytest.raises(ValueError, match="expects 2 input channels"):
+        session.run_batch([frame(25, channels=4)])
+    # The same validation guards the float32/int single-frame path.
+    with pytest.raises(ValueError, match="frame 0 has 4"):
+        small_session(precision="float32").run(frame(26, channels=4))
+
+
+# ----------------------------------------------------------------------
+# Satellite: batched estimate — one NetworkPlan per digest group
+# ----------------------------------------------------------------------
+def test_estimate_batch_parity_with_per_frame_estimate():
+    frames = [frame(60, nnz=50), frame(61, nnz=55)]
+    frames.append(frames[0].with_features(frames[0].features * 2.0))
+    reference = small_session()
+    expected = [reference.estimate(f) for f in frames]
+    session = small_session()
+    estimates = session.estimate_batch(frames)
+    assert len(estimates) == len(frames)
+    for est, ref in zip(estimates, expected):
+        assert est.total_cycles == ref.total_cycles
+        assert est.accel_seconds == ref.accel_seconds
+        assert est.host_seconds == ref.host_seconds
+        assert est.effective_ops == ref.effective_ops
+        assert [layer.name for layer in est.layers] == [
+            layer.name for layer in ref.layers
+        ]
+
+
+def test_estimate_batch_shares_plan_per_digest_group():
+    frames = [frame(62, nnz=40), frame(63, nnz=42)]
+    frames.append(frames[0].with_features(frames[0].features + 1.0))
+    session = small_session()
+    estimates = session.estimate_batch(frames)
+    # Two distinct site sets -> two plans; the repeat shares the group's
+    # estimate object outright.
+    assert session.plan_cache.misses == 2
+    assert estimates[2] is estimates[0]
+    assert estimates[1] is not estimates[0]
+    assert session.stats.estimates == 3
+    assert session.estimate_batch([]) == []
+
+
 def test_float32_output_dtype():
     session = small_session(precision="float32")
     out = session.run(frame(24))
@@ -274,6 +325,25 @@ def test_plan_cache_lru_eviction():
     assert session.plan_cache.misses == 4
 
 
+def test_plan_cache_lru_eviction_order_follows_recency():
+    """Satellite: eviction follows *use* recency, not insertion order —
+    a hit refreshes the entry, pushing the stale one out first."""
+    session = small_session(plan_cache=PlanCache(capacity=2))
+    a, b, c = (frame(seed, nnz=25 + seed) for seed in (50, 51, 52))
+    session.warm(a)
+    session.warm(b)
+    session.warm(a)  # refresh a: b is now least-recently-used
+    session.warm(c)  # evicts b, keeps a
+    cache = session.plan_cache
+    hits, misses = cache.hits, cache.misses
+    session.warm(a)
+    assert (cache.hits, cache.misses) == (hits + 1, misses)  # a survived
+    session.warm(c)
+    assert (cache.hits, cache.misses) == (hits + 2, misses)  # c present
+    session.warm(b)
+    assert (cache.hits, cache.misses) == (hits + 2, misses + 1)  # b evicted
+
+
 def test_plan_cache_reseeds_rulebook_cache():
     """A cached plan restores its rulebooks after rulebook-cache eviction,
     keeping warm forwards all-hits without new matching passes."""
@@ -345,6 +415,13 @@ def test_subconv_helper_uses_session_cache():
 
 
 def test_use_rulebook_cache_is_deprecated():
+    """Satellite: the deprecation is a real DeprecationWarning whose
+    message points at session ownership and the backend= knob."""
     layer_net = SSUNet(SMALL_CFG)
-    with pytest.warns(DeprecationWarning, match="InferenceSession"):
+    with pytest.warns(DeprecationWarning, match="InferenceSession") as record:
         layer_net.use_rulebook_cache(RulebookCache())
+    message = str(record[0].message)
+    assert "backend=" in message
+    assert "rulebook cache" in message
+    # The attachment itself still works for standalone module use.
+    assert layer_net.rulebook_cache is not None

@@ -1,0 +1,173 @@
+"""Tests for the asyncio serving front door (SessionServer / serve)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.engine import InferenceSession
+from repro.nn import UNetConfig
+from repro.runtime import ServeStats, SessionServer, serve, serve_frames
+from tests.conftest import random_sparse_tensor
+
+SMALL_CFG = UNetConfig(in_channels=2, num_classes=5, base_channels=4, levels=3)
+
+
+def small_session(**kwargs):
+    return InferenceSession(unet_config=SMALL_CFG, **kwargs)
+
+
+def frame(seed, nnz=40):
+    return random_sparse_tensor(seed=seed, shape=(16, 16, 16), nnz=nnz, channels=2)
+
+
+def request_mix():
+    """Two site sets, several feature variants each — batchable load."""
+    base_a, base_b = frame(1), frame(2, nnz=45)
+    rng = np.random.default_rng(3)
+    requests = []
+    for _ in range(3):
+        requests.append(
+            base_a.with_features(rng.standard_normal((base_a.nnz, 2)))
+        )
+        requests.append(
+            base_b.with_features(rng.standard_normal((base_b.nnz, 2)))
+        )
+    return requests
+
+
+def test_serve_outputs_bit_identical_to_run():
+    requests = request_mix()
+    reference = small_session()
+    expected = [reference.run(t) for t in requests]
+    outputs, stats = serve_frames(
+        requests, session=small_session(), concurrency=4
+    )
+    assert stats.requests == len(requests)
+    for out, ref in zip(outputs, expected):
+        assert np.array_equal(out.features, ref.features)
+        assert np.array_equal(out.coords, ref.coords)
+
+
+def test_serve_micro_batches_by_digest():
+    requests = request_mix()
+    session = small_session()
+    _, stats = serve_frames(
+        requests, session=session, concurrency=len(requests), max_delay_s=0.05
+    )
+    # Concurrent submissions coalesce: strictly fewer dispatches than
+    # requests, and the session saw only the two distinct site sets.
+    assert stats.micro_batches < stats.requests
+    assert stats.max_batch_size > 1
+    assert session.plan_cache.misses == 2
+    assert session.stats.frames_run == len(requests)
+
+
+def test_serve_respects_max_batch():
+    requests = request_mix()
+    _, stats = serve_frames(
+        requests,
+        session=small_session(),
+        concurrency=len(requests),
+        max_batch=2,
+        max_delay_s=0.05,
+    )
+    assert stats.max_batch_size <= 2
+
+
+def test_server_lifecycle_and_submit_guard():
+    async def scenario():
+        server = SessionServer(session=small_session())
+        with pytest.raises(RuntimeError, match="not running"):
+            await server.submit(frame(5))
+        async with server:
+            out = await server.submit(frame(5))
+            assert out.nnz == frame(5).nnz
+        # Stopped: further submissions are refused again.
+        with pytest.raises(RuntimeError, match="not running"):
+            await server.submit(frame(5))
+        # stop() is idempotent.
+        await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_server_drains_queue_on_stop():
+    async def scenario():
+        server = SessionServer(session=small_session(), max_delay_s=0.0)
+        await server.start()
+        pending = [
+            asyncio.get_running_loop().create_task(server.submit(frame(6)))
+            for _ in range(4)
+        ]
+        await asyncio.sleep(0)  # let submissions enqueue
+        await server.stop()
+        outs = await asyncio.gather(*pending)
+        assert len(outs) == 4
+        assert server.stats.requests == 4
+
+    asyncio.run(scenario())
+
+
+def test_server_propagates_errors_to_clients():
+    async def scenario():
+        server = SessionServer(session=small_session())
+        async with server:
+            bad = random_sparse_tensor(
+                seed=9, shape=(16, 16, 16), nnz=20, channels=3
+            )
+            with pytest.raises(ValueError, match="channels"):
+                await server.submit(bad)
+            # The server survives a failing batch and keeps serving.
+            out = await server.submit(frame(7))
+            assert out.nnz == frame(7).nnz
+
+    asyncio.run(scenario())
+
+
+def test_server_validates_parameters():
+    with pytest.raises(ValueError, match="max_batch"):
+        SessionServer(session=small_session(), max_batch=0)
+    with pytest.raises(ValueError, match="max_delay_s"):
+        SessionServer(session=small_session(), max_delay_s=-1.0)
+    with pytest.raises(ValueError, match="concurrency"):
+        asyncio.run(serve([frame(8)], session=small_session(), concurrency=0))
+
+
+def test_serve_stats_fps():
+    stats = ServeStats()
+    with pytest.raises(ValueError, match="fps is undefined"):
+        stats.fps
+    stats.requests = 10
+    stats.wall_seconds = 2.0
+    assert stats.fps == 5.0
+    assert stats.mean_batch_size == 0.0
+    assert stats.max_batch_size == 0
+
+
+def test_serve_empty_request_list():
+    outputs, stats = serve_frames([], session=small_session())
+    assert outputs == []
+    assert stats.requests == 0
+
+
+@pytest.mark.parametrize("backend", ["numpy", "scipy"])
+def test_serve_across_backends(backend):
+    requests = request_mix()[:4]
+    reference = small_session()
+    expected = [reference.run(t) for t in requests]
+    session = small_session(backend=backend)
+    outputs, _ = serve_frames(requests, session=session, concurrency=4)
+    for out, ref in zip(outputs, expected):
+        assert np.array_equal(out.features, ref.features)
+
+
+def test_serve_wall_clock_includes_linger():
+    """fps must be computed over the real serving span (including the
+    coalescing linger), not just time inside run_batch."""
+    requests = request_mix()[:4]
+    _, stats = serve_frames(
+        requests, session=small_session(), concurrency=4, max_delay_s=0.02
+    )
+    assert stats.wall_seconds >= stats.busy_seconds > 0.0
+    assert stats.fps > 0.0
