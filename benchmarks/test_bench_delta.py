@@ -1,0 +1,121 @@
+"""Delta-engine benchmark: incremental patching vs full rebuilds.
+
+Streams a drifting scene (nearly-static voxel set, a few percent churn
+per frame — the SLAM/odometry/surveillance regime) and compares the
+warm-stream matching cost of digest-only caching (every frame is a miss
+and rebuilds from scratch) against :class:`DeltaRulebookCache` (every
+frame after the first is patched from its predecessor).  Bit-identity
+of the patched rulebooks is asserted; the acceptance criterion — with
+at most 5% per-frame voxel churn, delta matching is at least 2x faster
+— is asserted and recorded in ``results/delta_speedup.txt``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.engine import DeltaRulebookCache, coordinate_delta
+from repro.geometry.synthetic import make_shapenet_like_cloud
+from repro.geometry.voxelizer import Voxelizer
+from repro.nn import RulebookCache, build_submanifold_rulebook
+from repro.runtime import DriftingSceneSource
+
+RESOLUTION = 192
+KERNEL = 3
+
+
+def drifting_tensors(num_frames=6, churn=0.015, jitter_sigma=0.005, seed=0):
+    """Voxelized frames of a drifting scene dense enough to be honest.
+
+    ``grid_fraction=0.9`` spreads the object over most of the grid, so
+    the scene voxelizes to ~11k active sites at 192^3 — the regime where
+    matching cost is dominated by scene size rather than constants.  The
+    1.5% point churn lands at ~3% per-frame *voxel* churn (several
+    points share a voxel, so voxel churn amplifies point churn).
+    """
+    cloud = make_shapenet_like_cloud(
+        seed=seed, n_points=30000, grid_fraction=0.9
+    )
+    source = DriftingSceneSource(
+        base_cloud=cloud,
+        num_frames=num_frames,
+        churn=churn,
+        jitter_sigma=jitter_sigma,
+        seed=seed,
+    )
+    voxelizer = Voxelizer(
+        resolution=RESOLUTION, normalize=False, occupancy_only=True
+    )
+    return [voxelizer.voxelize(cloud) for cloud in source]
+
+
+def warm_stream_seconds(cache_factories, tensors, reps=5):
+    """Best total matching time for frames 1..N on a warm stream.
+
+    Each rep uses a fresh cache per strategy, feeds frame 0 untimed
+    (both strategies pay one full build there), then times the
+    remaining lookups — the steady-state cost a streaming deployment
+    actually pays per frame.  Strategies are interleaved within each
+    rep so machine noise (CI containers share cores) hits both alike,
+    and the per-strategy minimum is reported (the standard low-noise
+    estimator for ratio benchmarks).
+    """
+    best = [float("inf")] * len(cache_factories)
+    for _ in range(reps):
+        for index, factory in enumerate(cache_factories):
+            cache = factory()
+            cache.submanifold(tensors[0], KERNEL)
+            start = time.perf_counter()
+            for tensor in tensors[1:]:
+                cache.submanifold(tensor, KERNEL)
+            best[index] = min(best[index], time.perf_counter() - start)
+    return best
+
+
+def test_bench_delta_patch_vs_rebuild(write_report):
+    tensors = drifting_tensors()
+    ratios = [
+        coordinate_delta(a.coords, b.coords).ratio
+        for a, b in zip(tensors, tensors[1:])
+    ]
+    # The scenario must stay in the acceptance regime: <=5% voxel churn.
+    assert max(ratios) <= 0.05, f"scene churn drifted out of regime: {ratios}"
+
+    # Bit-identity of every patched rulebook against from-scratch.
+    delta_cache = DeltaRulebookCache(threshold=0.25)
+    for tensor in tensors:
+        patched = delta_cache.submanifold(tensor, KERNEL)
+        scratch = build_submanifold_rulebook(tensor, KERNEL)
+        assert patched.num_inputs == scratch.num_inputs
+        assert patched.num_outputs == scratch.num_outputs
+        for got, want in zip(patched.rules, scratch.rules):
+            assert np.array_equal(got, want)
+    assert delta_cache.patches == len(tensors) - 1
+    assert delta_cache.rebuilds == 1
+
+    digest_seconds, delta_seconds = warm_stream_seconds(
+        [RulebookCache, lambda: DeltaRulebookCache(threshold=0.25)], tensors
+    )
+    speedup = digest_seconds / delta_seconds
+    frames = len(tensors) - 1
+
+    lines = [
+        "Incremental rulebook delta engine: patch vs full rebuild",
+        "(drifting scene, warm stream, bit-identical rulebooks asserted)",
+        "",
+        f"scene: {RESOLUTION}^3 grid, nnz per frame "
+        f"{min(t.nnz for t in tensors)}-{max(t.nnz for t in tensors)}, "
+        f"{frames} warm frames",
+        f"per-frame voxel churn: {min(ratios):.2%}-{max(ratios):.2%} "
+        "(acceptance regime: <= 5%)",
+        "",
+        f"  digest-only cache (rebuild per frame) "
+        f"{digest_seconds * 1e3 / frames:9.3f} ms/frame",
+        f"  delta cache       (patch per frame)   "
+        f"{delta_seconds * 1e3 / frames:9.3f} ms/frame",
+        f"  speedup: {speedup:.2f}x (acceptance: >= 2x)",
+    ]
+    write_report("delta_speedup", "\n".join(lines))
+    # Acceptance criterion: warm-stream matching with delta= is at least
+    # 2x faster than digest-only caching on the <=5% churn scenario.
+    assert speedup >= 2.0, f"delta speedup {speedup:.2f}x below 2x"

@@ -25,7 +25,10 @@ This package is a from-scratch, repository-scale reproduction of the SOCC
 * ``repro.engine`` — the unified :class:`InferenceSession` front door:
   one object owning the rulebook cache, cross-scale plan cache,
   accelerator/host configuration, and quantization settings, with
-  single-frame, batched, and estimate execution surfaces.
+  single-frame, batched, and estimate execution surfaces; pluggable
+  execution backends underneath, and an incremental rulebook delta
+  engine (``repro.engine.delta``) that patches cached matchings for
+  nearly-static streams instead of rebuilding them.
 
 Quickstart::
 
@@ -64,12 +67,15 @@ from repro.analysis import (
     run_table3,
 )
 from repro.engine import (
+    DeltaRulebookCache,
     ExecutionBackend,
     InferenceSession,
     PlanCache,
     QuantizationSpec,
     available_backends,
+    coordinate_delta,
     get_backend,
+    patch_rulebook,
     register_backend,
 )
 
@@ -100,4 +106,7 @@ __all__ = [
     "register_backend",
     "get_backend",
     "available_backends",
+    "DeltaRulebookCache",
+    "coordinate_delta",
+    "patch_rulebook",
 ]

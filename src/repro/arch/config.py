@@ -67,6 +67,12 @@ class AcceleratorConfig:
     weight_buffer_depth: int = 16384
     output_buffer_depth: int = 4096
     execution_backend: str = "numpy"
+    #: Churn-ratio bound for incremental rulebook patching in sessions
+    #: built from this config (see :mod:`repro.engine.delta`).  ``0.0``
+    #: (default) keeps all-or-nothing digest caching; a value in
+    #: ``(0, 1]`` lets a digest miss patch the nearest recent matching
+    #: whose coordinate delta stays below the bound.
+    delta_threshold: float = 0.0
     timing: SdmuTiming = field(default_factory=SdmuTiming)
 
     def __post_init__(self) -> None:
@@ -74,6 +80,11 @@ class AcceleratorConfig:
             raise ValueError(
                 "execution_backend must be a non-empty backend name, got "
                 f"{self.execution_backend!r}"
+            )
+        if not 0.0 <= float(self.delta_threshold) <= 1.0:
+            raise ValueError(
+                "delta_threshold must lie in [0, 1] (0 disables delta "
+                f"matching), got {self.delta_threshold!r}"
             )
         if self.kernel_size <= 0 or self.kernel_size % 2 == 0:
             raise ValueError(
@@ -136,6 +147,7 @@ class AcceleratorConfig:
             "weight_buffer_depth": self.weight_buffer_depth,
             "output_buffer_depth": self.output_buffer_depth,
             "execution_backend": self.execution_backend,
+            "delta_threshold": self.delta_threshold,
             "timing": {
                 "srf_cadence_cycles": self.timing.srf_cadence_cycles,
                 "judge_cycles": self.timing.judge_cycles,

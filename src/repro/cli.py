@@ -101,21 +101,78 @@ def build_stream_parser() -> argparse.ArgumentParser:
         "the analytical model",
     )
     parser.add_argument(
+        "--scene", choices=("rotating", "drifting"), default="rotating",
+        help="frame source: 'rotating' (spinning-LiDAR view of a static "
+        "object) or 'drifting' (nearly-static scene with per-frame voxel "
+        "churn, the delta-matching regime)",
+    )
+    parser.add_argument(
+        "--churn", type=float, default=0.02,
+        help="drifting scene only: fraction of points re-scattered per "
+        "frame (default 0.02)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0, help="scene seed (default 0)"
     )
     _add_backend_argument(parser)
+    _add_delta_argument(parser)
     return parser
 
 
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
-    # Imported lazily so --help stays cheap and experiment runs stay light.
-    from repro.engine import available_backends
-
     parser.add_argument(
-        "--backend", default="numpy", choices=available_backends(),
+        "--backend", default="numpy",
         help="execution backend evaluating rulebooks (default numpy); all "
         "backends are bit-identical, they differ in how work is computed",
     )
+
+
+# Bare-flag sentinel for --delta.  Deliberately not a float (so no
+# user-typed value can collide with it) and not a string (argparse
+# would run string consts through type=float).
+_DELTA_DEFAULT = object()
+
+
+def _add_delta_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--delta", type=float, nargs="?", const=_DELTA_DEFAULT, default=None,
+        metavar="THRESHOLD",
+        help="enable incremental rulebook patching for near-match frames; "
+        "optional churn-ratio threshold in (0, 1] (bare --delta uses the "
+        "engine default)",
+    )
+
+
+def _resolve_backend(parser: argparse.ArgumentParser, name: str) -> str:
+    """Fail fast on unknown backend names, listing what is registered.
+
+    The registry is openly extensible, so the choice set cannot be
+    frozen into the parser at build time; validating here keeps the
+    error at the command line (with the full list in the message)
+    instead of surfacing later from the registry deep inside session
+    construction.
+    """
+    from repro.engine import available_backends
+
+    if name not in available_backends():
+        parser.error(
+            f"unknown execution backend {name!r}; available backends: "
+            f"{list(available_backends())}"
+        )
+    return name
+
+
+def _resolve_delta(parser: argparse.ArgumentParser, value):
+    """Map the CLI --delta form onto the InferenceSession delta= knob."""
+    if value is None:
+        return None
+    if value is _DELTA_DEFAULT:  # bare --delta: the engine default threshold
+        return True
+    if not 0.0 < value <= 1.0:
+        parser.error(
+            f"--delta threshold must lie in (0, 1], got {value}"
+        )
+    return value
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -161,9 +218,22 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="skip the sequential (unbatched) baseline comparison",
     )
     parser.add_argument(
+        "--max-pending", type=int, default=None,
+        help="backpressure: bound on accepted-but-unserved requests; "
+        "submissions beyond it fail fast with ServerOverloaded "
+        "(default: unbounded)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="backpressure: per-request queueing deadline in ms; requests "
+        "dispatched past it are rejected with DeadlineExceeded "
+        "(default: none)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0, help="scene seed (default 0)"
     )
     _add_backend_argument(parser)
+    _add_delta_argument(parser)
     return parser
 
 
@@ -181,6 +251,12 @@ def run_serve(argv: List[str]) -> int:
         parser.error("--frames must be positive")
     if args.clients <= 0:
         parser.error("--clients must be positive")
+    backend = _resolve_backend(parser, args.backend)
+    delta = _resolve_delta(parser, args.delta)
+    if args.max_pending is not None and args.max_pending < 1:
+        parser.error("--max-pending must be >= 1")
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        parser.error("--deadline-ms must be positive")
     source = RotatingSceneSource(
         base_cloud=make_shapenet_like_cloud(seed=args.seed, n_points=args.points),
         num_frames=args.frames,
@@ -195,7 +271,7 @@ def run_serve(argv: List[str]) -> int:
     # dispatcher's micro-batches collapse into large digest groups.
     requests = [frame for frame in scene for _ in range(args.clients)]
 
-    session = InferenceSession(backend=args.backend)
+    session = InferenceSession(backend=backend, delta=delta)
     session.warm(scene[0])  # touch the lazy net outside the timed region
     outputs, stats = serve_frames(
         requests,
@@ -203,57 +279,101 @@ def run_serve(argv: List[str]) -> int:
         concurrency=args.clients,
         max_batch=args.max_batch,
         max_delay_s=args.max_delay_ms / 1e3,
+        max_pending=args.max_pending,
+        deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1e3,
     )
     print(
         f"served {stats.requests} requests ({args.frames} frames x "
         f"{args.clients} clients) at {args.resolution}^3 via backend="
-        f"{args.backend}"
+        f"{backend}"
     )
     print(
         f"  micro-batches:      {stats.micro_batches} "
         f"(mean size {stats.mean_batch_size:.1f}, max {stats.max_batch_size})"
     )
-    print(f"  serve throughput:   {stats.fps:10.2f} frames/s")
+    rejected = stats.rejected_overload + stats.rejected_deadline
+    if args.max_pending is not None or args.deadline_ms is not None:
+        print(
+            f"  rejected:           {rejected} "
+            f"({stats.rejected_overload} overload, "
+            f"{stats.rejected_deadline} deadline)"
+        )
+    if delta is not None:
+        s = session.stats
+        print(
+            f"  delta matching:     {s.delta_patches} patches, "
+            f"{s.delta_rebuilds} rebuilds"
+        )
+    serve_fps = stats.fps if stats.requests else 0.0
+    print(f"  serve throughput:   {serve_fps:10.2f} frames/s")
     if not args.no_baseline:
-        baseline_session = InferenceSession(backend=args.backend)
+        baseline_session = InferenceSession(backend=backend, delta=delta)
         baseline_session.warm(scene[0])
         start = time.perf_counter()
         baseline = [baseline_session.run(frame) for frame in requests]
         baseline_seconds = time.perf_counter() - start
         baseline_fps = len(requests) / baseline_seconds
+        served = [
+            (out, ref)
+            for out, ref in zip(outputs, baseline)
+            if out is not None  # rejected under backpressure
+        ]
         identical = all(
             out.features.dtype == ref.features.dtype
             and (out.features == ref.features).all()
-            for out, ref in zip(outputs, baseline)
+            for out, ref in served
         )
+        verdict = "yes" if identical else "NO"
+        if not served:
+            # Nothing was compared; an empty all() must not masquerade
+            # as a bit-identity pass.
+            verdict = "n/a, every request was rejected"
         print(f"  sequential baseline:{baseline_fps:10.2f} frames/s")
         print(
-            f"  speedup:            {stats.fps / baseline_fps:10.2f}x "
-            f"(bit-identical: {'yes' if identical else 'NO'})"
+            f"  speedup:            {serve_fps / baseline_fps:10.2f}x "
+            f"(bit-identical: {verdict})"
         )
-        if not identical:
+        if served and not identical:
             return 1
     return 0
 
 
 def run_stream(argv: List[str]) -> int:
-    """The ``stream`` subcommand: RotatingSceneSource -> InferenceSession."""
+    """The ``stream`` subcommand: scene source -> InferenceSession."""
     # Imported here so `python -m repro table2` stays light.
     from repro.engine import InferenceSession
     from repro.geometry import make_shapenet_like_cloud
-    from repro.runtime import RotatingSceneSource, StreamingRunner
-
-    args = build_stream_parser().parse_args(argv)
-    if args.frames <= 0:
-        build_stream_parser().error("--frames must be positive")
-    source = RotatingSceneSource(
-        base_cloud=make_shapenet_like_cloud(seed=args.seed, n_points=args.points),
-        num_frames=args.frames,
-        step_rad=args.step_rad,
-        noise_sigma=args.noise,
-        seed=args.seed,
+    from repro.runtime import (
+        DriftingSceneSource,
+        RotatingSceneSource,
+        StreamingRunner,
     )
-    session = InferenceSession(backend=args.backend)
+
+    parser = build_stream_parser()
+    args = parser.parse_args(argv)
+    if args.frames <= 0:
+        parser.error("--frames must be positive")
+    backend = _resolve_backend(parser, args.backend)
+    delta = _resolve_delta(parser, args.delta)
+    base_cloud = make_shapenet_like_cloud(seed=args.seed, n_points=args.points)
+    if args.scene == "drifting":
+        if not 0.0 <= args.churn <= 1.0:
+            parser.error("--churn must lie in [0, 1]")
+        source = DriftingSceneSource(
+            base_cloud=base_cloud,
+            num_frames=args.frames,
+            churn=args.churn,
+            seed=args.seed,
+        )
+    else:
+        source = RotatingSceneSource(
+            base_cloud=base_cloud,
+            num_frames=args.frames,
+            step_rad=args.step_rad,
+            noise_sigma=args.noise,
+            seed=args.seed,
+        )
+    session = InferenceSession(backend=backend, delta=delta)
     runner = StreamingRunner(
         session=session,
         out_channels=args.out_channels,
@@ -264,10 +384,12 @@ def run_stream(argv: List[str]) -> int:
     stats = runner.run(source)
     print(
         f"streamed {stats.num_frames} frames at {args.resolution}^3 "
-        f"(1->{args.out_channels} Sub-Conv per frame)"
+        f"(1->{args.out_channels} Sub-Conv per frame, {args.scene} scene)"
     )
     for frame in stats.frames:
         rulebook = "hit" if frame.rulebook_hits else "miss"
+        if frame.rulebook_patches:
+            rulebook = "patch"
         if args.detailed:
             # Cycle-accurate mode performs matching inside the simulated
             # SDMU pipeline; the software rulebook cache is not on that
@@ -285,6 +407,13 @@ def run_stream(argv: List[str]) -> int:
         hit_line = (
             f"rulebook hit rate:    {stats.rulebook_hit_rate:10.2%} "
             f"({stats.rulebook_hits} hits, {stats.rulebook_misses} misses)"
+        )
+    if delta is not None and not args.detailed:
+        session_stats = session.stats
+        hit_line += (
+            f"\ndelta matching:       {session_stats.delta_patches} patches, "
+            f"{session_stats.delta_rebuilds} rebuilds "
+            f"(threshold {session.delta_threshold:.2f})"
         )
     print(
         f"sustained fps:        {stats.fps:10.1f}\n"

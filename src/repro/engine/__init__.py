@@ -14,6 +14,13 @@ Underneath the session sits the pluggable compute seam of
 (fused numpy, scipy CSR, multiprocessing-sharded, or any registered
 third-party engine) evaluates rulebooks against features, bit-identical
 across backends for every session precision.
+
+For nearly-static streams, :mod:`repro.engine.delta` upgrades the
+digest-keyed caches to incremental patching: a digest miss whose
+coordinate set is within a churn threshold of a recent entry splices
+the cached rulebook (bit-identically to from-scratch matching) instead
+of rebuilding it, making warm-stream matching cost proportional to the
+per-frame churn rather than the scene size.
 """
 
 from repro.engine.backend import (
@@ -26,6 +33,17 @@ from repro.engine.backend import (
     available_backends,
     get_backend,
     register_backend,
+)
+from repro.engine.delta import (
+    DEFAULT_DELTA_THRESHOLD,
+    CoordinateDelta,
+    DeltaCacheStats,
+    DeltaRulebookCache,
+    DeltaUnsupportedError,
+    coordinate_delta,
+    patch_rulebook,
+    patch_sparse_conv_rulebook,
+    patch_submanifold_rulebook,
 )
 from repro.engine.session import (
     InferenceSession,
@@ -58,4 +76,13 @@ __all__ = [
     "register_backend",
     "get_backend",
     "available_backends",
+    "CoordinateDelta",
+    "coordinate_delta",
+    "patch_rulebook",
+    "patch_submanifold_rulebook",
+    "patch_sparse_conv_rulebook",
+    "DeltaRulebookCache",
+    "DeltaCacheStats",
+    "DeltaUnsupportedError",
+    "DEFAULT_DELTA_THRESHOLD",
 ]

@@ -140,6 +140,9 @@ class ExecutionBackend:
         self._plans: "OrderedDict[int, Tuple[Rulebook, ExecPlan]]" = (
             OrderedDict()
         )
+        #: Patched rulebooks whose prepared state was refreshed via
+        #: :meth:`refresh` (the delta engine's plan-invalidation hook).
+        self.plans_refreshed = 0
 
     # ------------------------------------------------------------------
     # Plan preparation
@@ -160,6 +163,24 @@ class ExecutionBackend:
         else:
             self._plans.move_to_end(key)
         return cached[1]
+
+    def refresh(self, old_rulebook: Rulebook, new_rulebook: Rulebook, delta) -> None:
+        """Plan-invalidation hook of the incremental delta engine.
+
+        Called by :class:`repro.engine.delta.DeltaRulebookCache` after it
+        patched ``old_rulebook`` into ``new_rulebook`` (``delta`` is the
+        :class:`repro.engine.delta.CoordinateDelta` that drove the
+        patch).  The base implementation eagerly prepares the patched
+        rulebook, so the warm path never pays a cold :meth:`prepare` on
+        its next execute; the superseded plan stays in the LRU memo
+        (its digest may still recur in an alternating stream) and ages
+        out normally.  Backends whose plans are expensive to derive
+        (CSR operators, device buffers) can override this to splice
+        ``delta`` into the old plan instead of lowering the patched
+        rulebook from scratch.
+        """
+        self.plan_for(new_rulebook)
+        self.plans_refreshed += 1
 
     # ------------------------------------------------------------------
     # Execution

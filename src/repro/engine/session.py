@@ -67,6 +67,7 @@ from repro.engine.backend import (
     NumpyFusedBackend,
     get_backend,
 )
+from repro.engine.delta import DEFAULT_DELTA_THRESHOLD, DeltaRulebookCache
 from repro.nn.functional import ApplyStats, normalize_weights
 from repro.nn.layers import (
     BatchNormSparse,
@@ -129,6 +130,13 @@ class SessionStats:
     gather_seconds: float
     gemm_seconds: float
     scatter_seconds: float
+    simulations: int = 0
+    #: Digest misses served by incremental patching / from-scratch
+    #: matching (only populated when the session runs a
+    #: :class:`repro.engine.delta.DeltaRulebookCache`; with delta
+    #: matching active, ``matching_passes`` counts both).
+    delta_patches: int = 0
+    delta_rebuilds: int = 0
 
 
 @dataclass(frozen=True)
@@ -431,6 +439,16 @@ class InferenceSession:
         ``"numpy"`` by default).  Every shipped backend is bit-identical
         to ``numpy`` for all precisions, so switching backends never
         changes results — only how (and where) they are computed.
+    delta:
+        Incremental rulebook matching for nearly-static streams (see
+        :mod:`repro.engine.delta`).  ``None`` (default) defers to
+        ``accelerator_config.delta_threshold`` (0 keeps the digest-only
+        cache); ``True`` enables patching at the config threshold (or
+        the engine default of 25% churn); a float in ``(0, 1]`` is the
+        churn-ratio threshold itself.  Patched rulebooks are
+        bit-identical to from-scratch matching, so enabling delta never
+        changes results — only how much matching work a digest miss
+        costs.
     """
 
     def __init__(
@@ -445,6 +463,7 @@ class InferenceSession:
         precision: str = "float64",
         quantization: Optional[QuantizationSpec] = None,
         backend: Optional[object] = None,
+        delta: Optional[object] = None,
     ) -> None:
         if net is not None and unet_config is not None and net.config != unet_config:
             raise ValueError("net and unet_config disagree; pass only one")
@@ -459,6 +478,7 @@ class InferenceSession:
         self.overheads = (
             overheads if overheads is not None else SystemOverheadModel()
         )
+        rulebook_cache = self._resolve_delta_cache(delta, rulebook_cache)
         self.rulebook_cache = (
             rulebook_cache if rulebook_cache is not None else RulebookCache()
         )
@@ -475,19 +495,78 @@ class InferenceSession:
                 f"got {type(backend).__name__}"
             )
         self.backend = backend
+        if isinstance(self.rulebook_cache, DeltaRulebookCache):
+            # Plan-invalidation hook: patched rulebooks refresh the
+            # backend's prepared artifacts instead of discarding them.
+            self.rulebook_cache.register_listener(self.backend)
         self.analytical = AnalyticalModel(self.accelerator_config)
         self.apply_stats = ApplyStats()
         self._frames_run = 0
         self._batches_run = 0
         self._estimates = 0
+        self._simulations = 0
         # Memoized parameter views: id(param) -> (param, derived arrays).
         # The param object is pinned in the value to keep ids stable.
         self._param_casts: Dict[int, Tuple[Parameter, np.ndarray]] = {}
         self._param_quant: Dict[int, Tuple[Parameter, np.ndarray, float]] = {}
 
+    def _resolve_delta_cache(
+        self, delta: Optional[object], rulebook_cache: Optional[RulebookCache]
+    ) -> Optional[RulebookCache]:
+        """Apply the ``delta=`` knob to the session's rulebook cache.
+
+        ``None`` defers to ``accelerator_config.delta_threshold`` (0
+        disables), ``True``/``False`` toggle with the config threshold
+        (or :data:`repro.engine.delta.DEFAULT_DELTA_THRESHOLD`), and a
+        float is the churn-ratio threshold itself.  Enabling delta
+        matching constructs a :class:`DeltaRulebookCache`; an injected
+        plain cache conflicts and is rejected rather than silently
+        wrapped (the caller shares it with other sessions).
+        """
+        if delta is None:
+            threshold = self.accelerator_config.delta_threshold
+        elif isinstance(delta, bool):
+            if delta:
+                threshold = (
+                    self.accelerator_config.delta_threshold
+                    or DEFAULT_DELTA_THRESHOLD
+                )
+            else:
+                threshold = 0.0
+                if isinstance(rulebook_cache, DeltaRulebookCache):
+                    raise ValueError(
+                        "delta=False conflicts with the DeltaRulebookCache "
+                        "passed as rulebook_cache"
+                    )
+        else:
+            threshold = float(delta)
+            if not 0.0 < threshold <= 1.0:
+                raise ValueError(
+                    f"delta threshold must be in (0, 1], got {delta!r}"
+                )
+        if threshold <= 0.0:
+            return rulebook_cache
+        if rulebook_cache is None:
+            return DeltaRulebookCache(threshold=threshold)
+        if not isinstance(rulebook_cache, DeltaRulebookCache):
+            raise ValueError(
+                "delta matching requires a DeltaRulebookCache; pass one as "
+                "rulebook_cache (or omit it to get a fresh one) instead of "
+                f"a plain {type(rulebook_cache).__name__}"
+            )
+        return rulebook_cache
+
     # ------------------------------------------------------------------
     # Owned components
     # ------------------------------------------------------------------
+    @property
+    def delta_threshold(self) -> float:
+        """Active churn-ratio threshold (0.0 when delta matching is off)."""
+        cache = self.rulebook_cache
+        if isinstance(cache, DeltaRulebookCache):
+            return cache.threshold
+        return 0.0
+
     @property
     def net(self) -> SSUNet:
         """The served network (constructed lazily from the config)."""
@@ -511,6 +590,10 @@ class InferenceSession:
     def stats(self) -> SessionStats:
         """Point-in-time snapshot of the session's engine counters."""
         cache = self.rulebook_cache
+        delta_patches = delta_rebuilds = 0
+        if isinstance(cache, DeltaRulebookCache):
+            delta_patches = cache.patches
+            delta_rebuilds = cache.rebuilds
         return SessionStats(
             frames_run=self._frames_run,
             batches_run=self._batches_run,
@@ -526,6 +609,9 @@ class InferenceSession:
             gather_seconds=self.apply_stats.gather_seconds,
             gemm_seconds=self.apply_stats.gemm_seconds,
             scatter_seconds=self.apply_stats.scatter_seconds,
+            simulations=self._simulations,
+            delta_patches=delta_patches,
+            delta_rebuilds=delta_rebuilds,
         )
 
     def reset_stats(self) -> None:
@@ -535,6 +621,7 @@ class InferenceSession:
         self._frames_run = 0
         self._batches_run = 0
         self._estimates = 0
+        self._simulations = 0
 
     # ------------------------------------------------------------------
     # Planning
@@ -873,6 +960,54 @@ class InferenceSession:
         include_host_layers: bool = True,
     ) -> NetworkRunResult:
         """Cycle-accurate simulation of the network, session-cached rulebooks."""
+        self._simulations += 1
+        return self._simulate(
+            tensor, verify=verify, include_host_layers=include_host_layers
+        )
+
+    def simulate_batch(
+        self,
+        tensors: Sequence[SparseTensor3D],
+        verify: bool = False,
+        include_host_layers: bool = True,
+    ) -> List[NetworkRunResult]:
+        """Cycle-accurate simulations for many frames, one pass per digest
+        group.
+
+        The simulator's cycle and latency accounting is driven entirely
+        by the site set (matching order, scan order, channel widths) —
+        never by feature values — so frames sharing a coordinate digest
+        share one :class:`NetworkPlan` *and* one cycle-accurate pass:
+        the returned list holds the same
+        :class:`~repro.arch.accelerator.NetworkRunResult` object at
+        every index of a group (the numeric accumulators in it are the
+        group representative's, mirroring how :meth:`estimate_batch`
+        shares estimate objects).  Timing parity with per-frame
+        :meth:`simulate` is asserted in the test suite.
+        """
+        tensors = list(tensors)
+        results: List[Optional[NetworkRunResult]] = [None] * len(tensors)
+        group_results: Dict[Hashable, NetworkRunResult] = {}
+        for index, tensor in enumerate(tensors):
+            key = (tensor.shape, tensor.coords_digest())
+            result = group_results.get(key)
+            if result is None:
+                result = self._simulate(
+                    tensor,
+                    verify=verify,
+                    include_host_layers=include_host_layers,
+                )
+                group_results[key] = result
+            results[index] = result
+        self._simulations += len(tensors)
+        return results  # type: ignore[return-value]
+
+    def _simulate(
+        self,
+        tensor: SparseTensor3D,
+        verify: bool,
+        include_host_layers: bool,
+    ) -> NetworkRunResult:
         self.warm(tensor)
         return self.accelerator().run_network(
             self.net,

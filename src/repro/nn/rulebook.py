@@ -168,14 +168,24 @@ class Rulebook:
         return 2 * self.effective_macs(in_channels, out_channels)
 
 
-def _lookup_rows(sorted_keys: np.ndarray, query_keys: np.ndarray) -> np.ndarray:
-    """Row index of each query key in ``sorted_keys`` or -1 when absent."""
+def lookup_rows(sorted_keys: np.ndarray, query_keys: np.ndarray) -> np.ndarray:
+    """Row index of each query key in ``sorted_keys`` or -1 when absent.
+
+    ``sorted_keys`` must be ascending and duplicate-free (the packed-key
+    order of a canonical coordinate array).  Shared by the rulebook
+    builders here and the delta engine (:mod:`repro.engine.delta`) —
+    one implementation of the sorted-membership probe, not three.
+    """
     idx = np.searchsorted(sorted_keys, query_keys)
     idx = np.clip(idx, 0, len(sorted_keys) - 1) if len(sorted_keys) else idx
     if len(sorted_keys) == 0:
         return np.full(len(query_keys), -1, dtype=np.int64)
     found = sorted_keys[idx] == query_keys
     return np.where(found, idx, -1)
+
+
+#: Backwards-compatible private alias (pre-delta-engine name).
+_lookup_rows = lookup_rows
 
 
 def build_submanifold_rulebook(

@@ -10,12 +10,15 @@ concurrent requests by coordinate digest into batched session runs.
 """
 
 from repro.runtime.server import (
+    DeadlineExceeded,
+    ServerOverloaded,
     ServeStats,
     SessionServer,
     serve,
     serve_frames,
 )
 from repro.runtime.stream import (
+    DriftingSceneSource,
     FrameResult,
     RotatingSceneSource,
     StreamStats,
@@ -24,11 +27,14 @@ from repro.runtime.stream import (
 
 __all__ = [
     "RotatingSceneSource",
+    "DriftingSceneSource",
     "StreamingRunner",
     "FrameResult",
     "StreamStats",
     "SessionServer",
     "ServeStats",
+    "ServerOverloaded",
+    "DeadlineExceeded",
     "serve",
     "serve_frames",
 ]

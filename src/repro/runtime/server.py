@@ -36,6 +36,26 @@ from repro.engine.session import InferenceSession
 from repro.sparse.coo import SparseTensor3D
 
 
+class ServerOverloaded(RuntimeError):
+    """Raised by :meth:`SessionServer.submit` when the queue is full.
+
+    A server constructed with ``max_pending`` bounds the number of
+    accepted-but-unserved requests; beyond it, submissions fail fast
+    with this error instead of queueing unboundedly (the client can shed
+    load or retry with backoff).
+    """
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request waited in the queue longer than its ``deadline_s``.
+
+    Raised *to the submitting client* (via its awaited future) when the
+    dispatcher dequeues the request after the deadline already passed —
+    the frame is dropped without being executed, keeping an overloaded
+    server from burning compute on answers nobody is waiting for.
+    """
+
+
 @dataclass
 class ServeStats:
     """Aggregate statistics of one serving run.
@@ -52,6 +72,10 @@ class ServeStats:
     batch_sizes: List[int] = field(default_factory=list)
     wall_seconds: float = 0.0
     busy_seconds: float = 0.0
+    #: Backpressure accounting: submissions refused at the queue bound
+    #: and dequeued requests dropped past their deadline.
+    rejected_overload: int = 0
+    rejected_deadline: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -99,6 +123,17 @@ class SessionServer:
         is pending.  ``0`` dispatches whatever is immediately queued
         (pure latency mode); a small positive value trades microseconds
         of latency for larger digest groups (throughput mode).
+    max_pending:
+        Bound on accepted-but-unserved requests.  ``None`` (default)
+        queues without limit; with a bound, :meth:`submit` raises
+        :class:`ServerOverloaded` once the backlog reaches it, so
+        overload surfaces at the edge instead of as unbounded memory
+        growth and stale answers.
+    deadline_s:
+        Per-request queueing deadline.  A request still waiting when the
+        dispatcher reaches it past the deadline is rejected with
+        :class:`DeadlineExceeded` instead of being executed.  ``None``
+        (default) disables deadlines.
     """
 
     def __init__(
@@ -106,6 +141,8 @@ class SessionServer:
         session: Optional[InferenceSession] = None,
         max_batch: int = 16,
         max_delay_s: float = 0.002,
+        max_pending: Optional[int] = None,
+        deadline_s: Optional[float] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -113,14 +150,25 @@ class SessionServer:
             raise ValueError(
                 f"max_delay_s must be >= 0, got {max_delay_s}"
             )
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1 (or None), got {max_pending}"
+            )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive (or None), got {deadline_s}"
+            )
         self.session = session if session is not None else InferenceSession()
         self.max_batch = int(max_batch)
         self.max_delay_s = float(max_delay_s)
+        self.max_pending = None if max_pending is None else int(max_pending)
+        self.deadline_s = None if deadline_s is None else float(deadline_s)
         self.stats = ServeStats()
         self._queue: Optional[asyncio.Queue] = None
         self._dispatcher: Optional[asyncio.Task] = None
         self._closed = False
         self._span_start: Optional[float] = None
+        self._pending = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -130,6 +178,7 @@ class SessionServer:
         if self._dispatcher is None:
             self._closed = False
             self._queue = asyncio.Queue()
+            self._pending = 0
             self._dispatcher = asyncio.get_running_loop().create_task(
                 self._dispatch_loop()
             )
@@ -158,15 +207,27 @@ class SessionServer:
         """Queue one frame and await its network output.
 
         Bit-identical to ``session.run(tensor)``; concurrency and
-        batching are invisible to the caller.
+        batching are invisible to the caller.  With ``max_pending`` set,
+        raises :class:`ServerOverloaded` instead of queueing once the
+        backlog is full; with ``deadline_s`` set, may raise
+        :class:`DeadlineExceeded` if the request could not be dispatched
+        in time.
         """
         if self._dispatcher is None or self._closed:
             raise RuntimeError(
                 "SessionServer is not running; use 'async with server:' or "
                 "await server.start()"
             )
+        if self.max_pending is not None and self._pending >= self.max_pending:
+            self.stats.rejected_overload += 1
+            raise ServerOverloaded(
+                f"server backlog is full ({self._pending} pending requests, "
+                f"max_pending={self.max_pending}); shed load or retry with "
+                "backoff"
+            )
         future = asyncio.get_running_loop().create_future()
-        await self._queue.put((tensor, future))
+        self._pending += 1
+        await self._queue.put((tensor, future, time.monotonic()))
         return await future
 
     # ------------------------------------------------------------------
@@ -200,6 +261,35 @@ class SessionServer:
                 batch.append(item)
         return batch
 
+    def _expire_overdue(self, batch: list) -> list:
+        """Reject dequeued requests whose queueing deadline passed.
+
+        Returns the still-live requests; expired ones get a
+        :class:`DeadlineExceeded` on their future without touching the
+        session (no compute is spent on answers nobody awaits).
+        """
+        if self.deadline_s is None:
+            return batch
+        now = time.monotonic()
+        live = []
+        for item in batch:
+            tensor, future, enqueued = item
+            waited = now - enqueued
+            if waited > self.deadline_s:
+                self._pending -= 1
+                self.stats.rejected_deadline += 1
+                if not future.done():
+                    future.set_exception(
+                        DeadlineExceeded(
+                            f"request waited {waited * 1e3:.1f} ms in the "
+                            f"queue, past its {self.deadline_s * 1e3:.1f} ms "
+                            "deadline"
+                        )
+                    )
+            else:
+                live.append(item)
+        return live
+
     async def _dispatch_loop(self) -> None:
         while True:
             first = await self._queue.get()
@@ -212,15 +302,18 @@ class SessionServer:
                 continue
             if self._span_start is None:
                 self._span_start = time.perf_counter()
-            batch = await self._collect_batch(first)
-            tensors = [tensor for tensor, _ in batch]
+            batch = self._expire_overdue(await self._collect_batch(first))
+            if not batch:
+                continue
+            tensors = [tensor for tensor, _, _ in batch]
             start = time.perf_counter()
             try:
                 # run_batch groups the micro-batch by coordinate digest:
                 # one plan / gather / scatter per distinct site set.
                 outputs = self.session.run_batch(tensors)
             except Exception as exc:  # propagate to every waiting client
-                for _, future in batch:
+                for _, future, _ in batch:
+                    self._pending -= 1
                     if not future.done():
                         future.set_exception(exc)
                 continue
@@ -230,7 +323,8 @@ class SessionServer:
             self.stats.batch_sizes.append(len(batch))
             self.stats.busy_seconds += end - start
             self.stats.wall_seconds = end - self._span_start
-            for (_, future), output in zip(batch, outputs):
+            for (_, future, _), output in zip(batch, outputs):
+                self._pending -= 1
                 if not future.done():
                     future.set_result(output)
 
@@ -241,6 +335,8 @@ async def serve(
     concurrency: int = 8,
     max_batch: int = 16,
     max_delay_s: float = 0.002,
+    max_pending: Optional[int] = None,
+    deadline_s: Optional[float] = None,
 ) -> tuple:
     """Serve ``frames`` through a :class:`SessionServer`, preserving order.
 
@@ -249,6 +345,11 @@ async def serve(
     ``(outputs, stats)`` with ``outputs[i]`` corresponding to
     ``frames[i]``.  This is both the programmatic entry point and the
     engine under ``python -m repro serve``.
+
+    With backpressure configured (``max_pending`` / ``deadline_s``),
+    rejected requests leave ``outputs[i]`` as ``None`` and are counted
+    in ``stats.rejected_overload`` / ``stats.rejected_deadline`` — the
+    demo clients shed load instead of crashing, as a real edge would.
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -259,7 +360,11 @@ async def serve(
         pending.put_nowait((index, frame))
 
     async with SessionServer(
-        session=session, max_batch=max_batch, max_delay_s=max_delay_s
+        session=session,
+        max_batch=max_batch,
+        max_delay_s=max_delay_s,
+        max_pending=max_pending,
+        deadline_s=deadline_s,
     ) as server:
 
         async def client() -> None:
@@ -268,7 +373,10 @@ async def serve(
                     index, frame = pending.get_nowait()
                 except asyncio.QueueEmpty:
                     return
-                outputs[index] = await server.submit(frame)
+                try:
+                    outputs[index] = await server.submit(frame)
+                except (ServerOverloaded, DeadlineExceeded):
+                    pass  # counted in stats; outputs[index] stays None
 
         await asyncio.gather(
             *(client() for _ in range(min(concurrency, max(len(frames), 1))))

@@ -74,6 +74,65 @@ class RotatingSceneSource:
         return self.frames()
 
 
+class DriftingSceneSource:
+    """Deterministic frame source: a nearly-static scene with voxel churn.
+
+    Models the workloads the incremental delta engine targets (SLAM,
+    odometry, a surveillance camera): the scene is static except for a
+    small per-frame fraction of drifting measurements.  Each frame,
+    ``churn * n_points`` randomly chosen points jump to the jittered
+    neighborhood of other surface points (flickering returns, moving
+    clutter), and the change is cumulative — the scene drifts instead of
+    oscillating around frame 0.  The per-frame *voxel* churn therefore
+    stays of the order of ``churn``, so consecutive frames are digest
+    misses but near-matches: exactly the regime where
+    :class:`repro.engine.delta.DeltaRulebookCache` patches instead of
+    rebuilding.
+    """
+
+    def __init__(
+        self,
+        base_cloud: Optional[PointCloud] = None,
+        num_frames: int = 10,
+        churn: float = 0.02,
+        jitter_sigma: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        if num_frames <= 0:
+            raise ValueError(f"num_frames must be positive, got {num_frames}")
+        if not 0.0 <= churn <= 1.0:
+            raise ValueError(f"churn must be in [0, 1], got {churn}")
+        if jitter_sigma < 0.0:
+            raise ValueError(
+                f"jitter_sigma must be >= 0, got {jitter_sigma}"
+            )
+        self.base_cloud = base_cloud or make_shapenet_like_cloud(seed=seed)
+        self.num_frames = int(num_frames)
+        self.churn = float(churn)
+        self.jitter_sigma = float(jitter_sigma)
+        self.seed = int(seed)
+
+    def frames(self) -> Iterator[PointCloud]:
+        points = np.array(self.base_cloud.points, dtype=np.float64)
+        n = len(points)
+        for frame_id in range(self.num_frames):
+            if frame_id > 0 and self.churn > 0.0 and n > 0:
+                rng = np.random.default_rng(
+                    self.seed * 1_000_003 + frame_id
+                )
+                moved = max(1, int(round(self.churn * n)))
+                victims = rng.choice(n, size=moved, replace=False)
+                donors = rng.choice(n, size=moved, replace=False)
+                points[victims] = points[donors] + rng.normal(
+                    scale=self.jitter_sigma, size=(moved, 3)
+                )
+                np.clip(points, 0.0, 1.0 - 1e-9, out=points)
+            yield PointCloud(points.copy())
+
+    def __iter__(self) -> Iterator[PointCloud]:
+        return self.frames()
+
+
 @dataclass(frozen=True)
 class FrameResult:
     """Execution record of one streamed frame.
@@ -95,6 +154,9 @@ class FrameResult:
     effective_ops: int
     rulebook_hits: int = 0
     rulebook_misses: int = 0
+    #: Of this frame's ``rulebook_misses``, how many were served by
+    #: incremental patching (only nonzero with a delta-enabled session).
+    rulebook_patches: int = 0
     matching_seconds: float = 0.0
     scatter_seconds: float = 0.0
 
@@ -164,6 +226,10 @@ class StreamStats:
         return sum(frame.rulebook_misses for frame in self.frames)
 
     @property
+    def rulebook_patches(self) -> int:
+        return sum(frame.rulebook_patches for frame in self.frames)
+
+    @property
     def rulebook_hit_rate(self) -> float:
         lookups = self.rulebook_hits + self.rulebook_misses
         if lookups == 0:
@@ -216,6 +282,11 @@ class StreamingRunner:
         Execution-backend registry name (or instance) for the private
         session built from the legacy keyword form; mutually exclusive
         with ``session=`` (the session already owns its backend).
+    delta:
+        Incremental-matching knob forwarded to the private session (see
+        ``InferenceSession(delta=)``): ``True`` or a churn-ratio
+        threshold enables rulebook patching for near-match frames.
+        Mutually exclusive with ``session=``.
     """
 
     def __init__(
@@ -230,6 +301,7 @@ class StreamingRunner:
         execute_reference: bool = False,
         session: Optional[InferenceSession] = None,
         backend=None,
+        delta=None,
     ) -> None:
         if session is None:
             session = InferenceSession(
@@ -237,16 +309,18 @@ class StreamingRunner:
                 overheads=overheads,
                 rulebook_cache=rulebook_cache,
                 backend=backend,
+                delta=delta,
             )
         elif (
             config is not None
             or overheads is not None
             or rulebook_cache is not None
             or backend is not None
+            or delta is not None
         ):
             raise ValueError(
                 "pass either session= or config/overheads/rulebook_cache/"
-                "backend, not both — the session owns those components"
+                "backend/delta, not both — the session owns those components"
             )
         self.session = session
         self.config = session.accelerator_config
@@ -278,8 +352,13 @@ class StreamingRunner:
             rng.standard_normal((grid.nnz, self.in_channels))
         )
 
-    def run(self, source: RotatingSceneSource) -> StreamStats:
-        """Stream every frame of ``source`` through the accelerator model."""
+    def run(self, source) -> StreamStats:
+        """Stream every frame of ``source`` through the accelerator model.
+
+        ``source`` is any iterable of :class:`PointCloud` frames with a
+        ``seed`` attribute (:class:`RotatingSceneSource`,
+        :class:`DriftingSceneSource`, or a custom feed).
+        """
         stats = StreamStats()
         rng = np.random.default_rng(source.seed)
         session = self.session
@@ -289,6 +368,7 @@ class StreamingRunner:
             tensor = self._frame_tensor(cloud, rng)
             tiles = TileGrid(tensor, self.config.tile_shape)
             hits_before, misses_before = cache.hits, cache.misses
+            patches_before = getattr(cache, "patches", 0)
             matching_seconds = 0.0
             scatter_seconds = 0.0
             if self.detailed:
@@ -345,6 +425,8 @@ class StreamingRunner:
                     effective_ops=ops,
                     rulebook_hits=cache.hits - hits_before,
                     rulebook_misses=cache.misses - misses_before,
+                    rulebook_patches=getattr(cache, "patches", 0)
+                    - patches_before,
                     matching_seconds=matching_seconds,
                     scatter_seconds=scatter_seconds,
                 )

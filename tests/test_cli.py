@@ -77,6 +77,53 @@ def test_cli_stream_rejects_unknown_backend():
         main(["stream", "--frames", "1", "--backend", "cuda"])
 
 
+def test_cli_unknown_backend_fails_fast_with_available_list(capsys):
+    """Satellite bugfix: an unknown --backend dies at the command line
+    with the registered-backend list in the message, instead of a late
+    registry error from inside session construction."""
+    for subcommand in ("stream", "serve"):
+        with pytest.raises(SystemExit) as excinfo:
+            main([subcommand, "--backend", "cuda"])
+        assert excinfo.value.code == 2  # argparse usage error, not a traceback
+        err = capsys.readouterr().err
+        assert "unknown execution backend 'cuda'" in err
+        assert "'numpy'" in err and "'scipy'" in err and "'sharded'" in err
+
+
+def test_cli_backend_accepts_late_registered_backends(capsys):
+    """The choice set must come from the live registry, not be frozen at
+    parser build time."""
+    from repro.engine import NumpyFusedBackend, register_backend
+
+    class AliasBackend(NumpyFusedBackend):
+        name = "cli-test-alias"
+
+    register_backend("cli-test-alias", AliasBackend, overwrite=True)
+    assert main(
+        ["stream", "--frames", "2", "--resolution", "24", "--points", "800",
+         "--step-rad", "0", "--noise", "0", "--backend", "cli-test-alias"]
+    ) == 0
+    assert "streamed 2 frames" in capsys.readouterr().out
+
+
+def test_cli_stream_delta_on_drifting_scene(capsys):
+    assert main(
+        ["stream", "--frames", "4", "--resolution", "48", "--points", "2000",
+         "--scene", "drifting", "--churn", "0.01", "--delta"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "drifting scene" in out
+    assert "delta matching:" in out
+    assert "rulebook=patch" in out
+
+
+def test_cli_stream_delta_threshold_validation():
+    with pytest.raises(SystemExit):
+        main(["stream", "--frames", "1", "--delta", "1.5"])
+    with pytest.raises(SystemExit):
+        main(["stream", "--frames", "1", "--scene", "drifting", "--churn", "2"])
+
+
 def test_cli_serve_subcommand(capsys):
     assert main(
         ["serve", "--frames", "2", "--clients", "3", "--resolution", "24",
@@ -103,6 +150,20 @@ def test_cli_serve_rejects_bad_arguments():
         main(["serve", "--frames", "0"])
     with pytest.raises(SystemExit):
         main(["serve", "--clients", "0"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--max-pending", "0"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--deadline-ms", "0"])
+
+
+def test_cli_serve_backpressure_flags(capsys):
+    assert main(
+        ["serve", "--frames", "1", "--clients", "2", "--resolution", "24",
+         "--points", "1000", "--no-baseline", "--max-pending", "64",
+         "--deadline-ms", "60000"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "rejected:           0 (0 overload, 0 deadline)" in out
 
 
 def test_cli_serve_help_mentions_micro_batching(capsys):

@@ -7,6 +7,8 @@ and cache-warm, at both the convolution level and the whole-network
 level.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -273,6 +275,97 @@ def test_scipy_degraded_fallback(monkeypatch):
         expected,
     )
     assert isinstance(backend.plan_for(rulebook), FusedExecPlan)
+
+
+def test_scipy_degraded_batch_and_session_parity(monkeypatch):
+    """Satellite: degraded-mode coverage beyond the CI no-scipy leg.
+
+    With the scipy import seam forced closed, every surface of the
+    backend — single-frame, batched (float and integer), and a full
+    session run — must transparently produce the numpy engine's bits.
+    """
+    monkeypatch.setattr(backend_mod, "_scipy_sparse", None)
+    backend = ScipySparseBackend()
+    caps = backend.capabilities()
+    assert caps.degraded and caps.requires == "scipy"
+    assert caps.name == "scipy" and caps.native_batch
+
+    tensor = frame(33, nnz=40)
+    rulebook = build_submanifold_rulebook(tensor, 3)
+    rng = np.random.default_rng(7)
+    weights = rng.standard_normal((27, 2, 4))
+    stack = rng.standard_normal((3, tensor.nnz, 2))
+    expected = apply_rulebook_batch(rulebook, stack, weights, tensor.nnz)
+    assert np.array_equal(
+        backend.execute_batch(rulebook, stack, weights, tensor.nnz), expected
+    )
+    int_stack = np.rint(stack * 50).astype(np.int16)
+    int_weights = np.ones((27, 2, 4), dtype=np.int8)
+    int_out = backend.execute_batch(
+        rulebook, int_stack, int_weights, tensor.nnz
+    )
+    assert int_out.dtype == np.int64
+    assert np.array_equal(
+        int_out,
+        apply_rulebook_batch(rulebook, int_stack, int_weights, tensor.nnz),
+    )
+
+    for precision in ("float64", "float32", "int"):
+        reference = InferenceSession(unet_config=SMALL_CFG, precision=precision)
+        degraded = InferenceSession(
+            unet_config=SMALL_CFG, precision=precision,
+            backend=ScipySparseBackend(),
+        )
+        want = reference.run(tensor)
+        got = degraded.run(tensor)
+        assert got.features.dtype == want.features.dtype
+        assert np.array_equal(got.features, want.features)
+
+
+def test_scipy_degraded_on_forced_import_failure_subprocess():
+    """The import guard itself, not just the seam: a interpreter whose
+    scipy import genuinely fails must come up degraded and bit-identical
+    to the fused engine."""
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    script = r"""
+import sys
+sys.modules["scipy"] = None  # any 'import scipy' now raises ImportError
+import importlib
+import numpy as np
+backend_mod = importlib.import_module("repro.engine.backend")
+assert backend_mod._scipy_sparse is None, "import guard did not trip"
+backend = backend_mod.ScipySparseBackend()
+caps = backend.capabilities()
+assert backend.degraded and caps.degraded and caps.requires == "scipy"
+from repro.nn.rulebook import build_submanifold_rulebook
+from repro.nn.functional import apply_rulebook
+from tests.conftest import random_sparse_tensor
+tensor = random_sparse_tensor(seed=3, nnz=30, channels=2)
+rulebook = build_submanifold_rulebook(tensor, 3)
+weights = np.random.default_rng(0).standard_normal((27, 2, 4))
+expected = apply_rulebook(rulebook, tensor.features, weights, tensor.nnz)
+out = backend.execute(rulebook, tensor.features, weights, tensor.nnz)
+assert np.array_equal(out, expected)
+print("DEGRADED-OK")
+"""
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(repo_root / "src"), str(repo_root)]
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=repo_root,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "DEGRADED-OK" in result.stdout
 
 
 def test_scipy_records_apply_stats():

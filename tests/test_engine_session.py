@@ -179,6 +179,47 @@ def test_estimate_batch_parity_with_per_frame_estimate():
         ]
 
 
+def test_simulate_batch_parity_with_per_frame_simulate():
+    """Satellite: one plan/cycle-accurate pass per digest group, with
+    per-frame timing parity against simulate()."""
+    cfg = UNetConfig(in_channels=1, num_classes=4, base_channels=4, levels=2)
+    frames = [
+        random_sparse_tensor(seed=70, shape=(12, 12, 12), nnz=30, channels=1),
+        random_sparse_tensor(seed=71, shape=(12, 12, 12), nnz=35, channels=1),
+    ]
+    frames.append(frames[0].with_features(frames[0].features * 2.0))
+    reference = InferenceSession(unet_config=cfg)
+    expected = [reference.simulate(f) for f in frames]
+    session = InferenceSession(unet_config=cfg)
+    results = session.simulate_batch(frames)
+    assert len(results) == len(frames)
+    for got, want in zip(results, expected):
+        assert got.total_cycles == want.total_cycles
+        assert got.time_seconds == want.time_seconds
+        assert got.end_to_end_seconds == want.end_to_end_seconds
+        assert [layer.layer_name for layer in got.layers] == [
+            layer.layer_name for layer in want.layers
+        ]
+        assert len(got.host_layers) == len(want.host_layers)
+    # Two distinct site sets -> two plans and two simulator passes; the
+    # repeated frame shares its group's result object outright.
+    assert session.plan_cache.misses == 2
+    assert results[2] is results[0]
+    assert results[1] is not results[0]
+    assert session.stats.simulations == 3
+    assert session.simulate_batch([]) == []
+
+
+def test_simulate_counts_in_stats():
+    cfg = UNetConfig(in_channels=1, num_classes=4, base_channels=4, levels=2)
+    session = InferenceSession(unet_config=cfg)
+    tensor = random_sparse_tensor(seed=72, shape=(12, 12, 12), nnz=25, channels=1)
+    session.simulate(tensor)
+    assert session.stats.simulations == 1
+    session.reset_stats()
+    assert session.stats.simulations == 0
+
+
 def test_estimate_batch_shares_plan_per_digest_group():
     frames = [frame(62, nnz=40), frame(63, nnz=42)]
     frames.append(frames[0].with_features(frames[0].features + 1.0))

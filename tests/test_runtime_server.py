@@ -7,7 +7,14 @@ import pytest
 
 from repro.engine import InferenceSession
 from repro.nn import UNetConfig
-from repro.runtime import ServeStats, SessionServer, serve, serve_frames
+from repro.runtime import (
+    DeadlineExceeded,
+    ServeStats,
+    ServerOverloaded,
+    SessionServer,
+    serve,
+    serve_frames,
+)
 from tests.conftest import random_sparse_tensor
 
 SMALL_CFG = UNetConfig(in_channels=2, num_classes=5, base_channels=4, levels=3)
@@ -132,6 +139,89 @@ def test_server_validates_parameters():
         SessionServer(session=small_session(), max_delay_s=-1.0)
     with pytest.raises(ValueError, match="concurrency"):
         asyncio.run(serve([frame(8)], session=small_session(), concurrency=0))
+
+
+# ----------------------------------------------------------------------
+# Satellite: backpressure — queue bound and per-request deadlines
+# ----------------------------------------------------------------------
+def test_submit_rejects_overload_at_max_pending():
+    async def scenario():
+        # A long linger keeps requests pending while we overfill.
+        server = SessionServer(
+            session=small_session(),
+            max_pending=2,
+            max_delay_s=0.5,
+            max_batch=16,
+        )
+        async with server:
+            loop = asyncio.get_running_loop()
+            accepted = [
+                loop.create_task(server.submit(frame(10))) for _ in range(2)
+            ]
+            await asyncio.sleep(0.02)  # both enqueued, dispatcher lingering
+            with pytest.raises(ServerOverloaded, match="max_pending=2"):
+                await server.submit(frame(10))
+            assert server.stats.rejected_overload == 1
+            outs = await asyncio.gather(*accepted)
+            assert all(out.nnz == frame(10).nnz for out in outs)
+            # Backlog drained: submissions are accepted again.
+            out = await server.submit(frame(10))
+            assert out.nnz == frame(10).nnz
+
+    asyncio.run(scenario())
+
+
+def test_requests_past_deadline_are_rejected_not_executed():
+    async def scenario():
+        # The linger exceeds the deadline, so every dequeued request is
+        # already overdue and must be dropped without compute.
+        session = small_session()
+        server = SessionServer(
+            session=session, deadline_s=0.01, max_delay_s=0.1
+        )
+        async with server:
+            loop = asyncio.get_running_loop()
+            pending = [
+                loop.create_task(server.submit(frame(11))) for _ in range(3)
+            ]
+            results = await asyncio.gather(*pending, return_exceptions=True)
+            assert all(isinstance(r, DeadlineExceeded) for r in results)
+            assert server.stats.rejected_deadline == 3
+            assert server.stats.requests == 0
+            assert session.stats.frames_run == 0  # no compute burned
+
+        # A generous deadline serves normally.
+        server = SessionServer(
+            session=small_session(), deadline_s=30.0, max_delay_s=0.0
+        )
+        async with server:
+            out = await server.submit(frame(11))
+            assert out.nnz == frame(11).nnz
+            assert server.stats.rejected_deadline == 0
+
+    asyncio.run(scenario())
+
+
+def test_serve_helper_sheds_rejected_requests():
+    requests = request_mix()
+    outputs, stats = serve_frames(
+        requests,
+        session=small_session(),
+        concurrency=len(requests),
+        max_delay_s=0.2,
+        deadline_s=0.001,
+    )
+    rejected = stats.rejected_deadline + stats.rejected_overload
+    assert rejected > 0
+    assert sum(out is None for out in outputs) == rejected
+    assert stats.requests == len(requests) - rejected
+
+
+def test_backpressure_parameter_validation():
+    with pytest.raises(ValueError, match="max_pending"):
+        SessionServer(session=small_session(), max_pending=0)
+    with pytest.raises(ValueError, match="deadline_s"):
+        SessionServer(session=small_session(), deadline_s=0.0)
 
 
 def test_serve_stats_fps():
