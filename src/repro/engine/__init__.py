@@ -40,6 +40,7 @@ from repro.engine.delta import (
     DeltaCacheStats,
     DeltaRulebookCache,
     DeltaUnsupportedError,
+    RulebookDelta,
     coordinate_delta,
     patch_rulebook,
     patch_sparse_conv_rulebook,
@@ -77,6 +78,7 @@ __all__ = [
     "get_backend",
     "available_backends",
     "CoordinateDelta",
+    "RulebookDelta",
     "coordinate_delta",
     "patch_rulebook",
     "patch_submanifold_rulebook",

@@ -15,9 +15,10 @@ the cache stack to incremental patching:
 * :func:`patch_rulebook` locally re-matches only the neighborhoods
   touched by added or removed voxels and splices the result into a
   cached :class:`~repro.nn.rulebook.Rulebook` — **bit-identical** to a
-  from-scratch matching pass, for submanifold, strided, and (via
-  :meth:`~repro.nn.rulebook.Rulebook.transposed`) transposed
-  convolutions;
+  from-scratch matching pass, for submanifold, strided (any kernel /
+  stride combination, including overlapping ``kernel != stride``
+  geometries), and (via :meth:`~repro.nn.rulebook.Rulebook.transposed`)
+  transposed convolutions;
 * :class:`DeltaRulebookCache` layers delta matching onto
   :class:`~repro.nn.rulebook.RulebookCache`: on a digest miss it
   searches recent entries of the same kernel geometry for a near-match
@@ -50,6 +51,7 @@ from typing import Hashable, List, Optional, Tuple
 import numpy as np
 
 from repro.nn.rulebook import (
+    GatherScatterPlan,
     Rulebook,
     RulebookCache,
     build_sparse_conv_rulebook,
@@ -68,10 +70,11 @@ DEFAULT_DELTA_THRESHOLD = 0.25
 class DeltaUnsupportedError(ValueError):
     """A rulebook kind/geometry the delta engine cannot patch.
 
-    Raised by :func:`patch_rulebook` for strided rulebooks whose kernel
-    size differs from the stride (overlapping receptive fields make the
-    output-site support test non-local).  :class:`DeltaRulebookCache`
-    treats this as "rebuild from scratch", never as a failure.
+    Retained purely as a backward-compatible export: earlier revisions
+    raised it for overlapping strided geometries (``kernel_size !=
+    stride``), which are patchable now — a changed input voxel perturbs
+    at most ``ceil(kernel/stride)^3`` output cells, so existence updates
+    stay local.  No shipped code raises or catches it anymore.
     """
 
 
@@ -167,6 +170,53 @@ def coordinate_delta(
     )
 
 
+@dataclass(frozen=True)
+class RulebookDelta(CoordinateDelta):
+    """A :class:`CoordinateDelta` enriched with rulebook splice provenance.
+
+    Produced by the patchers and stored on the patched rulebook
+    (``Rulebook._splice``); :meth:`DeltaRulebookCache.register_listener`
+    listeners receive it as the ``delta`` argument of ``refresh``, so it
+    stays a drop-in :class:`CoordinateDelta` for listeners that only
+    diff coordinates.  The extra fields let a backend splice its
+    prepared execution plan instead of re-lowering the patched rulebook:
+
+    ``out_map``
+        ``(old_num_outputs,)`` old output row -> new output row, ``-1``
+        where the output site vanished.  Equals :attr:`in_map` for
+        submanifold rulebooks; the downsampled-cell map for strided
+        ones.  Monotone increasing over surviving rows.
+    ``fresh_slots``
+        Per kernel offset, the sorted positions of the *freshly matched*
+        pairs inside the patched rulebook's rule array for that offset;
+        every other position holds a surviving (remapped) pair, in the
+        old per-offset order.
+    """
+
+    out_map: Optional[np.ndarray] = None
+    fresh_slots: Optional[Tuple[np.ndarray, ...]] = None
+
+    @property
+    def in_map(self) -> np.ndarray:
+        """Old input row -> new input row (alias of ``old_to_new``)."""
+        return self.old_to_new
+
+
+def _enrich(
+    delta: CoordinateDelta,
+    out_map: np.ndarray,
+    fresh_slots: List[np.ndarray],
+) -> RulebookDelta:
+    return RulebookDelta(
+        old_keys=delta.old_keys,
+        new_keys=delta.new_keys,
+        old_to_new=delta.old_to_new,
+        added_new_rows=delta.added_new_rows,
+        out_map=out_map,
+        fresh_slots=tuple(fresh_slots),
+    )
+
+
 # ----------------------------------------------------------------------
 # Pair splicing primitives
 # ----------------------------------------------------------------------
@@ -174,53 +224,113 @@ def _empty_rule() -> np.ndarray:
     return np.zeros((0, 2), dtype=np.int64)
 
 
-def _remap_pairs(
+_NO_SLOTS = np.zeros(0, dtype=np.int64)
+_EMPTY_COL = np.zeros(0, dtype=np.int64)
+
+
+def _remap_columns(
     rule: np.ndarray,
     in_map: np.ndarray,
     out_map: np.ndarray,
-) -> np.ndarray:
-    """Surviving pairs of one offset, rows remapped old -> new.
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Surviving pair columns of one offset, rows remapped old -> new.
 
     Pairs whose input or output voxel was removed are dropped; both maps
     are monotone over stable rows, so the result keeps the original
-    per-offset ordering.
+    per-offset ordering.  Columns come back as two contiguous 1-D
+    arrays — the layout the gather/scatter plan consumes directly.
     """
     if len(rule) == 0:
-        return _empty_rule()
-    if in_map is out_map:
-        mapped = in_map[rule]  # one 2D gather covers both columns
-    else:
-        mapped = np.empty_like(rule)
-        mapped[:, 0] = in_map[rule[:, 0]]
-        mapped[:, 1] = out_map[rule[:, 1]]
-    keep = (mapped[:, 0] >= 0) & (mapped[:, 1] >= 0)
+        return _EMPTY_COL, _EMPTY_COL
+    mapped_in = in_map[rule[:, 0]]
+    mapped_out = out_map[rule[:, 1]]
+    # -1 is the only negative either map produces, so a pair survives
+    # exactly when the bitwise or of its mapped rows keeps the sign bit
+    # clear — one comparison instead of two.
+    keep = (mapped_in | mapped_out) >= 0
     if keep.all():
-        return mapped
-    return mapped[keep]
+        return mapped_in, mapped_out
+    return mapped_in[keep], mapped_out[keep]
 
 
-def _merge_pairs(
-    kept: np.ndarray, fresh: np.ndarray, key_col: int
-) -> np.ndarray:
-    """Merge two pair arrays sorted (and unique) on ``key_col``.
+def _merge_columns(
+    kept_in: np.ndarray,
+    kept_out: np.ndarray,
+    fresh_in: np.ndarray,
+    fresh_out: np.ndarray,
+    key_col: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge kept and fresh pair columns sorted (and unique) on the key.
 
-    The from-scratch builders emit at most one pair per key per offset,
-    and kept/fresh key sets are disjoint (fresh pairs touch added
-    voxels, kept pairs only stable ones), so a single vectorized sorted
-    merge reproduces the from-scratch array exactly.
+    The from-scratch builders emit at most one pair per key per offset
+    (``key_col`` 0 = input row, 1 = output row), and kept/fresh key sets
+    are disjoint (fresh pairs touch added voxels, kept pairs only stable
+    ones), so a single vectorized sorted merge reproduces the
+    from-scratch rule exactly.  Returns ``(in_col, out_col,
+    fresh_slots)`` — the merged columns plus the slot positions the
+    fresh pairs landed on (the per-offset splice provenance carried by
+    :class:`RulebookDelta`).
     """
-    if len(fresh) == 0:
-        return kept if len(kept) else _empty_rule()
-    if len(kept) == 0:
-        return fresh
-    positions = np.searchsorted(kept[:, key_col], fresh[:, key_col])
-    merged = np.empty((len(kept) + len(fresh), 2), dtype=np.int64)
-    fresh_slots = positions + np.arange(len(fresh))
-    kept_slots = np.ones(len(merged), dtype=bool)
-    kept_slots[fresh_slots] = False
-    merged[fresh_slots] = fresh
-    merged[kept_slots] = kept
-    return merged
+    if len(fresh_in) == 0:
+        return kept_in, kept_out, _NO_SLOTS
+    if len(kept_in) == 0:
+        return fresh_in, fresh_out, np.arange(len(fresh_in), dtype=np.int64)
+    kept_key = kept_out if key_col else kept_in
+    fresh_key = fresh_out if key_col else fresh_in
+    positions = np.searchsorted(kept_key, fresh_key)
+    slots = positions + np.arange(len(fresh_in))
+    size = len(kept_in) + len(fresh_in)
+    in_col = np.empty(size, dtype=np.int64)
+    out_col = np.empty(size, dtype=np.int64)
+    kept_mask = np.ones(size, dtype=bool)
+    kept_mask[slots] = False
+    in_col[slots] = fresh_in
+    in_col[kept_mask] = kept_in
+    out_col[slots] = fresh_out
+    out_col[kept_mask] = kept_out
+    return in_col, out_col, slots
+
+
+def _assemble_rules(
+    in_cols: List[np.ndarray], out_cols: List[np.ndarray]
+) -> List[np.ndarray]:
+    """Stack per-offset columns back into the public ``(n, 2)`` rules."""
+    return [
+        np.stack([i, o], axis=1) if len(i) else _empty_rule()
+        for i, o in zip(in_cols, out_cols)
+    ]
+
+
+def _seed_plan(
+    rulebook: Rulebook,
+    in_cols: List[np.ndarray],
+    out_cols: List[np.ndarray],
+) -> None:
+    """Pre-seed the rulebook's :class:`GatherScatterPlan` from the merge.
+
+    The spliced columns *are* the plan's flat arrays (concatenated
+    offset-major input rows, contiguous per-offset output rows), so the
+    patcher hands them over instead of letting ``Rulebook.plan()``
+    re-extract them from the stacked rules with strided copies — every
+    plan consumer (backend lowering, the fused engine) starts warm.
+    Array-for-array identical to a lazily built plan; asserted in the
+    delta property suite.
+    """
+    sizes = [len(col) for col in out_cols]
+    segment_starts = np.zeros(len(out_cols) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=segment_starts[1:])
+    total = int(segment_starts[-1])
+    if total:
+        in_rows = np.concatenate([col for col in in_cols if len(col)])
+    else:
+        in_rows = np.zeros(0, dtype=np.int64)
+    rulebook._plan = GatherScatterPlan(
+        in_rows=in_rows,
+        segment_starts=segment_starts,
+        out_rows=list(out_cols),
+        active_offsets=[k for k, size in enumerate(sizes) if size],
+        total_matches=total,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -249,9 +359,13 @@ def patch_submanifold_rulebook(
     added_flags = np.zeros(delta.new_size, dtype=bool)
     added_flags[added] = True
     added_coords = new_coords[added]
-    rules: List[np.ndarray] = []
+    in_cols: List[np.ndarray] = []
+    out_cols: List[np.ndarray] = []
+    fresh_slots: List[np.ndarray] = []
     for k, offset in enumerate(old.offsets):
-        kept = _remap_pairs(old.rules[k], delta.old_to_new, delta.old_to_new)
+        kept_in, kept_out = _remap_columns(
+            old.rules[k], delta.old_to_new, delta.old_to_new
+        )
         # Fresh pairs with an *added output* p: input is p + offset.
         neighbor = added_coords + offset[None, :]
         in_bounds = np.all(
@@ -259,9 +373,6 @@ def patch_submanifold_rulebook(
         )
         in_rows = lookup_rows(new_keys, pack_coords(neighbor[in_bounds]))
         valid = in_rows >= 0
-        out_added = np.stack(
-            [in_rows[valid], added[in_bounds][valid]], axis=1
-        )
         # Fresh pairs with an *added input* a serving a stable output
         # q = a - offset (added outputs were covered above).
         source = added_coords - offset[None, :]
@@ -270,27 +381,133 @@ def patch_submanifold_rulebook(
         )
         out_rows = lookup_rows(new_keys, pack_coords(source[src_bounds]))
         stable_out = (out_rows >= 0) & ~added_flags[np.maximum(out_rows, 0)]
-        in_added = np.stack(
-            [added[src_bounds][stable_out], out_rows[stable_out]], axis=1
+        fresh_in = np.concatenate(
+            [in_rows[valid], added[src_bounds][stable_out]]
         )
-        fresh = np.concatenate([out_added, in_added], axis=0)
-        if len(fresh) > 1:
+        fresh_out = np.concatenate(
+            [added[in_bounds][valid], out_rows[stable_out]]
+        )
+        if len(fresh_out) > 1:
             # Output rows are unique within one offset (disjoint between
             # the two fresh sources as well), so a plain sort suffices.
-            fresh = fresh[np.argsort(fresh[:, 1])]
-        rules.append(_merge_pairs(kept, fresh, key_col=1))
-    return Rulebook(
+            order = np.argsort(fresh_out)
+            fresh_in = fresh_in[order]
+            fresh_out = fresh_out[order]
+        in_col, out_col, slots = _merge_columns(
+            kept_in, kept_out, fresh_in, fresh_out, key_col=1
+        )
+        in_cols.append(in_col)
+        out_cols.append(out_col)
+        fresh_slots.append(slots)
+    rulebook = Rulebook(
         kernel_size=old.kernel_size,
         offsets=old.offsets,
-        rules=rules,
+        rules=_assemble_rules(in_cols, out_cols),
         num_inputs=delta.new_size,
         num_outputs=delta.new_size,
     )
+    _seed_plan(rulebook, in_cols, out_cols)
+    rulebook._splice = _enrich(delta, delta.old_to_new, fresh_slots)
+    return rulebook
 
 
 # ----------------------------------------------------------------------
-# Strided patching (kernel_size == stride downsampling)
+# Strided patching (any kernel_size / stride combination)
 # ----------------------------------------------------------------------
+def _merge_sorted_keys(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two sorted, duplicate-free, disjoint int64 key arrays."""
+    if len(b) == 0:
+        return a
+    if len(a) == 0:
+        return b
+    positions = np.searchsorted(a, b)
+    merged = np.empty(len(a) + len(b), dtype=np.int64)
+    b_slots = positions + np.arange(len(b))
+    a_slots = np.ones(len(merged), dtype=bool)
+    a_slots[b_slots] = False
+    merged[b_slots] = b
+    merged[a_slots] = a
+    return merged
+
+
+def _strided_candidate_cells(
+    coords: np.ndarray, kernel_size: int, stride: int
+) -> np.ndarray:
+    """Packed keys (sorted, unique) of every output cell whose input
+    window ``[q * stride, q * stride + kernel)`` contains a coordinate.
+
+    An input voxel reaches at most ``ceil(kernel / stride)`` cells per
+    axis, so the scan is a small fixed fan-out per changed voxel — the
+    locality that makes overlapping geometries patchable.
+    """
+    if len(coords) == 0:
+        return np.zeros(0, dtype=np.int64)
+    base = coords // stride
+    reach = -(-kernel_size // stride)  # ceil
+    cells: List[np.ndarray] = []
+    for shift in np.ndindex(reach, reach, reach):
+        q = base - np.asarray(shift, dtype=np.int64)[None, :]
+        valid = np.all(q >= 0, axis=1) & np.all(
+            q * stride + kernel_size > coords, axis=1
+        )
+        if valid.any():
+            cells.append(q[valid])
+    if not cells:
+        return np.zeros(0, dtype=np.int64)
+    return np.unique(pack_coords(np.concatenate(cells, axis=0)))
+
+
+def _patched_down_keys(
+    old_out_keys: np.ndarray,
+    delta: CoordinateDelta,
+    offsets: np.ndarray,
+    kernel_size: int,
+    stride: int,
+    new_coords: np.ndarray,
+) -> np.ndarray:
+    """Incrementally updated output cell set of a strided convolution.
+
+    For the non-overlapping ``kernel == stride`` case the cell set is
+    simply ``unique(coords // stride)``.  Otherwise existence changes
+    are local to the changed inputs: cells reached only by added inputs
+    are *born* (an added input sits in their window, so they exist by
+    construction), and cells reached by removed inputs *die* exactly
+    when their window holds no surviving input — tested with one probe
+    per kernel offset over the (few) affected cells.
+    """
+    if kernel_size == stride:
+        # pack order equals lexicographic row order, so this reproduces
+        # np.unique(coords // stride, axis=0) at int64-sort speed.
+        return np.unique(pack_coords(new_coords // stride))
+    added_coords = new_coords[delta.added_new_rows]
+    removed_coords = unpack_coords(delta.old_keys[delta.old_to_new < 0])
+    birth_candidates = _strided_candidate_cells(
+        added_coords, kernel_size, stride
+    )
+    births = birth_candidates[
+        lookup_rows(old_out_keys, birth_candidates) < 0
+    ]
+    death_candidates = _strided_candidate_cells(
+        removed_coords, kernel_size, stride
+    )
+    death_candidates = death_candidates[
+        lookup_rows(old_out_keys, death_candidates) >= 0
+    ]
+    if len(death_candidates):
+        cells = unpack_coords(death_candidates)
+        occupied = np.zeros(len(cells), dtype=bool)
+        for offset in offsets:
+            probes = cells * stride + offset[None, :]
+            occupied |= lookup_rows(delta.new_keys, pack_coords(probes)) >= 0
+            if occupied.all():
+                break
+        deaths = death_candidates[~occupied]
+    else:
+        deaths = np.zeros(0, dtype=np.int64)
+    survivors = old_out_keys[lookup_rows(deaths, old_out_keys) < 0]
+    return _merge_sorted_keys(survivors, births)
+
+
 def patch_sparse_conv_rulebook(
     old: Rulebook,
     old_out_coords: np.ndarray,
@@ -300,12 +517,16 @@ def patch_sparse_conv_rulebook(
 ) -> Tuple[Rulebook, np.ndarray]:
     """Patch a cached strided rulebook onto the delta's new site set.
 
-    Supports the paper's (and the default network's) non-overlapping
-    downsampling, ``kernel_size == stride``: every input voxel ``p``
-    then supports exactly one output cell ``p // stride`` under exactly
-    one offset ``p % stride``, so output-cell existence and the fresh
-    pairs of added inputs are both local.  Overlapping geometries raise
-    :class:`DeltaUnsupportedError` (the cache rebuilds instead).
+    Supports every strided geometry.  For the paper's non-overlapping
+    downsampling (``kernel_size == stride``) each input voxel ``p``
+    supports exactly one output cell ``p // stride``; for overlapping
+    geometries (``kernel_size != stride``) a changed input perturbs at
+    most ``ceil(kernel / stride)^3`` output cells, so the patcher
+    re-derives existence only for that affected neighborhood (births
+    from added inputs, deaths probed against the surviving window) and
+    re-matches only the pairs of added inputs — stable inputs can never
+    create or lose a pair to a surviving cell, because any cell whose
+    window holds a stable input exists both before and after the delta.
 
     ``old_out_coords`` are the output coordinates the cached rulebook
     was built with (cache entries store the pair).  Returns
@@ -316,28 +537,30 @@ def patch_sparse_conv_rulebook(
     """
     if stride <= 0:
         raise ValueError(f"stride must be positive, got {stride}")
-    if old.kernel_size != stride:
-        raise DeltaUnsupportedError(
-            "delta patching of strided rulebooks requires kernel_size == "
-            f"stride (non-overlapping cells); got kernel_size="
-            f"{old.kernel_size}, stride={stride}"
-        )
     if new_coords is None:
         new_coords = unpack_coords(delta.new_keys)
-    # New output cells: unique packed down-keys, unpacked back to rows.
-    # pack order equals lexicographic row order, so this reproduces
-    # np.unique(coords // stride, axis=0) at int64-sort speed.
-    down_keys = np.unique(pack_coords(new_coords // stride))
+    down_keys = _patched_down_keys(
+        pack_coords(old_out_coords),
+        delta,
+        old.offsets,
+        old.kernel_size,
+        stride,
+        new_coords,
+    )
     out_coords = unpack_coords(down_keys)
-    # Old output row -> new output row (monotone; the cell of a stable
-    # input always survives, cells supported only by removed inputs
+    # Old output row -> new output row (monotone; the cells of stable
+    # inputs always survive, cells supported only by removed inputs
     # vanish).
     out_map = lookup_rows(down_keys, pack_coords(old_out_coords))
     added = delta.added_new_rows
     added_coords = new_coords[added]
-    rules: List[np.ndarray] = []
+    in_cols: List[np.ndarray] = []
+    out_cols: List[np.ndarray] = []
+    fresh_slots: List[np.ndarray] = []
     for k, offset in enumerate(old.offsets):
-        kept = _remap_pairs(old.rules[k], delta.old_to_new, out_map)
+        kept_in, kept_out = _remap_columns(
+            old.rules[k], delta.old_to_new, out_map
+        )
         # Fresh pairs: each added input p contributes to cell
         # (p - offset) / stride exactly when p aligns with the offset.
         shifted = added_coords - offset[None, :]
@@ -347,15 +570,22 @@ def patch_sparse_conv_rulebook(
         cells = shifted[aligned] // stride
         out_rows = lookup_rows(down_keys, pack_coords(cells))
         valid = out_rows >= 0
-        fresh = np.stack([added[aligned][valid], out_rows[valid]], axis=1)
-        rules.append(_merge_pairs(kept, fresh, key_col=0))
+        in_col, out_col, slots = _merge_columns(
+            kept_in, kept_out, added[aligned][valid], out_rows[valid],
+            key_col=0,
+        )
+        in_cols.append(in_col)
+        out_cols.append(out_col)
+        fresh_slots.append(slots)
     rulebook = Rulebook(
         kernel_size=old.kernel_size,
         offsets=old.offsets,
-        rules=rules,
+        rules=_assemble_rules(in_cols, out_cols),
         num_inputs=delta.new_size,
         num_outputs=len(out_coords),
     )
+    _seed_plan(rulebook, in_cols, out_cols)
+    rulebook._splice = _enrich(delta, out_map, fresh_slots)
     return rulebook, out_coords
 
 
@@ -569,6 +799,12 @@ class DeltaRulebookCache(RulebookCache):
     def _notify(
         self, old: Rulebook, new: Rulebook, delta: CoordinateDelta
     ) -> None:
+        # Hand listeners the patcher's enriched RulebookDelta when the
+        # patched rulebook carries one: it subsumes the coordinate delta
+        # and lets backends splice prepared plans instead of re-lowering.
+        splice = getattr(new, "_splice", None)
+        if splice is not None:
+            delta = splice
         live = [ref for ref in self._listeners if ref() is not None]
         if len(live) != len(self._listeners):
             self._listeners = live
@@ -621,13 +857,8 @@ class DeltaRulebookCache(RulebookCache):
             return entry
         self.misses += 1
         geometry = ("down", int(kernel_size), int(stride), tensor.shape)
-        # Overlapping cells (kernel != stride) cannot be patched, so
-        # neither searching nor remembering coordinate sets pays off.
-        patchable = kernel_size == stride
-        new_keys = pack_coords(tensor.coords) if patchable else None
-        source = (
-            self._find_patch_source(geometry, new_keys) if patchable else None
-        )
+        new_keys = pack_coords(tensor.coords)
+        source = self._find_patch_source(geometry, new_keys)
         if source is not None:
             source_key, delta = source
             old_rulebook, old_out_coords = self._entries[source_key]
@@ -647,6 +878,5 @@ class DeltaRulebookCache(RulebookCache):
             self.rebuilds += 1
         entry = (rulebook, out_coords)
         self._insert(key, entry)
-        if patchable:
-            self._remember(key, geometry, new_keys)
+        self._remember(key, geometry, new_keys)
         return entry

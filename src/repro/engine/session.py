@@ -137,6 +137,13 @@ class SessionStats:
     #: matching active, ``matching_passes`` counts both).
     delta_patches: int = 0
     delta_rebuilds: int = 0
+    #: Backend plan-refresh accounting: every patched rulebook the
+    #: backend re-prepared (``plans_refreshed``), and the subset it
+    #: served by splicing the delta into the cached plan instead of
+    #: re-lowering from scratch (``plans_spliced`` — nonzero only for
+    #: backends with an incremental ``refresh``, e.g. ``scipy``).
+    plans_refreshed: int = 0
+    plans_spliced: int = 0
 
 
 @dataclass(frozen=True)
@@ -505,6 +512,12 @@ class InferenceSession:
         self._batches_run = 0
         self._estimates = 0
         self._simulations = 0
+        # The backend's refresh counters are cumulative over its own
+        # lifetime (it may predate this session or be shared); baselines
+        # make SessionStats report this session's era, and reset with
+        # reset_stats like every other counter.
+        self._plans_refreshed_base = getattr(backend, "plans_refreshed", 0)
+        self._plans_spliced_base = getattr(backend, "plans_spliced", 0)
         # Memoized parameter views: id(param) -> (param, derived arrays).
         # The param object is pinned in the value to keep ids stable.
         self._param_casts: Dict[int, Tuple[Parameter, np.ndarray]] = {}
@@ -612,6 +625,10 @@ class InferenceSession:
             simulations=self._simulations,
             delta_patches=delta_patches,
             delta_rebuilds=delta_rebuilds,
+            plans_refreshed=getattr(self.backend, "plans_refreshed", 0)
+            - self._plans_refreshed_base,
+            plans_spliced=getattr(self.backend, "plans_spliced", 0)
+            - self._plans_spliced_base,
         )
 
     def reset_stats(self) -> None:
@@ -622,6 +639,8 @@ class InferenceSession:
         self._batches_run = 0
         self._estimates = 0
         self._simulations = 0
+        self._plans_refreshed_base = getattr(self.backend, "plans_refreshed", 0)
+        self._plans_spliced_base = getattr(self.backend, "plans_spliced", 0)
 
     # ------------------------------------------------------------------
     # Planning

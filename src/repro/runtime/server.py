@@ -76,6 +76,10 @@ class ServeStats:
     #: and dequeued requests dropped past their deadline.
     rejected_overload: int = 0
     rejected_deadline: int = 0
+    #: Dequeued requests whose future was already done — the client
+    #: cancelled (or otherwise settled) while the request sat in the
+    #: queue — dropped before any compute was spent on them.
+    rejected_cancelled: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -261,6 +265,24 @@ class SessionServer:
                 batch.append(item)
         return batch
 
+    def _drop_cancelled(self, batch: list) -> list:
+        """Drop dequeued requests whose future is already done.
+
+        A client that cancels (or errors) while its request waits in the
+        queue leaves a completed future behind; executing its frame
+        would spend compute on an answer nobody awaits.  Dropped
+        requests keep ``_pending`` exact and are counted in
+        ``stats.rejected_cancelled``.
+        """
+        live = []
+        for item in batch:
+            if item[1].done():
+                self._pending -= 1
+                self.stats.rejected_cancelled += 1
+            else:
+                live.append(item)
+        return live
+
     def _expire_overdue(self, batch: list) -> list:
         """Reject dequeued requests whose queueing deadline passed.
 
@@ -302,7 +324,9 @@ class SessionServer:
                 continue
             if self._span_start is None:
                 self._span_start = time.perf_counter()
-            batch = self._expire_overdue(await self._collect_batch(first))
+            batch = self._expire_overdue(
+                self._drop_cancelled(await self._collect_batch(first))
+            )
             if not batch:
                 continue
             tensors = [tensor for tensor, _, _ in batch]

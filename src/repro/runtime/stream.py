@@ -157,6 +157,11 @@ class FrameResult:
     #: Of this frame's ``rulebook_misses``, how many were served by
     #: incremental patching (only nonzero with a delta-enabled session).
     rulebook_patches: int = 0
+    #: Backend plans refreshed after this frame's patches, and the
+    #: subset spliced incrementally instead of re-lowered (nonzero only
+    #: for backends with an incremental ``refresh``, e.g. ``scipy``).
+    plan_refreshes: int = 0
+    plan_splices: int = 0
     matching_seconds: float = 0.0
     scatter_seconds: float = 0.0
 
@@ -228,6 +233,14 @@ class StreamStats:
     @property
     def rulebook_patches(self) -> int:
         return sum(frame.rulebook_patches for frame in self.frames)
+
+    @property
+    def plan_refreshes(self) -> int:
+        return sum(frame.plan_refreshes for frame in self.frames)
+
+    @property
+    def plan_splices(self) -> int:
+        return sum(frame.plan_splices for frame in self.frames)
 
     @property
     def rulebook_hit_rate(self) -> float:
@@ -369,6 +382,9 @@ class StreamingRunner:
             tiles = TileGrid(tensor, self.config.tile_shape)
             hits_before, misses_before = cache.hits, cache.misses
             patches_before = getattr(cache, "patches", 0)
+            backend = session.backend
+            refreshes_before = getattr(backend, "plans_refreshed", 0)
+            splices_before = getattr(backend, "plans_spliced", 0)
             matching_seconds = 0.0
             scatter_seconds = 0.0
             if self.detailed:
@@ -427,6 +443,10 @@ class StreamingRunner:
                     rulebook_misses=cache.misses - misses_before,
                     rulebook_patches=getattr(cache, "patches", 0)
                     - patches_before,
+                    plan_refreshes=getattr(backend, "plans_refreshed", 0)
+                    - refreshes_before,
+                    plan_splices=getattr(backend, "plans_spliced", 0)
+                    - splices_before,
                     matching_seconds=matching_seconds,
                     scatter_seconds=scatter_seconds,
                 )

@@ -114,7 +114,21 @@ def test_cli_stream_delta_on_drifting_scene(capsys):
     out = capsys.readouterr().out
     assert "drifting scene" in out
     assert "delta matching:" in out
+    assert "plan refreshes:" in out
     assert "rulebook=patch" in out
+
+
+def test_cli_stream_delta_reports_spliced_plans_on_scipy(capsys):
+    pytest.importorskip("scipy")
+    assert main(
+        ["stream", "--frames", "4", "--resolution", "48", "--points", "2000",
+         "--scene", "drifting", "--churn", "0.01", "--delta",
+         "--backend", "scipy"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "plan refreshes:" in out
+    spliced = int(out.split("plan refreshes:")[1].split("(")[1].split()[0])
+    assert spliced > 0  # the scipy backend splices patched plans
 
 
 def test_cli_stream_delta_threshold_validation():

@@ -541,6 +541,181 @@ def test_plan_memo_is_lru_bounded():
     assert len(backend._plans) == 0
 
 
+# ----------------------------------------------------------------------
+# Tentpole: ScipySparseBackend.refresh splices instead of re-lowering
+# ----------------------------------------------------------------------
+def _patched_pair(seed=80, nnz=150, remove=6, add=6, kernel=3):
+    from repro.engine import coordinate_delta, patch_submanifold_rulebook
+    from tests.test_engine_delta import churned
+
+    old = random_sparse_tensor(seed=seed, shape=(18, 18, 18), nnz=nnz)
+    new = churned(old, remove=remove, add=add, seed=seed + 1)
+    delta = coordinate_delta(old.coords, new.coords)
+    old_rulebook = build_submanifold_rulebook(old, kernel)
+    patched = patch_submanifold_rulebook(
+        old_rulebook, delta, new.shape, new_coords=new.coords
+    )
+    return old, new, old_rulebook, patched
+
+
+def _assert_csr_plans_identical(got, want):
+    assert got.total_matches == want.total_matches
+    assert np.array_equal(got.segment_starts, want.segment_starts)
+    assert got.active_offsets == want.active_offsets
+    for name in ("gather", "scatter"):
+        mine, theirs = getattr(got, name), getattr(want, name)
+        assert mine.shape == theirs.shape
+        assert mine.indices.dtype == theirs.indices.dtype
+        assert np.array_equal(
+            np.asarray(mine.indices), np.asarray(theirs.indices)
+        )
+        assert np.array_equal(
+            np.asarray(mine.indptr), np.asarray(theirs.indptr)
+        )
+        assert mine.data.dtype == theirs.data.dtype
+        assert np.array_equal(mine.data, theirs.data)
+
+
+def test_scipy_refresh_splices_bit_identical_to_cold_prepare():
+    backend = ScipySparseBackend()
+    if backend.degraded:
+        pytest.skip("scipy not installed")
+    _, _, old_rulebook, patched = _patched_pair()
+    old_plan = backend.plan_for(old_rulebook)
+    old_plan.operators(np.float32)
+    old_plan.operators(np.int64)
+    backend.refresh(old_rulebook, patched, patched._splice)
+    assert backend.plans_refreshed == 1
+    assert backend.plans_spliced == 1
+    spliced = backend.plan_for(patched)  # memo hit: the spliced plan
+    assert isinstance(spliced, CsrExecPlan)
+    cold = ScipySparseBackend().prepare(patched)
+    _assert_csr_plans_identical(spliced, cold)
+    # Warmed per-dtype casts were carried over and match cold casts.
+    assert set(spliced.casts) >= {"<f4", "<i8"}
+    for dtype in (np.float64, np.float32, np.int64):
+        got_g, got_s = spliced.operators(dtype)
+        want_g, want_s = cold.operators(dtype)
+        assert got_g.dtype == want_g.dtype and got_s.dtype == want_s.dtype
+        assert np.array_equal(got_g.data, want_g.data)
+        assert np.array_equal(got_s.data, want_s.data)
+
+
+@pytest.mark.parametrize("kernel_size,stride", [(2, 2), (3, 2), (4, 2), (3, 1)])
+@pytest.mark.parametrize("seed", range(3))
+def test_scipy_refresh_splices_strided_geometries(kernel_size, stride, seed):
+    """Spliced CSR plans for every strided geometry — including the
+    overlapping kernel != stride class — equal cold lowering bit for bit,
+    and execute identically for float64/float32/int, cold and warm."""
+    from repro.engine import coordinate_delta, patch_sparse_conv_rulebook
+    from tests.test_engine_delta import churned
+
+    backend = ScipySparseBackend()
+    if backend.degraded:
+        pytest.skip("scipy not installed")
+    rng = np.random.default_rng(seed)
+    old = random_sparse_tensor(seed=seed + 90, shape=(18, 18, 18), nnz=130)
+    new = churned(
+        old,
+        remove=int(rng.integers(0, 14)),
+        add=int(rng.integers(0, 14)),
+        seed=seed + 95,
+    )
+    delta = coordinate_delta(old.coords, new.coords)
+    old_rulebook, old_out = build_sparse_conv_rulebook(
+        old, kernel_size, stride
+    )
+    patched, out_coords = patch_sparse_conv_rulebook(
+        old_rulebook, old_out, delta, stride, new_coords=new.coords
+    )
+    backend.plan_for(old_rulebook)
+    backend.refresh(old_rulebook, patched, patched._splice)
+    assert backend.plans_spliced == 1
+    spliced = backend.plan_for(patched)
+    cold_backend = ScipySparseBackend()
+    _assert_csr_plans_identical(spliced, cold_backend.prepare(patched))
+    volume = kernel_size ** 3
+    rng = np.random.default_rng(seed + 7)
+    for dtype in ("float64", "float32", "int"):
+        if dtype == "int":
+            feats = rng.integers(-40, 40, (new.nnz, 3)).astype(np.int16)
+            weights = rng.integers(-3, 3, (volume, 3, 4)).astype(np.int8)
+        else:
+            feats = rng.standard_normal((new.nnz, 3)).astype(dtype)
+            weights = rng.standard_normal((volume, 3, 4)).astype(dtype)
+        for _ in range(2):  # cold then warm
+            got = backend.execute(patched, feats, weights, len(out_coords))
+            want = cold_backend.execute(
+                patched, feats, weights, len(out_coords)
+            )
+            assert got.dtype == want.dtype
+            assert np.array_equal(got, want)
+
+
+def test_scipy_refresh_falls_back_to_eager_relowering():
+    from repro.engine import coordinate_delta
+
+    backend = ScipySparseBackend()
+    if backend.degraded:
+        pytest.skip("scipy not installed")
+    old, new, old_rulebook, patched = _patched_pair(seed=85)
+    # (1) No warm plan for the old rulebook: nothing to splice from.
+    backend.refresh(old_rulebook, patched, patched._splice)
+    assert backend.plans_refreshed == 1
+    assert backend.plans_spliced == 0
+    assert isinstance(backend.plan_for(patched), CsrExecPlan)
+    # (2) A plain CoordinateDelta without splice provenance.
+    backend2 = ScipySparseBackend()
+    backend2.plan_for(old_rulebook)
+    plain = coordinate_delta(old.coords, new.coords)
+    backend2.refresh(old_rulebook, patched, plain)
+    assert backend2.plans_refreshed == 1
+    assert backend2.plans_spliced == 0
+
+
+def test_scipy_refresh_degraded_falls_back(monkeypatch):
+    monkeypatch.setattr(backend_mod, "_scipy_sparse", None)
+    backend = ScipySparseBackend()
+    _, _, old_rulebook, patched = _patched_pair(seed=86)
+    backend.plan_for(old_rulebook)
+    backend.refresh(old_rulebook, patched, patched._splice)
+    assert backend.plans_refreshed == 1
+    assert backend.plans_spliced == 0
+    assert isinstance(backend.plan_for(patched), FusedExecPlan)
+
+
+def test_session_delta_on_scipy_backend_splices_plans():
+    """Session-level wiring: a delta session on the scipy backend serves
+    drifting frames bit-identically to the numpy reference while its
+    backend splices (rather than re-lowers) the patched plans."""
+    from tests.test_engine_delta import churned
+
+    if ScipySparseBackend().degraded:
+        pytest.skip("scipy not installed")
+    frames = [frame(50, nnz=90)]
+    for step in range(3):
+        frames.append(churned(frames[-1], remove=4, add=4, seed=51 + step))
+    rng = np.random.default_rng(5)
+    frames = [
+        t.with_features(rng.standard_normal((t.nnz, 2))) for t in frames
+    ]
+    for precision in PRECISIONS:
+        reference = InferenceSession(unet_config=SMALL_CFG, precision=precision)
+        session = InferenceSession(
+            unet_config=SMALL_CFG, precision=precision,
+            backend="scipy", delta=0.25,
+        )
+        for tensor in frames:
+            want = reference.run(tensor)
+            got = session.run(tensor)
+            assert got.features.dtype == want.features.dtype
+            assert np.array_equal(got.features, want.features)
+        stats = session.stats
+        assert stats.delta_patches > 0
+        assert stats.plans_spliced > 0
+        assert stats.plans_refreshed >= stats.plans_spliced
+
+
 def test_sharded_spec_blob_memoized_across_dispatches():
     frames = batch_frames()
     backend = ShardedProcessBackend(num_workers=2)
@@ -552,5 +727,144 @@ def test_sharded_spec_blob_memoized_across_dispatches():
         session.run_batch(frames)  # warm: same net -> no re-pickle
         assert backend._spec_blob is blob
         assert backend._spec_key == key
+    finally:
+        backend.close()
+
+
+def test_sharded_spec_payload_pins_served_objects():
+    """Satellite regression: the served spec must be pinned while its
+    blob is memoized.  Pre-fix, nothing held the net — after GC a fresh
+    net could recycle its id and the id-keyed memo silently kept serving
+    the old weights.  Pinning makes identity checks sound (a live pin's
+    id cannot be recycled) and keeps the warm path O(1)."""
+    import gc
+    import pickle
+    import weakref
+    from dataclasses import replace
+
+    from repro.engine.session import QuantizationSpec
+    from repro.nn.unet import SSUNet
+
+    backend = ShardedProcessBackend(num_workers=1)
+    quantization = QuantizationSpec()
+    net_first = SSUNet(replace(SMALL_CFG, seed=101))
+    blob_first = backend._spec_payload(net_first, "float64", quantization)
+    # Identity-warm repeat: same blob object, no re-fingerprint needed.
+    assert backend._spec_payload(net_first, "float64", quantization) is blob_first
+    watcher = weakref.ref(net_first)
+    del net_first
+    gc.collect()
+    assert watcher() is not None  # pinned: its id cannot be recycled
+    # A different net (identity miss) is detected and re-pickled.
+    net_second = SSUNet(replace(SMALL_CFG, seed=202))
+    blob_second = backend._spec_payload(net_second, "float64", quantization)
+    assert blob_second is not blob_first
+    shipped_net, precision, _ = pickle.loads(blob_second)
+    assert precision == "float64"
+    want = {p.name: p.value for p in net_second.parameters()}
+    got = {p.name: p.value for p in shipped_net.parameters()}
+    assert set(got) == set(want)
+    for name in want:
+        assert np.array_equal(got[name], want[name])
+    gc.collect()
+    assert watcher() is None  # the pin moved on with the served spec
+
+
+def test_sharded_spec_payload_survives_id_recycling():
+    """Even without the pin (modeling the pre-fix world where nothing
+    kept the served net alive), the content fingerprint must detect a
+    different net that recycled the stale net's id — the id-keyed memo
+    shipped the *old* weights in exactly this scenario."""
+    import gc
+    import pickle
+    from dataclasses import replace
+
+    from repro.engine.session import QuantizationSpec
+    from repro.nn.unet import SSUNet
+
+    backend = ShardedProcessBackend(num_workers=1)
+    quantization = QuantizationSpec()
+    cfg_first = replace(SMALL_CFG, seed=101)
+    cfg_second = replace(SMALL_CFG, seed=202)
+    for _ in range(3):  # allocator warmup makes id recycling reproducible
+        SSUNet(cfg_second)
+        gc.collect()
+
+    def memoize_first():
+        net = SSUNet(cfg_first)
+        backend._spec_payload(net, "float64", quantization)
+        return id(net)
+
+    recycled = None
+    for _ in range(3):  # allocator state varies; retry the scenario
+        stale_id = memoize_first()
+        backend._spec_pin = None  # release the pin: the net dies for real
+        gc.collect()
+        for _ in range(64):
+            candidate = SSUNet(cfg_second)
+            if id(candidate) == stale_id:
+                recycled = candidate
+                break
+            del candidate
+            gc.collect()
+        if recycled is not None:
+            break
+    if recycled is None:
+        pytest.skip("allocator did not recycle the network id")
+    blob = backend._spec_payload(recycled, "float64", quantization)
+    shipped_net, _, _ = pickle.loads(blob)
+    want = {p.name: p.value for p in recycled.parameters()}
+    got = {p.name: p.value for p in shipped_net.parameters()}
+    for name in want:  # id-keyed memo shipped the *old* net's weights
+        assert np.array_equal(got[name], want[name])
+
+
+def test_sharded_spec_fingerprint_distinguishes_content():
+    from dataclasses import replace
+
+    from repro.engine.session import QuantizationSpec
+    from repro.nn.unet import SSUNet
+
+    quantization = QuantizationSpec()
+    fp = ShardedProcessBackend._spec_fingerprint
+    net_a = SSUNet(replace(SMALL_CFG, seed=7))
+    net_b = SSUNet(replace(SMALL_CFG, seed=8))  # same geometry, new weights
+    net_a2 = SSUNet(replace(SMALL_CFG, seed=7))  # identical content
+    assert fp(net_a, "float64", quantization) == fp(net_a2, "float64", quantization)
+    assert fp(net_a, "float64", quantization) != fp(net_b, "float64", quantization)
+    assert fp(net_a, "float64", quantization) != fp(net_a, "float32", quantization)
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_sharded_stale_spec_net_swap_reaches_workers(start_method):
+    """Serving a different net through a live sharded backend must reach
+    the workers (fresh pools, fresh weights) — under both start methods."""
+    import gc
+    import multiprocessing
+    from dataclasses import replace
+
+    from repro.nn.unet import SSUNet
+
+    if start_method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"start method {start_method!r} unavailable")
+    frames = batch_frames()
+    backend = ShardedProcessBackend(num_workers=2, start_method=start_method)
+
+    def serve_round(seed):
+        net = SSUNet(replace(SMALL_CFG, seed=seed))
+        session = InferenceSession(net=net, backend=backend)
+        return [out.features for out in session.run_batch(frames)]
+
+    try:
+        first = serve_round(7)
+        gc.collect()  # round 1's net dies; its id may be recycled
+        second = serve_round(8)
+        reference = InferenceSession(net=SSUNet(replace(SMALL_CFG, seed=8)))
+        expected = reference.run_batch(frames)
+        for got, want in zip(second, expected):
+            assert np.array_equal(got, want.features)
+        assert any(
+            not np.array_equal(a, b) for a, b in zip(first, second)
+        )  # the swap actually changed the served weights
     finally:
         backend.close()

@@ -6,6 +6,7 @@ import pytest
 from repro.arch.config import AcceleratorConfig
 from repro.engine import (
     DEFAULT_DELTA_THRESHOLD,
+    CoordinateDelta,
     DeltaRulebookCache,
     DeltaUnsupportedError,
     InferenceSession,
@@ -205,13 +206,128 @@ def test_patch_rulebook_dispatcher():
         patch_rulebook(old_down, delta, stride=2)
 
 
-def test_patch_rejects_overlapping_strided_geometry():
-    old = random_sparse_tensor(seed=12, nnz=40)
-    new = churned(old, remove=2, add=2, seed=13)
+OVERLAP_GEOMETRIES = [(3, 2), (4, 2), (3, 1)]
+
+
+@pytest.mark.parametrize("kernel_size,stride", OVERLAP_GEOMETRIES)
+@pytest.mark.parametrize("seed", range(6))
+def test_patch_overlapping_strided_geometries_bit_identical(
+    kernel_size, stride, seed
+):
+    """Tentpole: kernel != stride rulebooks are patched, not rebuilt.
+
+    A changed input voxel perturbs at most ``ceil(kernel/stride)^3``
+    output cells, so the patcher re-derives existence only for the
+    affected neighborhood — and the result (rules, output coordinates,
+    transposed derivation) must match from-scratch matching array for
+    array under randomized add/remove deltas.
+    """
+    rng = np.random.default_rng(seed)
+    old = random_sparse_tensor(
+        seed=seed + 300, shape=(18, 18, 18), nnz=60 + 25 * (seed % 3)
+    )
+    new = churned(
+        old,
+        remove=int(rng.integers(0, 18)),
+        add=int(rng.integers(0, 18)),
+        seed=seed + 400,
+    )
     delta = coordinate_delta(old.coords, new.coords)
-    rulebook, out = build_sparse_conv_rulebook(old, kernel_size=3, stride=2)
-    with pytest.raises(DeltaUnsupportedError, match="kernel_size == stride"):
-        patch_sparse_conv_rulebook(rulebook, out, delta, stride=2)
+    old_rulebook, old_out = build_sparse_conv_rulebook(
+        old, kernel_size, stride
+    )
+    patched, out_coords = patch_sparse_conv_rulebook(
+        old_rulebook, old_out, delta, stride, new_coords=new.coords
+    )
+    scratch, scratch_out = build_sparse_conv_rulebook(new, kernel_size, stride)
+    assert np.array_equal(out_coords, scratch_out)
+    assert out_coords.dtype == scratch_out.dtype
+    assert_rulebooks_identical(patched, scratch)
+    assert_rulebooks_identical(patched.transposed(), scratch.transposed())
+
+
+@pytest.mark.parametrize("kernel_size,stride", OVERLAP_GEOMETRIES)
+def test_patch_overlapping_degenerate_sets(kernel_size, stride):
+    tensor = random_sparse_tensor(seed=14, nnz=30)
+    empty = SparseTensor3D.empty(tensor.shape)
+    for old, new in ((empty, tensor), (tensor, empty)):
+        delta = coordinate_delta(old.coords, new.coords)
+        old_rulebook, old_out = build_sparse_conv_rulebook(
+            old, kernel_size, stride
+        )
+        patched, out = patch_sparse_conv_rulebook(
+            old_rulebook, old_out, delta, stride, new_coords=new.coords
+        )
+        scratch, scratch_out = build_sparse_conv_rulebook(
+            new, kernel_size, stride
+        )
+        assert np.array_equal(out, scratch_out)
+        assert_rulebooks_identical(patched, scratch)
+
+
+def assert_plans_identical(got, want):
+    assert got.total_matches == want.total_matches
+    assert got.in_rows.dtype == want.in_rows.dtype == np.int64
+    assert np.array_equal(got.in_rows, want.in_rows)
+    assert np.array_equal(got.segment_starts, want.segment_starts)
+    assert got.active_offsets == want.active_offsets
+    assert len(got.out_rows) == len(want.out_rows)
+    for mine, theirs in zip(got.out_rows, want.out_rows):
+        assert mine.dtype == theirs.dtype == np.int64
+        assert np.array_equal(mine, theirs)
+
+
+def test_patchers_preseed_gather_scatter_plan():
+    """Patched rulebooks hand over their plan arrays (splice byproduct),
+    array-for-array identical to a lazily built plan."""
+    old = random_sparse_tensor(seed=15, shape=(18, 18, 18), nnz=120)
+    new = churned(old, remove=8, add=8, seed=16)
+    delta = coordinate_delta(old.coords, new.coords)
+    sub = patch_submanifold_rulebook(
+        build_submanifold_rulebook(old, 3), delta, new.shape,
+        new_coords=new.coords,
+    )
+    assert sub._plan is not None
+    assert_plans_identical(sub._plan, build_submanifold_rulebook(new, 3).plan())
+    for kernel_size, stride in [(2, 2), (3, 2)]:
+        old_rulebook, old_out = build_sparse_conv_rulebook(
+            old, kernel_size, stride
+        )
+        patched, _ = patch_sparse_conv_rulebook(
+            old_rulebook, old_out, delta, stride, new_coords=new.coords
+        )
+        scratch, _ = build_sparse_conv_rulebook(new, kernel_size, stride)
+        assert patched._plan is not None
+        assert_plans_identical(patched._plan, scratch.plan())
+
+
+def test_patched_rulebook_carries_splice_provenance():
+    from repro.engine import RulebookDelta
+
+    old = random_sparse_tensor(seed=17, nnz=80)
+    new = churned(old, remove=4, add=6, seed=18)
+    delta = coordinate_delta(old.coords, new.coords)
+    patched = patch_submanifold_rulebook(
+        build_submanifold_rulebook(old, 3), delta, new.shape,
+        new_coords=new.coords,
+    )
+    splice = patched._splice
+    assert isinstance(splice, RulebookDelta)
+    assert isinstance(splice, CoordinateDelta)  # drop-in for listeners
+    assert splice.in_map is delta.old_to_new
+    assert splice.out_map is delta.old_to_new  # submanifold: same sites
+    assert len(splice.fresh_slots) == len(patched.rules)
+    # Fresh slots + surviving pairs account for every merged pair.
+    old_rulebook = build_submanifold_rulebook(old, 3)
+    for k, slots in enumerate(splice.fresh_slots):
+        rule = old_rulebook.rules[k]
+        if len(rule):
+            mapped_in = delta.old_to_new[rule[:, 0]]
+            mapped_out = delta.old_to_new[rule[:, 1]]
+            survivors = int(((mapped_in >= 0) & (mapped_out >= 0)).sum())
+        else:
+            survivors = 0
+        assert survivors + len(slots) == len(patched.rules[k])
 
 
 # ----------------------------------------------------------------------
@@ -239,7 +355,7 @@ def test_delta_cache_patches_near_match_and_rebuilds_far_match():
     assert stats.patch_rate == pytest.approx(1 / 3)
 
 
-def test_delta_cache_patches_sparse_conv_and_falls_back_when_overlapping():
+def test_delta_cache_patches_sparse_conv_including_overlapping():
     cache = DeltaRulebookCache(threshold=0.25)
     base = random_sparse_tensor(seed=23, shape=(20, 20, 20), nnz=200)
     near = churned(base, remove=6, add=4, seed=24)
@@ -249,11 +365,21 @@ def test_delta_cache_patches_sparse_conv_and_falls_back_when_overlapping():
     scratch, scratch_out = build_sparse_conv_rulebook(near, 2, 2)
     assert np.array_equal(out_coords, scratch_out)
     assert_rulebooks_identical(rulebook, scratch)
-    # Overlapping geometry (kernel != stride) silently rebuilds.
+    # Overlapping geometry (kernel != stride) patches too — the former
+    # ``patchable = kernel_size == stride`` gate is gone.
     cache.sparse_conv(base, 3, 2)
-    cache.sparse_conv(near, 3, 2)
-    assert cache.patches == 1  # unchanged
-    assert cache.rebuilds == 3
+    patched, patched_out = cache.sparse_conv(near, 3, 2)
+    assert cache.patches == 2
+    assert cache.rebuilds == 2
+    scratch3, scratch3_out = build_sparse_conv_rulebook(near, 3, 2)
+    assert np.array_equal(patched_out, scratch3_out)
+    assert_rulebooks_identical(patched, scratch3)
+
+
+def test_delta_unsupported_error_still_importable():
+    """Backward-compat: the exception class remains exported even though
+    no shipped patcher raises it anymore."""
+    assert issubclass(DeltaUnsupportedError, ValueError)
 
 
 def test_delta_cache_chains_patches_along_a_drift():
@@ -328,6 +454,46 @@ def test_delta_cache_notifies_backend_listener():
     assert backend.plans_refreshed == 1
     # The patched rulebook's plan is already prepared (warm, not cold).
     assert id(patched) in backend._plans
+
+
+def test_listener_registered_twice_notifies_once():
+    """Satellite regression: duplicate registration must not double-fire
+    ``refresh`` (which would double-count ``plans_refreshed``)."""
+    from repro.engine import RulebookDelta
+
+    class SpyListener:
+        def __init__(self):
+            self.calls = 0
+            self.last = None
+
+        def refresh(self, old, new, delta):
+            self.calls += 1
+            self.last = (old, new, delta)
+
+    cache = DeltaRulebookCache(threshold=0.25)
+    spy = SpyListener()
+    cache.register_listener(spy)
+    cache.register_listener(spy)  # re-registration: deduped by identity
+    cache.register_listener(spy)
+    assert len(cache._listeners) == 1
+    base = random_sparse_tensor(seed=70, nnz=150)
+    cache.submanifold(base, 3)
+    cache.submanifold(churned(base, 4, 4, seed=71), 3)
+    assert cache.patches == 1
+    assert spy.calls == 1  # exactly one notification per patch
+    # Listeners receive the enriched splice provenance, which is still a
+    # CoordinateDelta for consumers that only diff coordinates.
+    old, new, delta = spy.last
+    assert isinstance(delta, RulebookDelta)
+    assert delta.out_map is not None and delta.fresh_slots is not None
+    # A session re-registering its backend on the shared cache is the
+    # production shape of the same hazard.
+    backend = get_backend("numpy")
+    cache.register_listener(backend)
+    cache.register_listener(backend)
+    cache.submanifold(churned(base, 3, 3, seed=72), 3)
+    assert backend.plans_refreshed == 1
+    assert spy.calls == 2
 
 
 def test_delta_cache_listeners_are_weak():
@@ -444,8 +610,13 @@ def test_session_delta_stats_and_streaming_runner():
     assert stats.delta_patches > 0
     assert stats.delta_rebuilds > 0
     assert stats.matching_passes == stats.delta_patches + stats.delta_rebuilds
+    assert stats.plans_refreshed == stats.delta_patches  # eager numpy refresh
+    assert stats.plans_spliced == 0
     session.reset_stats()
     assert session.stats.delta_patches == 0
+    # Backend refresh counters are reported per stats era, like the rest.
+    assert session.stats.plans_refreshed == 0
+    assert session.stats.plans_spliced == 0
 
     runner = StreamingRunner(resolution=24, delta=0.5)
     assert isinstance(runner.session.rulebook_cache, DeltaRulebookCache)
@@ -462,6 +633,26 @@ def test_streaming_runner_reports_patches_on_drifting_scene():
     per_frame = [f.rulebook_patches for f in stats.frames]
     assert per_frame[0] == 0  # nothing to patch from on the first frame
     assert sum(per_frame[1:]) == stats.rulebook_patches
+    # The numpy backend refreshes eagerly (no splice path).
+    assert stats.plan_refreshes == stats.rulebook_patches
+    assert stats.plan_splices == 0
+
+
+def test_streaming_runner_reports_spliced_plans_on_scipy_backend():
+    pytest.importorskip("scipy")
+    source = DriftingSceneSource(num_frames=4, churn=0.01, seed=0)
+    runner = StreamingRunner(
+        resolution=48, delta=0.5, backend="scipy", execute_reference=True
+    )
+    stats = runner.run(source)
+    assert stats.rulebook_patches > 0
+    # Every patched rulebook's plan was spliced: execute_reference keeps
+    # the previous frame's plan warm in the backend memo.
+    assert stats.plan_splices == stats.rulebook_patches
+    assert stats.plan_refreshes == stats.plan_splices
+    per_frame = [f.plan_splices for f in stats.frames]
+    assert per_frame[0] == 0
+    assert sum(per_frame) == stats.plan_splices
 
 
 # ----------------------------------------------------------------------

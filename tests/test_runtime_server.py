@@ -202,6 +202,50 @@ def test_requests_past_deadline_are_rejected_not_executed():
     asyncio.run(scenario())
 
 
+def test_cancelled_requests_are_dropped_without_compute():
+    """Satellite regression: a request whose client cancelled while it
+    sat in the queue must not be batched into ``run_batch``."""
+
+    async def scenario():
+        session = small_session()
+        server = SessionServer(session=session, max_delay_s=0.25, max_batch=16)
+        async with server:
+            loop = asyncio.get_running_loop()
+            doomed = loop.create_task(server.submit(frame(12)))
+            survivor = loop.create_task(server.submit(frame(13, nnz=35)))
+            await asyncio.sleep(0.02)  # both queued, dispatcher lingering
+            doomed.cancel()
+            out = await survivor
+            assert out.nnz == frame(13, nnz=35).nnz
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            assert server.stats.rejected_cancelled == 1
+            assert server.stats.requests == 1  # only the survivor served
+            assert session.stats.frames_run == 1  # no compute for the dead one
+            assert server._pending == 0  # accounting stays exact
+
+        # An all-cancelled batch dispatches nothing at all.
+        session2 = small_session()
+        server2 = SessionServer(session=session2, max_delay_s=0.25)
+        async with server2:
+            loop = asyncio.get_running_loop()
+            tasks = [
+                loop.create_task(server2.submit(frame(14))) for _ in range(3)
+            ]
+            await asyncio.sleep(0.02)
+            for task in tasks:
+                task.cancel()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            assert all(isinstance(r, asyncio.CancelledError) for r in results)
+            await asyncio.sleep(0.3)  # let the linger window elapse
+            assert server2.stats.rejected_cancelled == 3
+            assert server2.stats.requests == 0
+            assert session2.stats.frames_run == 0
+            assert server2._pending == 0
+
+    asyncio.run(scenario())
+
+
 def test_serve_helper_sheds_rejected_requests():
     requests = request_mix()
     outputs, stats = serve_frames(
