@@ -7,6 +7,7 @@ Usage::
     python -m repro --seed 3 table1 # different synthetic sample
     python -m repro stream          # streaming demo via InferenceSession
     python -m repro serve           # async micro-batching serve demo
+    python -m repro lint            # AST-based invariant analyzer
 """
 
 from __future__ import annotations
@@ -43,7 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
             "The 'stream' subcommand (python -m repro stream --help) runs "
             "the streaming runtime through an InferenceSession instead; "
             "'serve' (python -m repro serve --help) runs the async "
-            "micro-batching request queue."
+            "micro-batching request queue; 'lint' (python -m repro lint "
+            "--help) runs the repo's AST-based invariant analyzer."
         ),
     )
     parser.add_argument(
@@ -443,18 +445,24 @@ def main(argv: List[str] | None = None) -> int:
         return run_stream(list(argv[1:]))
     if argv and argv[0] == "serve":
         return run_serve(list(argv[1:]))
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     selected = args.experiments or ["all"]
     unknown = [name for name in selected if name not in (*_EXPERIMENTS, "all")]
     if unknown:
-        subcommands = [name for name in ("stream", "serve") if name in unknown]
+        subcommands = [
+            name for name in ("stream", "serve", "lint") if name in unknown
+        ]
         if subcommands:
             names = " and ".join(f"'{name}'" for name in subcommands)
             verb = "are subcommands" if len(subcommands) > 1 else "is a subcommand"
             hint = (
                 f"; note: {names} {verb} and must come first "
-                "(python -m repro stream|serve [options])"
+                "(python -m repro stream|serve|lint [options])"
             )
         else:
             hint = ""

@@ -236,7 +236,9 @@ class ExecutionBackend:
         out = np.zeros(
             (stack.shape[0], num_outputs, weights.shape[2]), dtype=dtype
         )
-        for b in range(stack.shape[0]):
+        # per-frame loop (batch-sized, not element-sized): the fallback
+        # batched path is defined as B independent single-frame executes
+        for b in range(stack.shape[0]):  # repro-lint: disable=hot-path
             out[b] = self.execute(
                 rulebook, stack[b], weights, num_outputs, stats=stats
             )
@@ -685,7 +687,9 @@ class ScipySparseBackend(ExecutionBackend):
         )
         starts = plan.segment_starts
         for k in plan.active_offsets:
-            for b in range(batch):
+            # per-frame GEMM loop (batch-sized): kept scalar on purpose so
+            # each frame hits the exact single-frame BLAS call
+            for b in range(batch):  # repro-lint: disable=hot-path
                 # Same contiguous (n_k, Cin) @ (Cin, Cout) block as the
                 # single-frame path, so per-frame bits are identical.
                 contribution[starts[k]:starts[k + 1], b] = np.dot(
@@ -996,8 +1000,12 @@ def register_backend(
     if not isinstance(name, str) or not name:
         raise ValueError(f"backend name must be a non-empty string, got {name!r}")
     if name in _REGISTRY and not overwrite:
+        existing = _REGISTRY[name]
+        existing_name = getattr(existing, "__name__", repr(existing))
+        new_name = getattr(factory, "__name__", repr(factory))
         raise ValueError(
-            f"backend {name!r} is already registered; pass overwrite=True "
+            f"backend {name!r} is already registered to {existing_name}; "
+            f"refusing to rebind it to {new_name} — pass overwrite=True "
             "to replace it"
         )
     if not callable(factory):

@@ -362,7 +362,9 @@ def patch_submanifold_rulebook(
     in_cols: List[np.ndarray] = []
     out_cols: List[np.ndarray] = []
     fresh_slots: List[np.ndarray] = []
-    for k, offset in enumerate(old.offsets):
+    # per-offset loop (K^3 iterations) splicing one rule list per offset;
+    # each iteration is vectorized over all rows
+    for k, offset in enumerate(old.offsets):  # repro-lint: disable=hot-path
         kept_in, kept_out = _remap_columns(
             old.rules[k], delta.old_to_new, delta.old_to_new
         )
@@ -445,7 +447,8 @@ def _strided_candidate_cells(
     base = coords // stride
     reach = -(-kernel_size // stride)  # ceil
     cells: List[np.ndarray] = []
-    for shift in np.ndindex(reach, reach, reach):
+    # per-shift loop (<= reach^3 iterations), not per-element
+    for shift in np.ndindex(reach, reach, reach):  # repro-lint: disable=hot-path
         q = base - np.asarray(shift, dtype=np.int64)[None, :]
         valid = np.all(q >= 0, axis=1) & np.all(
             q * stride + kernel_size > coords, axis=1
@@ -557,7 +560,9 @@ def patch_sparse_conv_rulebook(
     in_cols: List[np.ndarray] = []
     out_cols: List[np.ndarray] = []
     fresh_slots: List[np.ndarray] = []
-    for k, offset in enumerate(old.offsets):
+    # per-offset loop (K^3 iterations) splicing one rule list per offset;
+    # each iteration is vectorized over all rows
+    for k, offset in enumerate(old.offsets):  # repro-lint: disable=hot-path
         kept_in, kept_out = _remap_columns(
             old.rules[k], delta.old_to_new, out_map
         )

@@ -1,0 +1,40 @@
+"""``repro.lint`` — AST-based invariant analyzer for this stack.
+
+Five repo-specific rules (``backend-contract``, ``hot-path``,
+``async-blocking``, ``spawn-safety``, ``stats-drift``) over a small
+checker framework; run via ``python -m repro lint``.  See
+``docs/lint.md`` for the rule catalog and the suppression/baseline
+workflow.
+"""
+
+from repro.lint.base import (
+    Checker,
+    LintReport,
+    Project,
+    SourceFile,
+    Violation,
+    all_checkers,
+    register_checker,
+    run_lint,
+)
+from repro.lint.baseline import (
+    BaselineComparison,
+    compare,
+    load_baseline,
+    save_baseline,
+)
+
+__all__ = [
+    "Checker",
+    "LintReport",
+    "Project",
+    "SourceFile",
+    "Violation",
+    "all_checkers",
+    "register_checker",
+    "run_lint",
+    "BaselineComparison",
+    "compare",
+    "load_baseline",
+    "save_baseline",
+]

@@ -1,0 +1,96 @@
+"""Baseline bookkeeping for ``repro.lint``.
+
+A baseline is a committed JSON snapshot of the violations the repo has
+accepted (grandfathered or pending): pre-existing findings do not fail
+CI, anything new does.  Violations are matched on the line-number-free
+fingerprint ``(file, rule, message)`` with a *count budget* per entry,
+so unrelated edits that shift code around do not resurrect baselined
+findings, while adding a second instance of a baselined pattern in the
+same file still trips the gate.
+
+Schema (``results/lint_baseline.json``)::
+
+    {"version": 1,
+     "entries": [{"file": ..., "rule": ..., "message": ..., "count": N}]}
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.base import Violation
+
+_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+@dataclass
+class BaselineComparison:
+    """New findings vs. the baseline, plus stale budget it no longer needs."""
+
+    new: List[Violation] = field(default_factory=list)
+    #: fingerprint -> how many baselined occurrences have disappeared.
+    stale: Dict[Fingerprint, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.new
+
+
+def load_baseline(path: Path) -> Counter:
+    """Fingerprint -> accepted count.  A missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Counter()
+    with path.open(encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported lint baseline format in {path} "
+            f"(expected version {_VERSION})"
+        )
+    budget: Counter = Counter()
+    for entry in data.get("entries", []):
+        fingerprint = (entry["file"], entry["rule"], entry["message"])
+        budget[fingerprint] += int(entry.get("count", 1))
+    return budget
+
+
+def save_baseline(path: Path, violations: List[Violation]) -> None:
+    """Write the current findings as the new accepted baseline."""
+    budget = Counter(v.fingerprint for v in violations)
+    entries = [
+        {"file": file, "rule": rule, "message": message, "count": count}
+        for (file, rule, message), count in sorted(budget.items())
+    ]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"version": _VERSION, "entries": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+
+
+def compare(
+    violations: List[Violation], budget: Counter
+) -> BaselineComparison:
+    """Split findings into within-budget (accepted) and new."""
+    remaining = Counter(budget)
+    comparison = BaselineComparison()
+    for violation in violations:
+        if remaining[violation.fingerprint] > 0:
+            remaining[violation.fingerprint] -= 1
+        else:
+            comparison.new.append(violation)
+    comparison.stale = {
+        fingerprint: count
+        for fingerprint, count in remaining.items()
+        if count > 0
+    }
+    return comparison

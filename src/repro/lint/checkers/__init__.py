@@ -1,0 +1,22 @@
+"""Built-in rules of ``repro.lint``.
+
+Importing this package registers every rule with the checker registry
+(each module applies :func:`repro.lint.base.register_checker` at import
+time); :func:`repro.lint.base.all_checkers` triggers the import lazily.
+"""
+
+from repro.lint.checkers import (  # noqa: F401
+    async_blocking,
+    backend_contract,
+    hot_path,
+    spawn_safety,
+    stats_drift,
+)
+
+__all__ = [
+    "async_blocking",
+    "backend_contract",
+    "hot_path",
+    "spawn_safety",
+    "stats_drift",
+]

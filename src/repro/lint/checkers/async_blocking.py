@@ -1,0 +1,153 @@
+"""``async-blocking``: coroutines in ``runtime/`` must not block the loop.
+
+:class:`~repro.runtime.server.SessionServer` is a single-event-loop
+front door: one blocked coroutine stalls every client's ``submit``,
+every deadline check, and the dispatcher's coalescing timer.  Inside any
+``async def`` in ``runtime/`` this rule flags:
+
+* ``time.sleep(...)`` — parks the whole loop; use ``await
+  asyncio.sleep(...)``;
+* blocking file IO — ``open(...)`` and the ``Path.read_text`` /
+  ``write_text`` / ``read_bytes`` / ``write_bytes`` family; stage the
+  IO outside the coroutine or hand it to an executor;
+* direct ``session.run(...)`` / ``session.run_batch(...)`` calls —
+  inference compute takes milliseconds-to-seconds and must be
+  dispatched through the queue/executor seam
+  (``loop.run_in_executor(...)`` / ``asyncio.to_thread(...)``) so the
+  loop keeps accepting, shedding, and cancelling while the backend
+  computes.
+
+Only statements lexically inside the coroutine are checked; nested
+``def``s are plain functions whose call sites decide their context.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.base import (
+    Checker,
+    Project,
+    SourceFile,
+    Violation,
+    register_checker,
+)
+
+_PATH_IO = ("read_text", "write_text", "read_bytes", "write_bytes")
+
+
+def _imported_bare_sleep(tree: ast.Module) -> bool:
+    """Whether ``from time import sleep`` makes bare ``sleep`` blocking."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            if any(alias.name == "sleep" for alias in node.names):
+                return True
+    return False
+
+
+def _mentions_session(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and "session" in child.id.lower():
+            return True
+        if isinstance(child, ast.Attribute) and "session" in child.attr.lower():
+            return True
+    return False
+
+
+def _coroutine_statements(fn: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Every node lexically inside ``fn``, stopping at nested defs."""
+    stack: List[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_checker
+class AsyncBlockingChecker(Checker):
+    rule = "async-blocking"
+    description = (
+        "no time.sleep, blocking file IO, or direct session.run/run_batch "
+        "compute inside async def bodies in runtime/"
+    )
+    scope = ("*runtime/*.py",)
+
+    def check(self, project: Project) -> List[Violation]:
+        violations: List[Violation] = []
+        for source in self.scoped_files(project):
+            bare_sleep = _imported_bare_sleep(source.tree)
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.AsyncFunctionDef):
+                    violations.extend(
+                        self._check_coroutine(source, node, bare_sleep)
+                    )
+        return violations
+
+    def _check_coroutine(
+        self,
+        source: SourceFile,
+        fn: ast.AsyncFunctionDef,
+        bare_sleep: bool,
+    ) -> List[Violation]:
+        out: List[Violation] = []
+        for node in _coroutine_statements(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "sleep"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ) or (
+                bare_sleep
+                and isinstance(func, ast.Name)
+                and func.id == "sleep"
+            ):
+                out.append(
+                    self.violation(
+                        source,
+                        node,
+                        f"time.sleep inside 'async def {fn.name}' parks the "
+                        "event loop — use 'await asyncio.sleep(...)'",
+                    )
+                )
+            elif isinstance(func, ast.Name) and func.id == "open":
+                out.append(
+                    self.violation(
+                        source,
+                        node,
+                        f"blocking file IO (open) inside 'async def "
+                        f"{fn.name}' — stage IO outside the coroutine or "
+                        "use an executor",
+                    )
+                )
+            elif isinstance(func, ast.Attribute) and func.attr in _PATH_IO:
+                out.append(
+                    self.violation(
+                        source,
+                        node,
+                        f"blocking file IO ({func.attr}) inside 'async def "
+                        f"{fn.name}' — stage IO outside the coroutine or "
+                        "use an executor",
+                    )
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("run", "run_batch")
+                and _mentions_session(func.value)
+            ):
+                out.append(
+                    self.violation(
+                        source,
+                        node,
+                        f"direct session.{func.attr}(...) inside 'async def "
+                        f"{fn.name}' blocks the event loop for the whole "
+                        "inference — dispatch via loop.run_in_executor / "
+                        "asyncio.to_thread",
+                    )
+                )
+        return out

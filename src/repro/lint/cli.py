@@ -1,0 +1,191 @@
+"""``python -m repro lint`` — run the repo's invariant analyzer.
+
+Exit codes: 0 when clean against the baseline (or no findings), 1 when
+new violations appear, 2 on usage errors.  ``--update-baseline``
+rewrites the accepted snapshot from the current findings and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.base import LintReport, all_checkers, run_lint
+from repro.lint.baseline import compare, load_baseline, save_baseline
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based invariant analyzer for the engine/backend/serving "
+            "stack: backend registry contracts, hot-path purity, asyncio "
+            "blocking calls, spawn/pickle safety, stats-field drift."
+        ),
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/repro under --root)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path("."),
+        help="project root that report paths are relative to (default: .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=(
+            "accepted-violations snapshot; findings inside it do not fail "
+            "the run, new ones do"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the JSON report to this file (any --format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _json_report(
+    report: LintReport,
+    new: List,
+    baselined: int,
+    baseline_path: Optional[Path],
+) -> dict:
+    def encode(violation) -> dict:
+        return {
+            "file": violation.file,
+            "line": violation.line,
+            "col": violation.col,
+            "rule": violation.rule,
+            "message": violation.message,
+        }
+
+    return {
+        "root": report.root,
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed,
+        "baseline": str(baseline_path) if baseline_path else None,
+        "baselined": baselined,
+        "summary": report.summary(),
+        "violations": [encode(v) for v in report.violations],
+        "new_violations": [encode(v) for v in new],
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+
+    if args.list_rules:
+        for cls in all_checkers():
+            print(f"{cls.rule}: {cls.description}")
+        return 0
+
+    if args.update_baseline and args.baseline is None:
+        parser.error("--update-baseline requires --baseline")
+
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"repro lint: root {root} is not a directory", file=sys.stderr)
+        return 2
+
+    if args.rules:
+        known = {cls.rule for cls in all_checkers()}
+        unknown = sorted(set(args.rules) - known)
+        if unknown:
+            print(
+                f"repro lint: unknown rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+
+    report = run_lint(root, targets=args.targets or None, rules=args.rules)
+
+    if args.update_baseline:
+        save_baseline(args.baseline, report.violations)
+        print(
+            f"repro lint: baseline updated with "
+            f"{len(report.violations)} finding(s) -> {args.baseline}"
+        )
+        return 0
+
+    if args.baseline is not None:
+        budget = load_baseline(args.baseline)
+        comparison = compare(report.violations, budget)
+        new = comparison.new
+        baselined = len(report.violations) - len(new)
+        stale = sum(comparison.stale.values())
+    else:
+        new = report.violations
+        baselined = 0
+        stale = 0
+
+    payload = _json_report(report, new, baselined, args.baseline)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        for violation in new:
+            print(violation.format())
+        parts = [
+            f"{report.files_checked} files",
+            f"{len(report.violations)} finding(s)",
+            f"{baselined} baselined",
+            f"{report.suppressed} suppressed",
+            f"{len(new)} new",
+        ]
+        if stale:
+            parts.append(
+                f"{stale} baselined finding(s) no longer present "
+                "(consider --update-baseline)"
+            )
+        print("repro lint: " + ", ".join(parts))
+
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -211,7 +211,9 @@ def build_submanifold_rulebook(
     shape = np.asarray(tensor.shape, dtype=np.int64)
     rules: List[np.ndarray] = []
     out_rows_all = np.arange(len(coords), dtype=np.int64)
-    for offset in offsets:
+    # per-offset loop (K^3 iterations) building the rulebook's rule list;
+    # each iteration is vectorized over all points
+    for offset in offsets:  # repro-lint: disable=hot-path
         neighbor = coords + offset[None, :]
         in_bounds = np.all((neighbor >= 0) & (neighbor < shape[None, :]), axis=1)
         rows = np.full(len(coords), -1, dtype=np.int64)
@@ -242,23 +244,25 @@ def downsampled_coords(
     if kernel_size == stride:
         down = coords // stride
         return np.unique(down, axis=0)
-    outputs = set()
-    for p in coords:
-        # q ranges where q*stride <= p_axis <= q*stride + K - 1
-        ranges = []
-        for axis in range(3):
-            lo = (int(p[axis]) - kernel_size + stride) // stride
-            lo = max(lo, 0)
-            hi = int(p[axis]) // stride
-            ranges.append(range(lo, hi + 1))
-        for qx in ranges[0]:
-            for qy in ranges[1]:
-                for qz in ranges[2]:
-                    outputs.add((qx, qy, qz))
-    if not outputs:
+    if not len(coords):
         return np.zeros((0, 3), dtype=np.int64)
-    arr = np.array(sorted(outputs), dtype=np.int64)
-    return arr
+    # An input p activates q = p // stride - s per axis for the shifts s
+    # with s * stride < K, i.e. s < ceil(K / stride): one vectorized pass
+    # over all points per shift instead of a Python loop per point.
+    base = coords // stride
+    reach = -(-kernel_size // stride)
+    cells = []
+    # per-shift loop (<= reach^3 iterations), not per-element
+    for shift in np.ndindex(reach, reach, reach):  # repro-lint: disable=hot-path
+        q = base - np.asarray(shift, dtype=np.int64)[None, :]
+        valid = np.all(q >= 0, axis=1) & np.all(
+            q * stride + kernel_size > coords, axis=1
+        )
+        if valid.any():
+            cells.append(q[valid])
+    if not cells:
+        return np.zeros((0, 3), dtype=np.int64)
+    return np.unique(np.concatenate(cells, axis=0), axis=0)
 
 
 def build_sparse_conv_rulebook(
@@ -280,7 +284,9 @@ def build_sparse_conv_rulebook(
     offsets = kernel_offsets(kernel_size, center=False)
     rules: List[np.ndarray] = []
     in_rows_all = np.arange(len(coords), dtype=np.int64)
-    for offset in offsets:
+    # per-offset loop (K^3 iterations) building the rulebook's rule list;
+    # each iteration is vectorized over all points
+    for offset in offsets:  # repro-lint: disable=hot-path
         shifted = coords - offset[None, :]
         aligned = np.all(shifted % stride == 0, axis=1) & np.all(shifted >= 0, axis=1)
         q = shifted[aligned] // stride

@@ -333,8 +333,14 @@ class SessionServer:
             start = time.perf_counter()
             try:
                 # run_batch groups the micro-batch by coordinate digest:
-                # one plan / gather / scatter per distinct site set.
-                outputs = self.session.run_batch(tensors)
+                # one plan / gather / scatter per distinct site set.  The
+                # compute runs on the default executor so the loop keeps
+                # accepting, shedding, and cancelling while the backend
+                # works; only this coroutine touches the session, so
+                # session state stays single-threaded.
+                outputs = await asyncio.get_running_loop().run_in_executor(
+                    None, self.session.run_batch, tensors
+                )
             except Exception as exc:  # propagate to every waiting client
                 for _, future, _ in batch:
                     self._pending -= 1

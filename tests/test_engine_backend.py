@@ -81,6 +81,20 @@ def test_register_backend_rejects_duplicates_and_bad_names():
         register_backend("broken", object())
 
 
+def test_register_backend_duplicate_error_names_both_factories():
+    with pytest.raises(ValueError) as excinfo:
+        register_backend("numpy", ScipySparseBackend)
+    message = str(excinfo.value)
+    assert "NumpyFusedBackend" in message
+    assert "ScipySparseBackend" in message
+    assert "overwrite=True" in message
+
+
+def test_available_backends_is_sorted():
+    names = available_backends()
+    assert list(names) == sorted(names)
+
+
 def test_register_backend_overwrite_and_custom_backend():
     class TracingBackend(NumpyFusedBackend):
         name = "tracing"

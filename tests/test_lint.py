@@ -1,0 +1,796 @@
+"""Tests for ``repro.lint`` — the AST-based invariant analyzer.
+
+Fixture projects are written into ``tmp_path`` at scope-matching
+relative paths (``engine/*.py``, ``runtime/*.py``, ``cli.py``,
+``docs/*.md``); nothing is imported or executed, so the deliberate
+violations never have to be runnable code.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.baseline import compare, load_baseline, save_baseline
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write(root: Path, rel: str, text: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return path
+
+
+def rules_of(report, rule):
+    return [v for v in report.violations if v.rule == rule]
+
+
+# ---------------------------------------------------------------------------
+# backend-contract
+
+
+FULL_BACKEND = """\
+class {name}:
+    def prepare(self, rulebook):
+        return None
+
+    def execute(self, rulebook, feats, weights, num_outputs, stats=None):
+        return 0
+
+    def execute_batch(self, rulebook, stack, weights, num_outputs, stats=None):
+        return 0
+
+    def refresh(self, old_rulebook, new_rulebook, delta):
+        return None
+
+    def capabilities(self):
+        return {{}}
+
+    def close(self):
+        return None
+"""
+
+SURFACE = (
+    "prepare",
+    "execute",
+    "execute_batch",
+    "refresh",
+    "capabilities",
+    "close",
+)
+
+
+def test_backend_contract_passes_full_surface(tmp_path):
+    write(
+        tmp_path,
+        "engine/good.py",
+        FULL_BACKEND.format(name="GoodBackend")
+        + '\n\nregister_backend("good", GoodBackend)\n',
+    )
+    report = run_lint(tmp_path, rules=["backend-contract"])
+    assert rules_of(report, "backend-contract") == []
+
+
+@pytest.mark.parametrize("method", SURFACE)
+def test_backend_contract_fails_when_any_method_deleted(tmp_path, method):
+    source = FULL_BACKEND.format(name="Partial")
+    lines = source.splitlines(keepends=True)
+    start = next(i for i, ln in enumerate(lines) if f"def {method}(" in ln)
+    end = start + 1
+    while end < len(lines) and (
+        lines[end].startswith(" " * 8) or lines[end].strip() == ""
+    ):
+        end += 1
+    gutted = "".join(lines[:start] + lines[end:])
+    assert f"def {method}(" not in gutted
+    write(
+        tmp_path,
+        "engine/partial.py",
+        gutted + '\n\nregister_backend("partial", Partial)\n',
+    )
+    report = run_lint(tmp_path, rules=["backend-contract"])
+    found = rules_of(report, "backend-contract")
+    assert len(found) == 1
+    assert f"{method}()" in found[0].message
+
+
+def test_backend_contract_rejects_abstract_inherited_stub(tmp_path):
+    base = (
+        'class Base:\n'
+        '    def prepare(self, rulebook):\n'
+        '        """Docstring does not make it concrete."""\n'
+        '        raise NotImplementedError\n'
+        '\n\n'
+    )
+    derived = FULL_BACKEND.format(name="Derived").replace(
+        "class Derived:", "class Derived(Base):"
+    ).replace(
+        "    def prepare(self, rulebook):\n        return None\n\n", ""
+    )
+    write(
+        tmp_path,
+        "engine/stubbed.py",
+        base + derived + '\n\nregister_backend("stubbed", Derived)\n',
+    )
+    report = run_lint(tmp_path, rules=["backend-contract"])
+    found = rules_of(report, "backend-contract")
+    assert len(found) == 1
+    assert "abstract" in found[0].message
+    assert "prepare()" in found[0].message
+
+
+def test_backend_contract_accepts_inherited_concrete_method(tmp_path):
+    write(
+        tmp_path,
+        "engine/inherit.py",
+        FULL_BACKEND.format(name="Base").replace("class Base:", "class Base:")
+        + """\
+
+        class Child(Base):
+            def capabilities(self):
+                return {"fused": True}
+
+
+        register_backend("child", Child)
+        """,
+    )
+    report = run_lint(tmp_path, rules=["backend-contract"])
+    assert rules_of(report, "backend-contract") == []
+
+
+def test_backend_contract_flags_signature_drift(tmp_path):
+    bad = FULL_BACKEND.format(name="Misfit").replace(
+        "def execute(self, rulebook, feats, weights, num_outputs, stats=None):",
+        "def execute(self, rulebook, feats):",
+    )
+    write(
+        tmp_path,
+        "engine/misfit.py",
+        bad + '\n\nregister_backend("misfit", Misfit)\n',
+    )
+    report = run_lint(tmp_path, rules=["backend-contract"])
+    found = rules_of(report, "backend-contract")
+    assert len(found) == 1
+    assert "execute()" in found[0].message
+    assert "not call-compatible" in found[0].message
+
+
+def test_backend_contract_requires_stats_keyword(tmp_path):
+    bad = FULL_BACKEND.format(name="NoStats").replace(
+        "def execute(self, rulebook, feats, weights, num_outputs, stats=None):",
+        "def execute(self, rulebook, feats, weights, num_outputs):",
+    )
+    write(
+        tmp_path,
+        "engine/nostats.py",
+        bad + '\n\nregister_backend("nostats", NoStats)\n',
+    )
+    report = run_lint(tmp_path, rules=["backend-contract"])
+    found = rules_of(report, "backend-contract")
+    assert len(found) == 1
+    assert "'stats'" in found[0].message
+
+
+def test_backend_contract_duplicate_and_computed_keys(tmp_path):
+    write(
+        tmp_path,
+        "engine/dupes.py",
+        FULL_BACKEND.format(name="A")
+        + FULL_BACKEND.format(name="B")
+        + """\
+
+        register_backend("same", A)
+        register_backend("same", B)
+        register_backend("same", B, overwrite=True)
+        register_backend("ok_" + suffix, A)
+        """,
+    )
+    report = run_lint(tmp_path, rules=["backend-contract"])
+    messages = [v.message for v in rules_of(report, "backend-contract")]
+    assert sum("registered more than once" in m for m in messages) == 1
+    assert sum("string literal" in m for m in messages) == 1
+
+
+# ---------------------------------------------------------------------------
+# hot-path
+
+
+def test_hot_path_flags_the_banned_patterns(tmp_path):
+    write(
+        tmp_path,
+        "engine/hot.py",
+        """\
+        import numpy as np
+
+
+        def scatter(out, rows, contribution):
+            np.add.at(out, rows, contribution)
+            return out
+
+
+        def per_row(features):
+            total = 0.0
+            for i in range(features.shape[0]):
+                total += features[i].sum()
+            n = len(features)
+            for i in range(n):
+                total -= features[i].sum()
+            return total
+
+
+        def accumulate(chunks):
+            parts = []
+            uniq = set()
+            for chunk in chunks:
+                parts.append(chunk * 2)
+                uniq.add(chunk.tobytes())
+            return parts, uniq
+
+
+        def narrow(features):
+            return features.astype(np.float32)
+        """,
+    )
+    report = run_lint(tmp_path, rules=["hot-path"])
+    messages = [v.message for v in rules_of(report, "hot-path")]
+    assert sum("np.add.at" in m for m in messages) == 1
+    assert sum("per-element loop" in m for m in messages) == 2
+    assert sum("accumulates into" in m for m in messages) == 1
+    assert any("'parts', 'uniq'" in m for m in messages)
+    assert sum("float32 narrowing" in m for m in messages) == 1
+
+
+def test_hot_path_passes_vectorized_and_routed_code(tmp_path):
+    write(
+        tmp_path,
+        "engine/cool.py",
+        """\
+        import numpy as np
+
+
+        def fused_scatter(out, rows, contribution):
+            out[rows] += contribution
+            return out
+
+
+        def routed_cast(self, stack):
+            if self.precision == "float32":
+                return stack.astype(np.float32)
+            return stack
+
+
+        def batched(stack, weights):
+            return np.einsum("bnc,cd->bnd", stack, weights)
+        """,
+    )
+    report = run_lint(tmp_path, rules=["hot-path"])
+    assert rules_of(report, "hot-path") == []
+
+
+def test_hot_path_scope_excludes_non_hot_modules(tmp_path):
+    body = """\
+        import numpy as np
+
+
+        def scatter(out, rows, contribution):
+            np.add.at(out, rows, contribution)
+        """
+    write(tmp_path, "nn/functional.py", body)
+    write(tmp_path, "nn/rulebook.py", body)
+    report = run_lint(tmp_path, rules=["hot-path"])
+    found = rules_of(report, "hot-path")
+    assert len(found) == 1
+    assert found[0].file == "nn/rulebook.py"
+
+
+# ---------------------------------------------------------------------------
+# async-blocking
+
+
+def test_async_blocking_flags_sleep_io_and_direct_compute(tmp_path):
+    write(
+        tmp_path,
+        "runtime/loopy.py",
+        """\
+        import asyncio
+        import time
+
+
+        class Server:
+            async def dispatch(self, tensors):
+                time.sleep(0.1)
+                with open("dump.bin") as fh:
+                    fh.read()
+                cfg = self.path.read_text()
+                return self.session.run_batch(tensors)
+        """,
+    )
+    report = run_lint(tmp_path, rules=["async-blocking"])
+    messages = [v.message for v in rules_of(report, "async-blocking")]
+    assert sum("time.sleep" in m for m in messages) == 1
+    assert sum("open" in m and "file IO" in m for m in messages) == 1
+    assert sum("read_text" in m for m in messages) == 1
+    assert sum("session.run_batch" in m for m in messages) == 1
+    assert all("'async def dispatch'" in m for m in messages)
+
+
+def test_async_blocking_passes_executor_dispatch_and_sync_code(tmp_path):
+    write(
+        tmp_path,
+        "runtime/clean.py",
+        """\
+        import asyncio
+        import time
+
+
+        class Server:
+            async def dispatch(self, tensors):
+                await asyncio.sleep(0.01)
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(
+                    None, self.session.run_batch, tensors
+                )
+
+            def warmup(self, tensors):
+                time.sleep(0.1)
+                return self.session.run_batch(tensors)
+        """,
+    )
+    report = run_lint(tmp_path, rules=["async-blocking"])
+    assert rules_of(report, "async-blocking") == []
+
+
+def test_async_blocking_ignores_nested_sync_defs(tmp_path):
+    write(
+        tmp_path,
+        "runtime/nested.py",
+        """\
+        import time
+
+
+        async def outer():
+            def helper():
+                time.sleep(0.1)
+            return helper
+        """,
+    )
+    report = run_lint(tmp_path, rules=["async-blocking"])
+    assert rules_of(report, "async-blocking") == []
+
+
+# ---------------------------------------------------------------------------
+# spawn-safety
+
+
+def test_spawn_safety_flags_lambdas_and_mutable_class_state(tmp_path):
+    write(
+        tmp_path,
+        "engine/spawny.py",
+        """\
+        import pickle
+
+
+        class SpecHolder:
+            transform = lambda self, x: x + 1
+            registry = {}
+
+            def __init__(self):
+                self.hook = lambda x: x * 2
+
+            def bind(self):
+                def local_step(x):
+                    return x - 1
+                self.step = local_step
+
+            def ship(self, payload):
+                return pickle.dumps((payload, lambda x: x))
+        """,
+    )
+    report = run_lint(tmp_path, rules=["spawn-safety"])
+    messages = [v.message for v in rules_of(report, "spawn-safety")]
+    assert sum("lambda as a class attribute" in m for m in messages) == 1
+    assert sum("mutable class attribute" in m for m in messages) == 1
+    assert sum("stores a lambda on self" in m for m in messages) == 1
+    assert sum("local function 'local_step'" in m for m in messages) == 1
+    assert sum("pickle.dumps" in m for m in messages) == 1
+
+
+def test_spawn_safety_passes_picklable_patterns(tmp_path):
+    write(
+        tmp_path,
+        "engine/safe.py",
+        """\
+        import pickle
+        from dataclasses import dataclass, field
+
+
+        def module_level_step(x):
+            return x - 1
+
+
+        @dataclass
+        class Spec:
+            name: str = "numpy"
+            shards: tuple = ()
+            extras: list = field(default_factory=list)
+
+            def bind(self):
+                self.step = module_level_step
+
+            def ship(self, payload):
+                return pickle.dumps(payload)
+        """,
+    )
+    report = run_lint(tmp_path, rules=["spawn-safety"])
+    assert rules_of(report, "spawn-safety") == []
+
+
+# ---------------------------------------------------------------------------
+# stats-drift
+
+
+STATS_MODULE = """\
+    from dataclasses import dataclass, field
+
+
+    @dataclass
+    class SessionStats:
+        frames_run: int = 0
+        backend: str = ""
+
+        @property
+        def rulebook_hit_rate(self):
+            return 0.0
+
+
+    @dataclass
+    class FrameResult:
+        frame_id: int = 0
+        nnz: int = 0
+
+
+    @dataclass
+    class StreamStats:
+        frames: list = field(default_factory=list)
+
+        @property
+        def fps(self):
+            return 0.0
+"""
+
+
+def test_stats_drift_flags_unknown_fields_in_cli(tmp_path):
+    write(tmp_path, "stats.py", STATS_MODULE)
+    write(
+        tmp_path,
+        "cli.py",
+        """\
+        def report():
+            session = InferenceSession()
+            s = session.stats
+            print(s.frames_run, s.rulebook_hit_rate)
+            print(s.bogus_counter)
+            runner = StreamingRunner()
+            stream = runner.run(None)
+            for frame in stream.frames:
+                print(frame.nnz, frame.imaginary_field)
+        """,
+    )
+    report = run_lint(tmp_path, rules=["stats-drift"])
+    messages = [v.message for v in rules_of(report, "stats-drift")]
+    assert len(messages) == 2
+    assert any("SessionStats.bogus_counter" in m for m in messages)
+    assert any("FrameResult.imaginary_field" in m for m in messages)
+
+
+def test_stats_drift_checks_docs_including_slash_shorthand(tmp_path):
+    write(tmp_path, "stats.py", STATS_MODULE)
+    write(tmp_path, "cli.py", "")
+    write(
+        tmp_path,
+        "docs/observability.md",
+        """\
+        The runner reports `StreamStats.fps` per scene and
+        `FrameResult.frame_id / nnz / phantom_field` per frame, while
+        `SessionStats.made_up` never existed.
+        """,
+    )
+    report = run_lint(tmp_path, rules=["stats-drift"])
+    messages = [v.message for v in rules_of(report, "stats-drift")]
+    assert len(messages) == 2
+    assert any("FrameResult.phantom_field" in m for m in messages)
+    assert any("SessionStats.made_up" in m for m in messages)
+
+
+def test_stats_drift_skips_classes_outside_the_project(tmp_path):
+    write(
+        tmp_path,
+        "cli.py",
+        """\
+        def report():
+            session = InferenceSession()
+            s = session.stats
+            print(s.anything_goes)
+        """,
+    )
+    report = run_lint(tmp_path, rules=["stats-drift"])
+    assert rules_of(report, "stats-drift") == []
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+
+
+def test_suppression_same_line_and_comment_above(tmp_path):
+    write(
+        tmp_path,
+        "engine/suppressed.py",
+        """\
+        import numpy as np
+
+
+        def scatter(out, rows, contribution):
+            np.add.at(out, rows, contribution)  # repro-lint: disable=hot-path
+            # repro-lint: disable=hot-path
+            np.add.at(out, rows, contribution)
+            np.add.at(out, rows, contribution)
+            return out
+        """,
+    )
+    report = run_lint(tmp_path, rules=["hot-path"])
+    found = rules_of(report, "hot-path")
+    assert len(found) == 1
+    assert found[0].line == 8
+    assert report.suppressed == 2
+
+
+def test_suppression_wildcard_and_wrong_rule(tmp_path):
+    write(
+        tmp_path,
+        "engine/mixed.py",
+        """\
+        import numpy as np
+
+
+        def scatter(out, rows, contribution):
+            np.add.at(out, rows, contribution)  # repro-lint: disable=*
+            np.add.at(out, rows, contribution)  # repro-lint: disable=spawn-safety
+            return out
+        """,
+    )
+    report = run_lint(tmp_path, rules=["hot-path"])
+    found = rules_of(report, "hot-path")
+    assert len(found) == 1
+    assert found[0].line == 6
+
+
+def test_suppression_marker_inside_string_is_inert(tmp_path):
+    write(
+        tmp_path,
+        "engine/stringy.py",
+        """\
+        import numpy as np
+
+        MARKER = "# repro-lint: disable=hot-path"
+
+
+        def scatter(out, rows, contribution):
+            np.add.at(out, rows, contribution)
+            return out
+        """,
+    )
+    report = run_lint(tmp_path, rules=["hot-path"])
+    assert len(rules_of(report, "hot-path")) == 1
+
+
+def test_parse_errors_reported_not_fatal(tmp_path):
+    write(tmp_path, "engine/broken.py", "def broken(:\n")
+    write(
+        tmp_path,
+        "engine/fine.py",
+        "import numpy as np\n\n\ndef f(out, rows, c):\n    np.add.at(out, rows, c)\n",
+    )
+    report = run_lint(tmp_path)
+    parse = [v for v in report.violations if v.rule == "parse-error"]
+    assert len(parse) == 1
+    assert parse[0].file == "engine/broken.py"
+    assert len(rules_of(report, "hot-path")) == 1
+
+
+# ---------------------------------------------------------------------------
+# baseline
+
+
+def violation_file(tmp_path):
+    return write(
+        tmp_path,
+        "engine/hot.py",
+        """\
+        import numpy as np
+
+
+        def scatter(out, rows, contribution):
+            np.add.at(out, rows, contribution)
+            return out
+        """,
+    )
+
+
+def test_baseline_roundtrip_and_new_violation_detection(tmp_path):
+    violation_file(tmp_path)
+    baseline = tmp_path / "results" / "lint_baseline.json"
+
+    assert lint_main(["--root", str(tmp_path)]) == 1
+    assert (
+        lint_main(
+            [
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    assert (
+        lint_main(["--root", str(tmp_path), "--baseline", str(baseline)]) == 0
+    )
+
+    # A second instance of the same pattern exceeds the count budget.
+    write(
+        tmp_path,
+        "engine/hot2.py",
+        """\
+        import numpy as np
+
+
+        def scatter2(out, rows, contribution):
+            np.add.at(out, rows, contribution)
+            return out
+        """,
+    )
+    assert (
+        lint_main(["--root", str(tmp_path), "--baseline", str(baseline)]) == 1
+    )
+
+
+def test_baseline_count_budget_within_one_file(tmp_path):
+    violation_file(tmp_path)
+    report = run_lint(tmp_path, rules=["hot-path"])
+    baseline = tmp_path / "baseline.json"
+    save_baseline(baseline, report.violations)
+    budget = load_baseline(baseline)
+
+    comparison = compare(report.violations, budget)
+    assert comparison.clean
+    assert comparison.stale == {}
+
+    # Duplicate the violation inside the same file: same fingerprint,
+    # count 2 > budget 1 -> exactly one NEW finding.
+    write(
+        tmp_path,
+        "engine/hot.py",
+        """\
+        import numpy as np
+
+
+        def scatter(out, rows, contribution):
+            np.add.at(out, rows, contribution)
+            np.add.at(out, rows, contribution)
+            return out
+        """,
+    )
+    report2 = run_lint(tmp_path, rules=["hot-path"])
+    comparison2 = compare(report2.violations, budget)
+    assert len(comparison2.new) == 1
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    violation_file(tmp_path)
+    report = run_lint(tmp_path, rules=["hot-path"])
+    baseline = tmp_path / "baseline.json"
+    save_baseline(baseline, report.violations)
+
+    (tmp_path / "engine" / "hot.py").write_text(
+        "def fixed():\n    return 0\n", encoding="utf-8"
+    )
+    report2 = run_lint(tmp_path, rules=["hot-path"])
+    comparison = compare(report2.violations, load_baseline(baseline))
+    assert comparison.clean
+    assert sum(comparison.stale.values()) == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def test_cli_json_schema(tmp_path, capsys):
+    violation_file(tmp_path)
+    code = lint_main(["--root", str(tmp_path), "--format", "json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {
+        "root",
+        "files_checked",
+        "suppressed",
+        "baseline",
+        "baselined",
+        "summary",
+        "violations",
+        "new_violations",
+    }
+    assert payload["summary"] == {"hot-path": 1}
+    (violation,) = payload["violations"]
+    assert set(violation) == {"file", "line", "col", "rule", "message"}
+    assert violation["file"] == "engine/hot.py"
+    assert payload["new_violations"] == payload["violations"]
+
+
+def test_cli_output_file_and_rule_filter(tmp_path, capsys):
+    violation_file(tmp_path)
+    out = tmp_path / "report.json"
+    code = lint_main(
+        [
+            "--root",
+            str(tmp_path),
+            "--rule",
+            "spawn-safety",
+            "--output",
+            str(out),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0  # hot-path finding filtered out by --rule
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    assert payload["violations"] == []
+
+
+def test_cli_rejects_unknown_rule_and_missing_root(tmp_path, capsys):
+    assert lint_main(["--root", str(tmp_path), "--rule", "nonsense"]) == 2
+    assert lint_main(["--root", str(tmp_path / "absent")]) == 2
+    capsys.readouterr()
+
+
+def test_cli_list_rules(tmp_path, capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in (
+        "backend-contract",
+        "hot-path",
+        "async-blocking",
+        "spawn-safety",
+        "stats-drift",
+    ):
+        assert rule in out
+
+
+def test_repro_cli_dispatches_lint(tmp_path, capsys):
+    from repro.cli import main as repro_main
+
+    violation_file(tmp_path)
+    assert repro_main(["lint", "--root", str(tmp_path)]) == 1
+    assert "hot-path" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# the real repo
+
+
+def test_repo_is_clean_against_committed_baseline():
+    code = lint_main(
+        [
+            "--root",
+            str(REPO_ROOT),
+            "--baseline",
+            str(REPO_ROOT / "results" / "lint_baseline.json"),
+        ]
+    )
+    assert code == 0
