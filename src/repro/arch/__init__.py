@@ -37,6 +37,14 @@ from repro.arch.compiler import (
     NetworkCompiler,
     TileChunk,
 )
+from repro.arch.mapping_model import (
+    GATHER_PORTS,
+    MAPPING_PIPELINE_FILL_CYCLES,
+    MappingCostModel,
+    MappingOpEstimate,
+    MappingPhaseSpan,
+    MappingSimulation,
+)
 from repro.arch.overhead import (
     SystemOverheadModel,
     TransferVolume,
@@ -77,6 +85,12 @@ __all__ = [
     "Command",
     "LayerPlan",
     "CompilationError",
+    "MappingCostModel",
+    "MappingOpEstimate",
+    "MappingPhaseSpan",
+    "MappingSimulation",
+    "MAPPING_PIPELINE_FILL_CYCLES",
+    "GATHER_PORTS",
     "SystemOverheadModel",
     "TransferVolume",
     "layer_transfer_volume",

@@ -1,0 +1,155 @@
+"""Cycle model for the mapping operators on a PointAcc-style datapath.
+
+PointAcc (PAPERS.md) executes every mapping operation — kNN, ball query,
+FPS, grouping — on one unified pipeline: a merge-sort network orders
+point keys, a comparator array merges sorted streams into neighborhood
+candidates, and a gather unit streams the matched rows out of on-chip
+memory.  This module prices the workload counters a
+:class:`repro.engine.mapping.MappingStats` records against that
+three-phase pipeline, reusing the host :class:`AcceleratorConfig` for
+the clock and datapath width so mapping-op estimates are comparable
+with the sparse-convolution cycle model in :mod:`repro.arch.accelerator`:
+
+* **sort** — the bitonic/merge network sorts ``N`` packed cell keys with
+  ``lanes`` comparators: ``ceil(N * ceil(log2 N) / lanes)`` cycles;
+* **merge** — each candidate pair costs one comparator slot:
+  ``ceil(candidates / lanes)`` cycles (FPS folds its per-iteration
+  distance sweeps into the same counter);
+* **gather** — one matched row per port and cycle:
+  ``ceil(matches / ports)`` cycles.
+
+A pipeline-fill constant mirrors the convolution model's latency floor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.arch.config import AcceleratorConfig
+
+#: Cycles to fill the sort/merge/gather pipeline before it streams.
+MAPPING_PIPELINE_FILL_CYCLES = 16
+
+#: Memory ports feeding the gather unit.
+GATHER_PORTS = 4
+
+_PHASES = ("sort", "merge", "gather")
+
+
+@dataclass(frozen=True)
+class MappingOpEstimate:
+    """Modeled cycle cost of one mapping-operator invocation."""
+
+    op: str
+    method: str
+    num_points: int
+    num_queries: int
+    sort_cycles: int
+    merge_cycles: int
+    gather_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return (
+            self.sort_cycles
+            + self.merge_cycles
+            + self.gather_cycles
+            + MAPPING_PIPELINE_FILL_CYCLES
+        )
+
+    def phase_cycles(self) -> Tuple[Tuple[str, int], ...]:
+        return (
+            ("sort", self.sort_cycles),
+            ("merge", self.merge_cycles),
+            ("gather", self.gather_cycles),
+        )
+
+    def seconds(self, clock_hz: float) -> float:
+        return self.total_cycles / clock_hz
+
+
+@dataclass(frozen=True)
+class MappingPhaseSpan:
+    """One phase of one op on the simulated timeline, in cycles."""
+
+    op: str
+    phase: str
+    start: int
+    end: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class MappingSimulation:
+    """Cycle-resolved timeline of a sequence of mapping ops.
+
+    Ops execute back to back (the mapping unit is a single shared
+    pipeline); each op contributes one span per non-empty phase.
+    """
+
+    spans: Tuple[MappingPhaseSpan, ...]
+    total_cycles: int
+    clock_hz: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.total_cycles / self.clock_hz
+
+
+class MappingCostModel:
+    """Prices :class:`MappingStats` workloads on the unified pipeline."""
+
+    def __init__(self, config: Optional[AcceleratorConfig] = None) -> None:
+        self.config = config or AcceleratorConfig()
+        self.lanes = self.config.ic_parallelism
+        self.gather_ports = GATHER_PORTS
+
+    def estimate(self, stats) -> MappingOpEstimate:
+        """Cycle estimate for one recorded mapping-op invocation."""
+        num_points = int(stats.num_points)
+        sort_cycles = 0
+        if num_points > 1 and stats.op != "group_points":
+            depth = max(1, math.ceil(math.log2(num_points)))
+            sort_cycles = math.ceil(num_points * depth / self.lanes)
+        merge_cycles = math.ceil(int(stats.candidates) / self.lanes)
+        gather_cycles = math.ceil(int(stats.matches) / self.gather_ports)
+        return MappingOpEstimate(
+            op=stats.op,
+            method=stats.method,
+            num_points=num_points,
+            num_queries=int(stats.num_queries),
+            sort_cycles=int(sort_cycles),
+            merge_cycles=int(merge_cycles),
+            gather_cycles=int(gather_cycles),
+        )
+
+    def simulate(
+        self, estimates: Sequence[MappingOpEstimate]
+    ) -> MappingSimulation:
+        """Lay the ops out back to back as sort → merge → gather spans."""
+        spans = []
+        cursor = 0
+        for estimate in estimates:
+            cursor += MAPPING_PIPELINE_FILL_CYCLES
+            for phase, cycles in estimate.phase_cycles():
+                if cycles <= 0:
+                    continue
+                spans.append(
+                    MappingPhaseSpan(
+                        op=estimate.op,
+                        phase=phase,
+                        start=cursor,
+                        end=cursor + cycles,
+                    )
+                )
+                cursor += cycles
+        return MappingSimulation(
+            spans=tuple(spans),
+            total_cycles=cursor,
+            clock_hz=self.config.clock_hz,
+        )

@@ -21,6 +21,16 @@ coordinate set is within a churn threshold of a recent entry splices
 the cached rulebook (bit-identically to from-scratch matching) instead
 of rebuilding it, making warm-stream matching cost proportional to the
 per-frame churn rather than the scene size.
+
+:mod:`repro.engine.mapping` adds the mapping-ops subsystem for the
+point-based network family: vectorized sorting-based kNN, ball query,
+farthest-point sampling, and grouping kernels (bit-identical to their
+brute-force references), with :mod:`repro.engine.mapping_delta`
+providing the digest-keyed :class:`MappingCache` and the delta-splicing
+:class:`DeltaMappingCache` that patches cached neighbor tables under
+small coordinate churn.  Sessions surface the subsystem through
+:meth:`repro.engine.session.InferenceSession.map` and serve
+``uses_mapping_ops`` networks end to end.
 """
 
 from repro.engine.backend import (
@@ -46,12 +56,32 @@ from repro.engine.delta import (
     patch_sparse_conv_rulebook,
     patch_submanifold_rulebook,
 )
+from repro.engine.mapping import (
+    MappingResult,
+    MappingStats,
+    as_point_array,
+    ball_query,
+    ball_query_bruteforce,
+    farthest_point_sample,
+    farthest_point_sample_bruteforce,
+    group_points,
+    knn,
+    knn_bruteforce,
+)
+from repro.engine.mapping_delta import (
+    DEFAULT_MAPPING_CAPACITY,
+    DeltaMappingCache,
+    MappingCache,
+    MappingCacheStats,
+    array_digest,
+)
 from repro.engine.session import (
     InferenceSession,
     LayerEstimate,
     NetworkEstimate,
     NetworkPlan,
     PlanCache,
+    PointNetworkEstimate,
     QuantizationSpec,
     ScalePlan,
     SessionStats,
@@ -87,4 +117,20 @@ __all__ = [
     "DeltaCacheStats",
     "DeltaUnsupportedError",
     "DEFAULT_DELTA_THRESHOLD",
+    "MappingResult",
+    "MappingStats",
+    "as_point_array",
+    "knn",
+    "knn_bruteforce",
+    "ball_query",
+    "ball_query_bruteforce",
+    "farthest_point_sample",
+    "farthest_point_sample_bruteforce",
+    "group_points",
+    "MappingCache",
+    "DeltaMappingCache",
+    "MappingCacheStats",
+    "array_digest",
+    "DEFAULT_MAPPING_CAPACITY",
+    "PointNetworkEstimate",
 ]

@@ -460,19 +460,12 @@ class ScipySparseBackend(ExecutionBackend):
         num_inputs = rulebook.num_inputs
         num_outputs = rulebook.num_outputs
         if total:
-            ones = np.ones(total, dtype=np.float64)
-            gather = self._sparse.csr_matrix(
-                (ones, plan.in_rows, np.arange(total + 1)),
-                shape=(total, max(num_inputs, 1)),
-            )
-            out_rows = np.concatenate(
-                [plan.out_rows[k] for k in plan.active_offsets]
-            )
-            scatter = self._sparse.csr_matrix(
-                (ones, (out_rows, np.arange(total))),
-                shape=(max(num_outputs, 1), total),
-            )
-            scatter.sort_indices()  # offset-major accumulation order
+            operators = self._lower_operators(plan, num_inputs, num_outputs)
+            if operators is None:
+                operators = self._lower_operators_coo(
+                    plan, num_inputs, num_outputs
+                )
+            gather, scatter = operators
         else:
             gather = scatter = None
         return CsrExecPlan(
@@ -483,6 +476,86 @@ class ScipySparseBackend(ExecutionBackend):
             gather=gather,
             scatter=scatter,
         )
+
+    def _lower_operators(self, plan_gs, num_inputs, num_outputs):
+        """Canonical CSR lowering of a gather/scatter plan's flat arrays.
+
+        Both the cold :meth:`prepare` and the delta splice of
+        :meth:`refresh` lower through here, so a cold-prepared plan and
+        a spliced plan for the same rulebook hold array-for-array
+        identical operators (asserted in the test suite).  The gather
+        assembles directly from the offset-major ``in_rows``; the
+        scatter assembles through its trivial CSC form — one unit entry
+        per column, at the match's output row, columns ascending in
+        offset-major order — converted to sorted CSR in one C pass,
+        skipping the COO round-trip and the per-row index sort.
+
+        Returns ``None`` when the int32 index scratch cannot address
+        ``total`` matches — callers fall back to
+        :meth:`_lower_operators_coo`.
+        """
+        total = plan_gs.total_matches
+        if total == 0 or total + 1 > np.iinfo(np.int32).max:
+            return None
+        ones, unit_indptr, rows32 = self._splice_buffers(total)
+        position = 0
+        for k in plan_gs.active_offsets:
+            col = plan_gs.out_rows[k]
+            rows32[position:position + len(col)] = col  # concat + cast
+            position += len(col)
+        in_rows32 = np.empty(total, dtype=np.int32)  # plan-owned
+        in_rows32[:] = plan_gs.in_rows
+        gather = self._sparse.csr_matrix(
+            (ones, in_rows32, unit_indptr),
+            shape=(total, max(num_inputs, 1)),
+        )
+        rows = max(num_outputs, 1)
+        csc_tocsr = getattr(
+            getattr(self._sparse, "_sparsetools", None), "csc_tocsr", None
+        )
+        if csc_tocsr is not None:
+            scatter_indptr = np.empty(rows + 1, dtype=np.int32)
+            scatter_indices = np.empty(total, dtype=np.int32)
+            # Every entry is a unit, so the permuted data output equals
+            # the data input — the shared ones buffer safely serves as
+            # both (the kernel only ever writes 1.0 over 1.0).
+            csc_tocsr(
+                rows, total, unit_indptr, rows32, ones,
+                scatter_indptr, scatter_indices, ones,
+            )
+            scatter = self._sparse.csr_matrix(
+                (ones, scatter_indices, scatter_indptr),
+                shape=(rows, total),
+            )
+        else:
+            # scipy >= 1.14 dropped the standalone kernel; the public
+            # conversion emits the same sorted CSR arrays.
+            scatter = self._sparse.csc_matrix(
+                (ones, rows32, unit_indptr), shape=(rows, total)
+            ).tocsr()
+        try:
+            scatter.has_sorted_indices = True  # emitted sorted per row
+        except (AttributeError, TypeError):  # pragma: no cover
+            pass
+        return gather, scatter
+
+    def _lower_operators_coo(self, plan_gs, num_inputs, num_outputs):
+        """COO-constructed operators: the fallback beyond int32 reach."""
+        total = plan_gs.total_matches
+        ones = np.ones(total, dtype=np.float64)
+        gather = self._sparse.csr_matrix(
+            (ones, plan_gs.in_rows, np.arange(total + 1)),
+            shape=(total, max(num_inputs, 1)),
+        )
+        out_rows = np.concatenate(
+            [plan_gs.out_rows[k] for k in plan_gs.active_offsets]
+        )
+        scatter = self._sparse.csr_matrix(
+            (ones, (out_rows, np.arange(total))),
+            shape=(max(num_outputs, 1), total),
+        )
+        scatter.sort_indices()  # offset-major accumulation order
+        return gather, scatter
 
     def refresh(self, old_rulebook, new_rulebook, delta) -> None:
         """Splice ``delta`` into the cached CSR plan instead of re-lowering.
@@ -534,54 +607,16 @@ class ScipySparseBackend(ExecutionBackend):
         if not isinstance(old_plan, CsrExecPlan) or old_plan.scatter is None:
             return None  # degraded-era or empty plan
         total = plan_gs.total_matches
-        if total == 0 or total + 1 > np.iinfo(np.int32).max:
-            return None  # trivial, or beyond the int32 index scratch
-        ones, unit_indptr, rows32 = self._splice_buffers(total)
-        position = 0
-        for k in plan_gs.active_offsets:
-            col = plan_gs.out_rows[k]
-            rows32[position:position + len(col)] = col  # concat + cast
-            position += len(col)
-        in_rows32 = np.empty(total, dtype=np.int32)  # plan-owned
-        in_rows32[:] = plan_gs.in_rows
-        gather = self._sparse.csr_matrix(
-            (ones, in_rows32, unit_indptr),
-            shape=(total, max(new_rulebook.num_inputs, 1)),
+        if total == 0:
+            return None  # trivial: eager re-lowering is already cheap
+        # The canonical lowering shared with prepare(): spliced and
+        # cold-prepared plans come out array-for-array identical.
+        operators = self._lower_operators(
+            plan_gs, new_rulebook.num_inputs, new_rulebook.num_outputs
         )
-        # The scatter's CSC form is free — one unit entry per column, at
-        # the match's output row, columns ascending in offset-major
-        # order — and scipy's csc -> csr conversion emits each row's
-        # columns in ascending order, reproducing the sorted CSR of the
-        # eager COO lowering array for array (asserted in the parity
-        # suite) without the COO round-trip or the index sort.  The C
-        # kernel is invoked directly into plan-owned arrays; the public
-        # constructor path stays as the fallback.
-        num_outputs = max(new_rulebook.num_outputs, 1)
-        csc_tocsr = getattr(
-            getattr(self._sparse, "_sparsetools", None), "csc_tocsr", None
-        )
-        if csc_tocsr is not None:
-            scatter_indptr = np.empty(num_outputs + 1, dtype=np.int32)
-            scatter_indices = np.empty(total, dtype=np.int32)
-            # Every entry is a unit, so the permuted data output equals
-            # the data input — the shared ones buffer safely serves as
-            # both (the kernel only ever writes 1.0 over 1.0).
-            csc_tocsr(
-                num_outputs, total, unit_indptr, rows32, ones,
-                scatter_indptr, scatter_indices, ones,
-            )
-            scatter = self._sparse.csr_matrix(
-                (ones, scatter_indices, scatter_indptr),
-                shape=(num_outputs, total),
-            )
-            try:
-                scatter.has_sorted_indices = True  # emitted sorted per row
-            except (AttributeError, TypeError):  # pragma: no cover
-                pass
-        else:  # pragma: no cover - scipy without the C kernel
-            scatter = self._sparse.csc_matrix(
-                (ones, rows32, unit_indptr), shape=(num_outputs, total)
-            ).tocsr()
+        if operators is None:
+            return None  # beyond the int32 scratch: re-lower eagerly
+        gather, scatter = operators
         plan = CsrExecPlan(
             backend=self.name,
             total_matches=total,

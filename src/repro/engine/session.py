@@ -67,7 +67,15 @@ from repro.engine.backend import (
     NumpyFusedBackend,
     get_backend,
 )
+from repro.arch.mapping_model import (
+    MappingCostModel,
+    MappingOpEstimate,
+    MappingSimulation,
+)
+from repro.engine import mapping as mapping_ops
 from repro.engine.delta import DEFAULT_DELTA_THRESHOLD, DeltaRulebookCache
+from repro.engine.mapping import MappingResult
+from repro.engine.mapping_delta import DeltaMappingCache, MappingCache
 from repro.nn.functional import ApplyStats, normalize_weights
 from repro.nn.layers import (
     BatchNormSparse,
@@ -144,6 +152,14 @@ class SessionStats:
     #: backends with an incremental ``refresh``, e.g. ``scipy``).
     plans_refreshed: int = 0
     plans_spliced: int = 0
+    #: Mapping-ops cache accounting (kNN / ball-query / FPS lookups
+    #: routed through the session's :class:`MappingCache`; patch and
+    #: rebuild counts are populated when the session runs a delta-
+    #: splicing :class:`repro.engine.mapping_delta.DeltaMappingCache`).
+    mapping_hits: int = 0
+    mapping_misses: int = 0
+    mapping_patches: int = 0
+    mapping_rebuilds: int = 0
 
 
 @dataclass(frozen=True)
@@ -214,6 +230,29 @@ class NetworkEstimate:
         if self.end_to_end_seconds == 0.0:
             return 0.0
         return self.effective_ops / self.end_to_end_seconds / 1e9
+
+
+@dataclass
+class PointNetworkEstimate:
+    """Analytical estimate of a point-based (mapping-ops) network forward.
+
+    One :class:`~repro.arch.mapping_model.MappingOpEstimate` per mapping
+    operation the network's forward performed, priced on the unified
+    sort/merge/gather pipeline of :mod:`repro.arch.mapping_model`.  The
+    dense per-neighborhood MLP work is not modeled here (ROADMAP: host
+    MLP modeling for the point family).
+    """
+
+    mapping_ops: List[MappingOpEstimate] = field(default_factory=list)
+    clock_hz: float = 270e6
+
+    @property
+    def total_mapping_cycles(self) -> int:
+        return sum(op.total_cycles for op in self.mapping_ops)
+
+    @property
+    def mapping_seconds(self) -> float:
+        return self.total_mapping_cycles / self.clock_hz
 
 
 @dataclass
@@ -428,7 +467,10 @@ class InferenceSession:
     net / unet_config:
         The network to serve.  Omitting both defers construction of a
         default :class:`SSUNet` until first use (sessions that only
-        serve single-layer streaming estimates never build one).
+        serve single-layer streaming estimates never build one).  A
+        point-based network (``uses_mapping_ops``, e.g.
+        :class:`repro.nn.point_layers.PointNetClassifier`) is served
+        through the mapping subsystem instead of the rulebook path.
     precision:
         ``"float64"`` (default, the reference arithmetic), ``"float32"``
         (weights and activations cast once, the pipeline stays float32),
@@ -456,6 +498,12 @@ class InferenceSession:
         bit-identical to from-scratch matching, so enabling delta never
         changes results — only how much matching work a digest miss
         costs.
+    mapping_cache:
+        The neighbor-table cache behind :meth:`map` and point-based
+        forwards.  ``None`` (default) follows the session's delta
+        posture: a :class:`repro.engine.mapping_delta.DeltaMappingCache`
+        at the active delta threshold when delta matching is on, else a
+        plain digest-keyed :class:`MappingCache`.
     """
 
     def __init__(
@@ -471,6 +519,7 @@ class InferenceSession:
         quantization: Optional[QuantizationSpec] = None,
         backend: Optional[object] = None,
         delta: Optional[object] = None,
+        mapping_cache: Optional[MappingCache] = None,
     ) -> None:
         if net is not None and unet_config is not None and net.config != unet_config:
             raise ValueError("net and unet_config disagree; pass only one")
@@ -506,6 +555,23 @@ class InferenceSession:
             # Plan-invalidation hook: patched rulebooks refresh the
             # backend's prepared artifacts instead of discarding them.
             self.rulebook_cache.register_listener(self.backend)
+        if mapping_cache is None:
+            # Mapping lookups follow the session's delta posture: delta
+            # matching on the rulebook side implies delta splicing of
+            # neighbor tables at the same churn threshold.
+            threshold = self.delta_threshold
+            mapping_cache = (
+                DeltaMappingCache(threshold=threshold)
+                if threshold > 0.0
+                else MappingCache()
+            )
+        if not isinstance(mapping_cache, MappingCache):
+            raise TypeError(
+                "mapping_cache must be a MappingCache, got "
+                f"{type(mapping_cache).__name__}"
+            )
+        self.mapping_cache = mapping_cache
+        self.mapping_model = MappingCostModel(self.accelerator_config)
         self.analytical = AnalyticalModel(self.accelerator_config)
         self.apply_stats = ApplyStats()
         self._frames_run = 0
@@ -588,6 +654,12 @@ class InferenceSession:
             self._unet_config = self._net.config
         return self._net
 
+    def _mapping_network(self) -> bool:
+        """Whether the served network runs on mapping ops (PointNet++-
+        family) instead of the rulebook path (see
+        :mod:`repro.nn.point_layers`)."""
+        return bool(getattr(self._net, "uses_mapping_ops", False))
+
     @property
     def unet_config(self) -> UNetConfig:
         return self.net.config
@@ -629,10 +701,15 @@ class InferenceSession:
             - self._plans_refreshed_base,
             plans_spliced=getattr(self.backend, "plans_spliced", 0)
             - self._plans_spliced_base,
+            mapping_hits=self.mapping_cache.hits,
+            mapping_misses=self.mapping_cache.misses,
+            mapping_patches=getattr(self.mapping_cache, "patches", 0),
+            mapping_rebuilds=getattr(self.mapping_cache, "rebuilds", 0),
         )
 
     def reset_stats(self) -> None:
         self.rulebook_cache.reset_stats()
+        self.mapping_cache.reset_stats()
         self.plan_cache.reset_stats()
         self.apply_stats = ApplyStats()
         self._frames_run = 0
@@ -652,6 +729,11 @@ class InferenceSession:
         the estimate, and the host model will consume; afterwards every
         consumer is a cache hit.  Idempotent and cheap when warm.
         """
+        if self._mapping_network():
+            raise TypeError(
+                "warm() plans rulebook networks; point-based networks "
+                "build neighbor tables on demand through the mapping cache"
+            )
         return self.plan_cache.network_plan(tensor, self.net, self.rulebook_cache)
 
     def matching(
@@ -661,11 +743,67 @@ class InferenceSession:
         k = kernel_size or self.accelerator_config.kernel_size
         return self.rulebook_cache.submanifold(tensor, k)
 
+    def map(self, op: str, points, queries=None, **params) -> MappingResult:
+        """One mapping op (kNN / ball query / FPS / grouping) through the
+        session's mapping cache.
+
+        ``op`` selects the operator: ``"knn"`` (``k=``), ``"ball_query"``
+        (``radius=``, ``max_samples=``), ``"farthest_point_sample"`` or
+        ``"fps"`` (``num_samples=``), or ``"group_points"``
+        (``indices=``; executed directly — gathers are value-dependent
+        and cheap, so they bypass the cache).  Cached lookups are
+        bit-identical to calling :mod:`repro.engine.mapping` directly;
+        with a :class:`repro.engine.mapping_delta.DeltaMappingCache` a
+        near-miss on the point set splices the cached neighbor table
+        instead of rebuilding it.
+        """
+
+        def take(name: str):
+            if name not in params:
+                raise TypeError(f"{op!r} requires {name}=")
+            return params.pop(name)
+
+        if op == "knn":
+            result = self.mapping_cache.knn(points, take("k"), queries=queries)
+        elif op == "ball_query":
+            result = self.mapping_cache.ball_query(
+                points, take("radius"), take("max_samples"), queries=queries
+            )
+        elif op in ("farthest_point_sample", "fps"):
+            if queries is not None:
+                raise ValueError("farthest_point_sample takes no queries")
+            result = self.mapping_cache.farthest_point_sample(
+                points, take("num_samples")
+            )
+        elif op == "group_points":
+            if queries is not None:
+                raise ValueError("group_points takes no queries")
+            result = mapping_ops.group_points(points, take("indices"))
+        else:
+            raise ValueError(
+                "op must be one of 'knn', 'ball_query', "
+                f"'farthest_point_sample', 'group_points'; got {op!r}"
+            )
+        if params:
+            raise TypeError(
+                f"unexpected parameters for {op!r}: {sorted(params)}"
+            )
+        return result
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, tensor: SparseTensor3D) -> SparseTensor3D:
-        """Network forward of one frame through the session caches."""
+        """Network forward of one frame through the session caches.
+
+        Rulebook networks return the output :class:`SparseTensor3D`;
+        point-based networks (``uses_mapping_ops``, see
+        :mod:`repro.nn.point_layers`) return their logits array, with
+        every mapping op routed through the session's mapping cache.
+        """
+        if self._mapping_network():
+            self._frames_run += 1
+            return self.net(tensor, mapping_cache=self.mapping_cache)
         plan = self.warm(tensor)
         self._frames_run += 1
         if self.precision == "float64" and isinstance(
@@ -702,6 +840,17 @@ class InferenceSession:
         tensors = list(tensors)
         if not tensors:
             return []
+        if self._mapping_network():
+            # Point networks have no digest-shareable plan; frames run
+            # one by one through the shared mapping cache (warm lookups
+            # and delta splices do the sharing instead).
+            outs = [
+                self.net(tensor, mapping_cache=self.mapping_cache)
+                for tensor in tensors
+            ]
+            self._batches_run += 1
+            self._frames_run += len(tensors)
+            return outs  # type: ignore[return-value]
         self._validate_batch_channels(tensors)
         groups: "OrderedDict[Hashable, List[int]]" = OrderedDict()
         for index, tensor in enumerate(tensors):
@@ -827,10 +976,27 @@ class InferenceSession:
         strided/transposed/pointwise layers go through the host model —
         all consuming the session plan's rulebooks, so a warm session
         estimates without a single additional matching pass.
+
+        Point-based networks return a :class:`PointNetworkEstimate`
+        instead: the forward is replayed once to trace its mapping ops,
+        and each op is priced on the unified sort/merge/gather pipeline
+        by :class:`repro.arch.mapping_model.MappingCostModel`.
         """
+        if self._mapping_network():
+            self._estimates += 1
+            return PointNetworkEstimate(
+                mapping_ops=self._mapping_op_estimates(tensor),
+                clock_hz=self.accelerator_config.clock_hz,
+            )
         plan = self.warm(tensor)
         self._estimates += 1
         return self._estimate_from_plan(plan)
+
+    def _mapping_op_estimates(self, tensor) -> List[MappingOpEstimate]:
+        """Replay a point-network forward, pricing every mapping op."""
+        trace: List[MappingResult] = []
+        self.net(tensor, mapping_cache=self.mapping_cache, trace=trace)
+        return [self.mapping_model.estimate(result.stats) for result in trace]
 
     def estimate_batch(
         self, tensors: Sequence[SparseTensor3D]
@@ -845,6 +1011,10 @@ class InferenceSession:
         the test suite.
         """
         tensors = list(tensors)
+        if self._mapping_network():
+            # No site-set sharing for point networks; the per-call
+            # method keeps the estimate counter.
+            return [self.estimate(tensor) for tensor in tensors]
         results: List[Optional[NetworkEstimate]] = [None] * len(tensors)
         group_estimates: Dict[Hashable, NetworkEstimate] = {}
         for index, tensor in enumerate(tensors):
@@ -978,8 +1148,18 @@ class InferenceSession:
         verify: bool = False,
         include_host_layers: bool = True,
     ) -> NetworkRunResult:
-        """Cycle-accurate simulation of the network, session-cached rulebooks."""
+        """Cycle-accurate simulation of the network, session-cached rulebooks.
+
+        Point-based networks return a
+        :class:`repro.arch.mapping_model.MappingSimulation` — the traced
+        mapping ops laid out back to back on the shared sort/merge/gather
+        pipeline (``verify``/``include_host_layers`` do not apply).
+        """
         self._simulations += 1
+        if self._mapping_network():
+            return self.mapping_model.simulate(
+                self._mapping_op_estimates(tensor)
+            )
         return self._simulate(
             tensor, verify=verify, include_host_layers=include_host_layers
         )
@@ -1005,6 +1185,8 @@ class InferenceSession:
         :meth:`simulate` is asserted in the test suite.
         """
         tensors = list(tensors)
+        if self._mapping_network():
+            return [self.simulate(tensor, verify=verify) for tensor in tensors]
         results: List[Optional[NetworkRunResult]] = [None] * len(tensors)
         group_results: Dict[Hashable, NetworkRunResult] = {}
         for index, tensor in enumerate(tensors):

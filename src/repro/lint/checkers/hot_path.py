@@ -256,7 +256,16 @@ class HotPathChecker(Checker):
         "no np.add.at, per-element loops, collection-append accumulation, "
         "or unrouted float narrowing in the engine/matching hot paths"
     )
-    scope = ("*engine/*.py", "*sparse/ops.py", "*nn/rulebook.py")
+    # ``*engine/*.py`` covers the whole engine package, including the
+    # mapping-ops subsystem (mapping.py, mapping_delta.py); the point-
+    # based layers ride the mapping hot path too, so they are scoped in
+    # alongside the rulebook builder.
+    scope = (
+        "*engine/*.py",
+        "*sparse/ops.py",
+        "*nn/rulebook.py",
+        "*nn/point_layers.py",
+    )
 
     def check(self, project: Project) -> List[Violation]:
         violations: List[Violation] = []

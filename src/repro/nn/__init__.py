@@ -40,6 +40,11 @@ from repro.nn.layers import (
     SubmanifoldConv3d,
 )
 from repro.nn.network import Module, Parameter, Sequential
+from repro.nn.point_layers import (
+    PointNetClassifier,
+    PointNetConfig,
+    SetAbstraction,
+)
 from repro.nn.unet import (
     LayerExecution,
     SSUNet,
@@ -75,6 +80,9 @@ __all__ = [
     "SparseInverseConv3d",
     "BatchNormSparse",
     "ReLUSparse",
+    "PointNetConfig",
+    "PointNetClassifier",
+    "SetAbstraction",
     "SSUNet",
     "UNetConfig",
     "LayerExecution",

@@ -1,0 +1,215 @@
+"""Point-based network layers over the mapping-ops subsystem.
+
+The source paper's accelerator serves voxel sparse convolutions; PointAcc
+and HLS4PC (PAPERS.md) serve the *point-based* family — PointNet++-style
+networks whose structural work is farthest-point sampling, neighborhood
+search, and grouping.  This module provides that family's minimal
+building blocks on top of :mod:`repro.engine.mapping`:
+
+* :class:`SetAbstraction` — the PointNet++ block: FPS picks centroids, a
+  kNN or ball-query search collects each centroid's neighborhood, the
+  gathered (relative-position, feature) rows run through a shared MLP,
+  and a masked max-pool reduces each neighborhood to one feature row.
+* :class:`PointNetClassifier` — a stack of set-abstraction blocks with a
+  global-pooled linear head, enough to run a point-based model
+  end-to-end through :meth:`repro.engine.session.InferenceSession.run`.
+
+Blocks route every mapping op through a session-owned
+:class:`repro.engine.mapping_delta.MappingCache` when one is passed in,
+and append each op's :class:`MappingResult` to an optional ``trace`` list
+— the estimator replays such traces against the
+:class:`repro.arch.mapping_model.MappingCostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.init import kaiming_uniform
+from repro.nn.network import Module, Parameter
+from repro.sparse.coo import SparseTensor3D
+
+
+def _mapping():
+    # Imported lazily: repro.nn loads before repro.engine in the package
+    # graph, so a module-level import would cycle through engine.session.
+    from repro.engine import mapping
+
+    return mapping
+
+
+@dataclass(frozen=True)
+class PointNetConfig:
+    """Hyperparameters of the minimal PointNet++-style classifier.
+
+    ``radii=None`` groups neighborhoods by kNN; a per-stage tuple of radii
+    switches grouping to ball query with ``neighbors`` as the sample cap.
+    """
+
+    in_channels: int = 1
+    num_classes: int = 8
+    centroids: Tuple[int, ...] = (128, 32)
+    widths: Tuple[int, ...] = (32, 64)
+    neighbors: int = 8
+    radii: Optional[Tuple[float, ...]] = None
+    seed: int = 0
+
+
+class SetAbstraction(Module):
+    """One PointNet++ set-abstraction block: sample, group, pool.
+
+    ``forward`` maps ``(coords, features)`` with ``N`` rows to
+    ``(coords', features')`` with ``num_centroids`` rows (fewer when the
+    input is smaller than the centroid budget).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        num_centroids: int,
+        neighbors: int,
+        radius: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "sa",
+    ) -> None:
+        super().__init__()
+        if in_channels < 1 or out_channels < 1:
+            raise ValueError("channel counts must be positive")
+        if num_centroids < 1:
+            raise ValueError(f"num_centroids must be positive, got {num_centroids}")
+        if neighbors < 1:
+            raise ValueError(f"neighbors must be positive, got {neighbors}")
+        if radius is not None and radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.num_centroids = num_centroids
+        self.neighbors = neighbors
+        self.radius = None if radius is None else float(radius)
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels + 3
+        self.weight = self.register_parameter(
+            "weight",
+            Parameter(
+                kaiming_uniform(rng, (fan_in, out_channels), fan_in=fan_in),
+                name=f"{name}.weight",
+            ),
+        )
+        self.bias = self.register_parameter(
+            "bias", Parameter(np.zeros(out_channels), name=f"{name}.bias")
+        )
+
+    def forward(self, state, **kwargs):
+        coords, features = state
+        mapping_cache = kwargs.get("mapping_cache")
+        trace = kwargs.get("trace")
+        ops = _mapping()
+        points = ops.as_point_array(coords)
+        if features.shape[0] != points.shape[0]:
+            raise ValueError("coords and features must have matching rows")
+        if features.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} feature channels, "
+                f"got {features.shape[1]}"
+            )
+
+        if mapping_cache is not None:
+            sampled = mapping_cache.farthest_point_sample(coords, self.num_centroids)
+        else:
+            sampled = ops.farthest_point_sample(coords, self.num_centroids)
+        centroid_rows = sampled.indices[sampled.indices >= 0]
+        centroids = coords[centroid_rows]
+        if self.radius is None:
+            if mapping_cache is not None:
+                grouped = mapping_cache.knn(coords, self.neighbors, queries=centroids)
+            else:
+                grouped = ops.knn(coords, centroids, k=self.neighbors)
+        else:
+            if mapping_cache is not None:
+                grouped = mapping_cache.ball_query(
+                    coords, self.radius, self.neighbors, queries=centroids
+                )
+            else:
+                grouped = ops.ball_query(
+                    coords, centroids, radius=self.radius, max_samples=self.neighbors
+                )
+        gathered = ops.group_points(features, grouped.indices)
+        if trace is not None:
+            trace.extend([sampled, grouped, gathered])
+
+        neighbor_idx = grouped.indices
+        safe = np.where(neighbor_idx < 0, 0, neighbor_idx)
+        relative = points[safe] - ops.as_point_array(centroids)[:, None, :]
+        stacked = np.concatenate([relative, gathered.grouped], axis=2)
+        hidden = np.maximum(
+            stacked @ self.weight.value + self.bias.value, 0.0
+        )
+        # Masked max-pool: every centroid is its own neighbor (distance 0),
+        # so each row keeps at least one valid entry.
+        masked = np.where((neighbor_idx >= 0)[:, :, None], hidden, -np.inf)
+        pooled = masked.max(axis=1)
+        return centroids, pooled
+
+
+class PointNetClassifier(Module):
+    """Minimal PointNet++-style classifier over a sparse voxel tensor.
+
+    Consumes a :class:`SparseTensor3D` (coordinates as the point set,
+    features as per-point attributes) and produces ``(num_classes,)``
+    logits; sessions route it through the mapping subsystem instead of
+    the rulebook path (see ``uses_mapping_ops``).
+    """
+
+    uses_mapping_ops = True
+
+    def __init__(self, config: Optional[PointNetConfig] = None) -> None:
+        super().__init__()
+        self.config = config or PointNetConfig()
+        cfg = self.config
+        if len(cfg.centroids) != len(cfg.widths) or not cfg.centroids:
+            raise ValueError("centroids and widths must be equal-length, non-empty")
+        if cfg.radii is not None and len(cfg.radii) != len(cfg.centroids):
+            raise ValueError("radii must match the number of stages")
+        rng = np.random.default_rng(cfg.seed)
+        channel_plan = (cfg.in_channels,) + tuple(cfg.widths)
+        self.blocks: List[SetAbstraction] = []
+        for stage, num_centroids in enumerate(cfg.centroids):
+            block = SetAbstraction(
+                in_channels=channel_plan[stage],
+                out_channels=channel_plan[stage + 1],
+                num_centroids=num_centroids,
+                neighbors=cfg.neighbors,
+                radius=None if cfg.radii is None else cfg.radii[stage],
+                rng=rng,
+                name=f"sa{stage}",
+            )
+            self.blocks.append(self.register_child(f"sa{stage}", block))
+        head_weight = kaiming_uniform(
+            rng, (cfg.widths[-1], cfg.num_classes), fan_in=cfg.widths[-1]
+        )
+        self.head_weight = self.register_parameter(
+            "head_weight", Parameter(head_weight, name="head.weight")
+        )
+        self.head_bias = self.register_parameter(
+            "head_bias", Parameter(np.zeros(cfg.num_classes), name="head.bias")
+        )
+
+    def forward(self, tensor: SparseTensor3D, **kwargs) -> np.ndarray:
+        """Class logits ``(num_classes,)`` for one point/voxel cloud."""
+        coords = tensor.coords
+        features = np.asarray(tensor.features, dtype=np.float64)
+        if coords.shape[0] == 0:
+            return np.array(self.head_bias.value, copy=True)
+        state = (coords, features)
+        for block in self.blocks:
+            state = block(state, **kwargs)
+        pooled = state[1].max(axis=0)
+        return pooled @ self.head_weight.value + self.head_bias.value
+
+    def predict(self, tensor: SparseTensor3D, **kwargs) -> int:
+        """Argmax class for one cloud."""
+        return int(np.argmax(self.forward(tensor, **kwargs)))

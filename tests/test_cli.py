@@ -192,3 +192,42 @@ def test_cli_misplaced_subcommand_hint(capsys):
         main(["table1", "serve"])
     err = capsys.readouterr().err
     assert "'serve' is a subcommand and must come first" in err
+
+
+def test_cli_points_subcommand(capsys):
+    assert main(
+        ["points", "--frames", "3", "--points", "2000",
+         "--resolution", "48", "--seed", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "served 3 point-based frames at 48^3" in out
+    assert "mapping cache:" in out
+    assert "delta splicing:" in out
+    assert "modeled mapping cost:" in out
+    # The drifting self-query tables splice on warm frames.
+    assert "delta-patch" in out
+
+
+def test_cli_points_delta_zero_disables_splicing(capsys):
+    assert main(
+        ["points", "--frames", "2", "--points", "1500",
+         "--resolution", "48", "--delta", "0"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "0 patches, 0 rebuilds" in out
+
+
+def test_cli_points_validation():
+    with pytest.raises(SystemExit):
+        main(["points", "--frames", "0"])
+    with pytest.raises(SystemExit):
+        main(["points", "--churn", "1.5"])
+    with pytest.raises(SystemExit):
+        main(["points", "--delta", "2.0"])
+
+
+def test_cli_points_help_mentions_mapping(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["points", "--help"])
+    assert excinfo.value.code == 0
+    assert "mapping-ops subsystem" in capsys.readouterr().out
