@@ -7,6 +7,8 @@ Usage::
     python -m repro --seed 3 table1 # different synthetic sample
     python -m repro stream          # streaming demo via InferenceSession
     python -m repro serve           # async micro-batching serve demo
+    python -m repro serve --cluster 2   # loopback worker-fleet serve demo
+    python -m repro worker --port 0 # one cluster worker node
     python -m repro points          # point-based net via the mapping ops
     python -m repro lint            # AST-based invariant analyzer
 """
@@ -45,7 +47,9 @@ def build_parser() -> argparse.ArgumentParser:
             "The 'stream' subcommand (python -m repro stream --help) runs "
             "the streaming runtime through an InferenceSession instead; "
             "'serve' (python -m repro serve --help) runs the async "
-            "micro-batching request queue; 'points' (python -m repro points "
+            "micro-batching request queue (add --cluster N for the loopback "
+            "worker-fleet demo); 'worker' (python -m repro worker --help) "
+            "runs one cluster worker node; 'points' (python -m repro points "
             "--help) serves a point-based network through the mapping-ops "
             "subsystem; 'lint' (python -m repro lint "
             "--help) runs the repo's AST-based invariant analyzer."
@@ -157,6 +161,7 @@ def _resolve_backend(parser: argparse.ArgumentParser, name: str) -> str:
     instead of surfacing later from the registry deep inside session
     construction.
     """
+    import repro.runtime  # noqa: F401  (registers the "remote" backend)
     from repro.engine import available_backends
 
     if name not in available_backends():
@@ -235,11 +240,132 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "(default: none)",
     )
     parser.add_argument(
+        "--cluster", type=int, default=None, metavar="N",
+        help="spawn N loopback worker processes and serve through the "
+        "'remote' cluster backend instead of an in-process one; runs the "
+        "drifting-scene demo, verifies bit-identity against the in-process "
+        "numpy session, and reports cluster vs single-node throughput",
+    )
+    parser.add_argument(
+        "--churn", type=float, default=0.02,
+        help="cluster demo only: per-frame point churn of the drifting "
+        "scene (default 0.02)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0, help="scene seed (default 0)"
     )
     _add_backend_argument(parser)
     _add_delta_argument(parser)
     return parser
+
+
+def _run_serve_cluster(parser: argparse.ArgumentParser, args) -> int:
+    """The ``serve --cluster N`` demo: a loopback worker fleet.
+
+    Spawns N ``python -m repro worker`` subprocesses, serves a drifting
+    scene through a :class:`SessionServer` whose session fans digest
+    groups out over the ``remote`` backend, verifies every served output
+    bit-for-bit against an in-process numpy session, and prints cluster
+    vs single-node serve throughput.  Exits nonzero when the
+    bit-identity verification fails, so CI can gate on it.
+    """
+    import time
+
+    from repro.engine import InferenceSession
+    from repro.geometry import Voxelizer, make_shapenet_like_cloud
+    from repro.runtime import (
+        DriftingSceneSource,
+        LocalWorkerFleet,
+        RemoteShardBackend,
+        serve_frames,
+    )
+
+    source = DriftingSceneSource(
+        base_cloud=make_shapenet_like_cloud(
+            seed=args.seed, n_points=args.points
+        ),
+        num_frames=args.frames,
+        churn=args.churn,
+        seed=args.seed,
+    )
+    voxelizer = Voxelizer(
+        resolution=args.resolution, normalize=False, occupancy_only=True
+    )
+    scene = [voxelizer.voxelize(cloud) for cloud in source]
+    requests = [frame for frame in scene for _ in range(args.clients)]
+
+    fleet = LocalWorkerFleet.spawn(args.cluster)
+    backend = RemoteShardBackend(workers=fleet.addresses)
+    try:
+        session = InferenceSession(backend=backend)
+        session.warm(scene[0])
+        outputs, stats = serve_frames(
+            requests,
+            session=session,
+            concurrency=args.clients,
+            max_batch=args.max_batch,
+            max_delay_s=args.max_delay_ms / 1e3,
+        )
+        # Single-node comparison: the same serve loop over an
+        # in-process numpy session (same micro-batching, no fan-out).
+        single = InferenceSession(backend="numpy")
+        single.warm(scene[0])
+        _, single_stats = serve_frames(
+            requests,
+            session=single,
+            concurrency=args.clients,
+            max_batch=args.max_batch,
+            max_delay_s=args.max_delay_ms / 1e3,
+        )
+        # Bit-identity referee: sequential in-process numpy runs.
+        reference = InferenceSession(backend="numpy")
+        reference.warm(scene[0])
+        start = time.perf_counter()
+        baseline = [reference.run(frame) for frame in requests]
+        sequential_seconds = time.perf_counter() - start
+        identical = all(
+            out is not None
+            and out.features.dtype == ref.features.dtype
+            and (out.features == ref.features).all()
+            for out, ref in zip(outputs, baseline)
+        )
+        cluster_stats = backend.stats
+        print(
+            f"served {stats.requests} requests ({args.frames} frames x "
+            f"{args.clients} clients) at {args.resolution}^3 via a "
+            f"{args.cluster}-worker loopback cluster (drifting scene, "
+            f"churn {args.churn})"
+        )
+        print(
+            f"  micro-batches:      {stats.micro_batches} "
+            f"(mean size {stats.mean_batch_size:.1f}, "
+            f"max {stats.max_batch_size})"
+        )
+        print(
+            f"  cluster routing:    {cluster_stats.groups_dispatched} groups "
+            f"/ {cluster_stats.frames_dispatched} frames dispatched, "
+            f"{cluster_stats.spec_syncs} spec syncs, "
+            f"{cluster_stats.workers_lost} workers lost, "
+            f"{cluster_stats.groups_rerouted} groups rerouted"
+        )
+        print(f"  cluster serve:      {stats.fps:10.2f} frames/s")
+        print(f"  single-node serve:  {single_stats.fps:10.2f} frames/s")
+        print(
+            f"  sequential numpy:   "
+            f"{len(requests) / sequential_seconds:10.2f} frames/s"
+        )
+        verdict = "yes" if identical else "NO"
+        ratio = stats.fps / single_stats.fps if single_stats.fps else 0.0
+        print(
+            f"  cluster vs single:  {ratio:10.2f}x "
+            f"(bit-identical: {verdict})"
+        )
+        if not identical:
+            return 1
+        return 0
+    finally:
+        backend.close()
+        fleet.terminate()
 
 
 def run_serve(argv: List[str]) -> int:
@@ -256,6 +382,19 @@ def run_serve(argv: List[str]) -> int:
         parser.error("--frames must be positive")
     if args.clients <= 0:
         parser.error("--clients must be positive")
+    if args.cluster is not None:
+        if args.cluster < 1:
+            parser.error("--cluster must be >= 1")
+        if not 0.0 <= args.churn <= 1.0:
+            parser.error("--churn must lie in [0, 1]")
+        if args.backend != "numpy":
+            parser.error(
+                "--cluster serves through the 'remote' backend; drop "
+                "--backend"
+            )
+        if args.delta is not None:
+            parser.error("--cluster does not take --delta")
+        return _run_serve_cluster(parser, args)
     backend = _resolve_backend(parser, args.backend)
     delta = _resolve_delta(parser, args.delta)
     if args.max_pending is not None and args.max_pending < 1:
@@ -441,6 +580,63 @@ def run_stream(argv: List[str]) -> int:
     return 0
 
 
+def build_worker_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro worker",
+        description=(
+            "Run one cluster worker node: a TCP endpoint hosting a warm "
+            "InferenceSession per synced net-spec digest, serving "
+            "EXECUTE_BATCH digest groups to a RemoteShardBackend "
+            "coordinator (see docs/cluster.md)."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to listen on (default 0 = ephemeral; the bound "
+        "port is announced on stdout as 'repro-worker ready ... port=P')",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=4,
+        help="warm spec-digest sessions to keep (LRU, default 4); during "
+        "a weight swap the old and new digests serve concurrently",
+    )
+    return parser
+
+
+def run_worker(argv: List[str]) -> int:
+    """The ``worker`` subcommand: one cluster serving node."""
+    import asyncio
+
+    from repro.runtime.worker import serve_worker
+
+    parser = build_worker_parser()
+    args = parser.parse_args(argv)
+    if not 0 <= args.port <= 65535:
+        parser.error(f"--port must lie in [0, 65535], got {args.port}")
+    if args.max_sessions < 1:
+        parser.error("--max-sessions must be >= 1")
+
+    def announce(line: str) -> None:
+        print(line, flush=True)
+
+    try:
+        asyncio.run(
+            serve_worker(
+                host=args.host,
+                port=args.port,
+                max_sessions=args.max_sessions,
+                announce=announce,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def build_points_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro points",
@@ -566,6 +762,8 @@ def main(argv: List[str] | None = None) -> int:
         return run_stream(list(argv[1:]))
     if argv and argv[0] == "serve":
         return run_serve(list(argv[1:]))
+    if argv and argv[0] == "worker":
+        return run_worker(list(argv[1:]))
     if argv and argv[0] == "points":
         return run_points(list(argv[1:]))
     if argv and argv[0] == "lint":
@@ -579,7 +777,7 @@ def main(argv: List[str] | None = None) -> int:
     if unknown:
         subcommands = [
             name
-            for name in ("stream", "serve", "points", "lint")
+            for name in ("stream", "serve", "worker", "points", "lint")
             if name in unknown
         ]
         if subcommands:
@@ -587,7 +785,7 @@ def main(argv: List[str] | None = None) -> int:
             verb = "are subcommands" if len(subcommands) > 1 else "is a subcommand"
             hint = (
                 f"; note: {names} {verb} and must come first "
-                "(python -m repro stream|serve|points|lint [options])"
+                "(python -m repro stream|serve|worker|points|lint [options])"
             )
         else:
             hint = ""

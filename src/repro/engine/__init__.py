@@ -39,6 +39,7 @@ from repro.engine.backend import (
     ExecutionBackend,
     NumpyFusedBackend,
     ScipySparseBackend,
+    ShardSpecStore,
     ShardedProcessBackend,
     available_backends,
     get_backend,
@@ -104,6 +105,7 @@ __all__ = [
     "NumpyFusedBackend",
     "ScipySparseBackend",
     "ShardedProcessBackend",
+    "ShardSpecStore",
     "register_backend",
     "get_backend",
     "available_backends",

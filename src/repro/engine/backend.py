@@ -81,15 +81,20 @@ class BackendCapabilities:
     vectorizes the gather/scatter stages across frames (rather than
     looping :meth:`~ExecutionBackend.execute`); ``sharded`` means the
     backend accepts whole ``run_batch`` digest groups via
-    :meth:`ExecutionBackend.run_groups`; ``degraded`` marks a backend
-    whose optional dependency is missing and which is transparently
-    falling back to the fused numpy engine.
+    :meth:`ExecutionBackend.run_groups`; ``offload_single_group`` asks
+    the session to route even a one-group batch through
+    ``run_groups`` (a remote tier wants every group off-box, while a
+    process pool only pays its IPC cost when there are groups to
+    overlap); ``degraded`` marks a backend whose optional dependency is
+    missing and which is transparently falling back to the fused numpy
+    engine.
     """
 
     name: str
     description: str
     native_batch: bool = False
     sharded: bool = False
+    offload_single_group: bool = False
     degraded: bool = False
     requires: Optional[str] = None
 
@@ -777,6 +782,140 @@ class GroupTask:
     digest: bytes = b""
 
 
+class ShardSpecStore:
+    """Shared spec/plan-seeding state for sharded and remote backends.
+
+    Both process-pool and network fan-out speak the same contract — a
+    worker is warmed from one pickled ``(net, precision, quantization)``
+    blob, then executes digest groups against it — so the blob memo and
+    the record of which site sets a deployment has served live *outside*
+    any single backend.  Splitting this state out of
+    :class:`ShardedProcessBackend` (where PR 5 grew it) is what lets a
+    remote worker rejoin warm: the coordinator replays the current spec
+    blob plus the recorded plan seeds, and it is also the seam for
+    zero-downtime weight swaps (a new blob is a new digest; workers keep
+    serving the old spec until traffic moves).
+
+    Pickling the network is O(weight bytes); the blob is memoized behind
+    two guards.  The warm path compares *pinned strong references* by
+    identity (the ``plan_for`` pattern: pinning keeps the objects alive,
+    so identity is O(1) and can never alias a recycled id).  On an
+    identity miss the memo falls back to a *content* fingerprint (weight
+    digest + settings), so a different net object with identical weights
+    still reuses the blob and a swapped net always re-pickles — keying
+    on bare ``id()`` without pinning was unsound: after GC a different
+    net could recycle the id and the workers would silently keep serving
+    the old weights.
+    """
+
+    #: Bound on recorded plan seeds: streaming workloads mint fresh site
+    #: sets, so the seed registry must evict rather than grow forever.
+    seed_capacity: int = 128
+
+    def __init__(self, seed_capacity: Optional[int] = None) -> None:
+        if seed_capacity is not None:
+            if seed_capacity < 1:
+                raise ValueError(
+                    f"seed_capacity must be >= 1, got {seed_capacity}"
+                )
+            self.seed_capacity = int(seed_capacity)
+        self._pin: Optional[Tuple[object, str, object]] = None
+        self._key: Optional[Tuple] = None
+        self._blob: Optional[bytes] = None
+        self._digest: Optional[bytes] = None
+        # digest -> (coords, shape): the site sets served under the
+        # current deployment, i.e. the plans a rejoining worker should
+        # re-derive before traffic reaches it.
+        self._seeds: "OrderedDict[bytes, Tuple[np.ndarray, Tuple[int, ...]]]" = (
+            OrderedDict()
+        )
+
+    @staticmethod
+    def fingerprint(net, precision: str, quantization) -> Tuple:
+        """Content key of one served spec: weight digest plus settings.
+
+        Hashes the actual parameter payload (names, dtypes, shapes,
+        bytes) and the network geometry, so the key survives garbage
+        collection and id recycling — two different nets can never
+        collide, and an identical-content net legitimately reuses the
+        memoized blob.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(type(net).__name__.encode())
+        digest.update(repr(getattr(net, "config", None)).encode())
+        for param in net.parameters():
+            value = np.ascontiguousarray(param.value)
+            digest.update(
+                f"{param.name}|{value.dtype}|{value.shape}".encode()
+            )
+            digest.update(value.tobytes())
+        return (digest.digest(), precision, repr(quantization))
+
+    @staticmethod
+    def digest_of(blob: bytes) -> bytes:
+        """Stable 16-byte digest identifying one spec blob on the wire."""
+        return hashlib.blake2b(blob, digest_size=16).digest()
+
+    def payload(self, net, precision: str, quantization) -> bytes:
+        """The pickled ``(net, precision, quantization)`` blob, memoized.
+
+        Warm calls with the same pinned objects return in O(1); an
+        identity miss re-fingerprints the content before deciding
+        whether to re-pickle (see the class docstring for why bare
+        id-keying would be unsound).
+        """
+        pin = self._pin
+        if (
+            pin is not None
+            and pin[0] is net
+            and pin[1] == precision
+            and pin[2] is quantization
+            and self._blob is not None
+        ):
+            return self._blob
+        spec_key = self.fingerprint(net, precision, quantization)
+        if spec_key != self._key or self._blob is None:
+            self._blob = pickle.dumps((net, precision, quantization))
+            self._digest = self.digest_of(self._blob)
+            self._key = spec_key
+        self._pin = (net, precision, quantization)
+        return self._blob
+
+    @property
+    def blob(self) -> Optional[bytes]:
+        """The current spec blob (``None`` before the first payload)."""
+        return self._blob
+
+    @property
+    def digest(self) -> Optional[bytes]:
+        """Digest of the current spec blob (``None`` before a payload)."""
+        return self._digest
+
+    def record_seed(
+        self, digest: bytes, coords: np.ndarray, shape: Tuple[int, ...]
+    ) -> None:
+        """Remember one served site set (LRU-bounded plan seed)."""
+        self._seeds[digest] = (coords, tuple(shape))
+        self._seeds.move_to_end(digest)
+        while len(self._seeds) > self.seed_capacity:
+            self._seeds.popitem(last=False)
+
+    def seeds(self) -> Tuple[Tuple[bytes, np.ndarray, Tuple[int, ...]], ...]:
+        """Recorded ``(digest, coords, shape)`` seeds, oldest first."""
+        return tuple(
+            (digest, coords, shape)
+            for digest, (coords, shape) in self._seeds.items()
+        )
+
+    def clear(self) -> None:
+        """Forget the memoized blob and every recorded seed."""
+        self._pin = None
+        self._key = None
+        self._blob = None
+        self._digest = None
+        self._seeds.clear()
+
+
 _WORKER_SESSION = None  # per-process warm session (set by the initializer)
 
 
@@ -827,18 +966,33 @@ class ShardedProcessBackend(ExecutionBackend):
     strategy, not a kernel), so a sharded session's single-frame ``run``
     matches the numpy backend exactly as well.
 
-    Groups are routed by coordinate digest: one single-process pool per
-    worker, with a stable ``digest -> worker`` mapping, so a recurring
-    site set always reaches the worker whose plan cache already holds
-    it (true per-worker warm state, not pool-random assignment).  The
-    workers are spawned lazily on the first group dispatch and rebuilt
-    if the serving network changes; :meth:`close` terminates them.
+    Groups are routed by coordinate digest: one single-process executor
+    per worker, with a stable ``digest -> worker`` mapping, so a
+    recurring site set always reaches the worker whose plan cache
+    already holds it (true per-worker warm state, not pool-random
+    assignment).  The workers are spawned lazily on the first group
+    dispatch and rebuilt if the serving network changes; :meth:`close`
+    terminates them.  A worker process that dies mid-dispatch (OOM
+    kill, segfault, operator ``kill -9``) is detected via the
+    executor's ``BrokenProcessPool``, its pool is rebuilt from the
+    stored spec blob, and the lost groups are retried once on the fresh
+    worker (counted in :attr:`pool_restarts`) — a second failure
+    propagates, because a group that kills two fresh workers is the
+    group's fault, not the pool's.
+
+    The pickled spec blob and the record of served site sets live in a
+    :class:`ShardSpecStore` (shared with the remote cluster backend of
+    :mod:`repro.runtime.cluster`), so worker state can be replayed
+    anywhere — a restarted pool here, a rejoining TCP worker there.
     """
 
     name = "sharded"
 
     def __init__(
-        self, num_workers: int = 2, start_method: Optional[str] = None
+        self,
+        num_workers: int = 2,
+        start_method: Optional[str] = None,
+        spec_store: Optional[ShardSpecStore] = None,
     ) -> None:
         super().__init__()
         if num_workers < 1:
@@ -846,27 +1000,16 @@ class ShardedProcessBackend(ExecutionBackend):
         self.num_workers = int(num_workers)
         self.start_method = start_method
         self._inner = NumpyFusedBackend()
+        self.spec_store = spec_store if spec_store is not None else ShardSpecStore()
         self._pools: Optional[List[object]] = None
         #: The spec blob the live pools were initialized with; a blob
         #: change means the served network changed and the pools rebuild.
         self._pools_blob: Optional[bytes] = None
-        self._spec_blob: Optional[bytes] = None
-        # Pickling the network is O(weight bytes); the blob is memoized
-        # behind two guards.  The warm path compares *pinned strong
-        # references* by identity (the plan_for pattern: pinning keeps
-        # the objects alive, so identity is O(1) and can never alias a
-        # recycled id).  On an identity miss the memo falls back to a
-        # *content* fingerprint (weight digest + settings), so a
-        # different net object with identical weights still reuses the
-        # blob and a swapped net always re-pickles — keying on bare
-        # ``id()`` without pinning was unsound: after GC a different
-        # net could recycle the id and the workers would silently keep
-        # serving the old weights.
-        self._spec_pin: Optional[Tuple[object, str, object]] = None
-        self._spec_key: Optional[Tuple] = None
-        # Observability: how many groups/frames were fanned out.
+        # Observability: how many groups/frames were fanned out, and how
+        # many dead worker pools were rebuilt mid-stream.
         self.groups_dispatched = 0
         self.frames_dispatched = 0
+        self.pool_restarts = 0
 
     def prepare(self, rulebook: Rulebook) -> ExecPlan:
         return self._inner.prepare(rulebook)
@@ -883,75 +1026,56 @@ class ShardedProcessBackend(ExecutionBackend):
 
     @staticmethod
     def _spec_fingerprint(net, precision: str, quantization) -> Tuple:
-        """Content key of one served spec: weight digest plus settings.
-
-        Hashes the actual parameter payload (names, dtypes, shapes,
-        bytes) and the network geometry, so the key survives garbage
-        collection and id recycling — two different nets can never
-        collide, and an identical-content net legitimately reuses the
-        memoized blob.
-        """
-        digest = hashlib.blake2b(digest_size=16)
-        digest.update(type(net).__name__.encode())
-        digest.update(repr(getattr(net, "config", None)).encode())
-        for param in net.parameters():
-            value = np.ascontiguousarray(param.value)
-            digest.update(
-                f"{param.name}|{value.dtype}|{value.shape}".encode()
-            )
-            digest.update(value.tobytes())
-        return (digest.digest(), precision, repr(quantization))
+        """Content key of one served spec (see :meth:`ShardSpecStore.fingerprint`)."""
+        return ShardSpecStore.fingerprint(net, precision, quantization)
 
     def _spec_payload(self, net, precision: str, quantization) -> bytes:
-        """The pickled ``(net, precision, quantization)`` blob, memoized.
+        """The memoized spec blob — delegates to the shared :class:`ShardSpecStore`."""
+        return self.spec_store.payload(net, precision, quantization)
 
-        Warm dispatches of the same pinned objects return in O(1); an
-        identity miss re-fingerprints the content before deciding
-        whether to re-pickle (see the constructor comment for why bare
-        id-keying would be unsound).
-        """
-        pin = self._spec_pin
-        if (
-            pin is not None
-            and pin[0] is net
-            and pin[1] == precision
-            and pin[2] is quantization
-            and self._spec_blob is not None
-        ):
-            return self._spec_blob
-        spec_key = self._spec_fingerprint(net, precision, quantization)
-        if spec_key != self._spec_key or self._spec_blob is None:
-            self._spec_blob = pickle.dumps((net, precision, quantization))
-            self._spec_key = spec_key
-        self._spec_pin = (net, precision, quantization)
-        return self._spec_blob
+    def _make_pool(self, spec_blob: bytes) -> object:
+        """One addressable single-process executor, warm-started on the blob."""
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        method = self.start_method
+        if method is None:
+            # fork shares the parent image copy-on-write (cheap warm
+            # start on Linux); fall back to the platform default.
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else None
+        context = multiprocessing.get_context(method)
+        return ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=context,
+            initializer=_sharded_worker_init,
+            initargs=(spec_blob,),
+        )
 
     def _ensure_pools(self, spec_blob: bytes) -> List[object]:
-        import multiprocessing
-
         if self._pools is not None and spec_blob != self._pools_blob:
             self._shutdown_pools()
         if self._pools is None:
-            method = self.start_method
-            if method is None:
-                # fork shares the parent image copy-on-write (cheap warm
-                # start on Linux); fall back to the platform default.
-                available = multiprocessing.get_all_start_methods()
-                method = "fork" if "fork" in available else None
-            context = multiprocessing.get_context(method)
-            # One single-process pool per worker: digest-stable routing
-            # needs addressable workers, which multiprocessing.Pool's
-            # shared task queue cannot provide.
+            # One single-process executor per worker: digest-stable
+            # routing needs addressable workers, which a shared task
+            # queue cannot provide.  ProcessPoolExecutor (rather than
+            # multiprocessing.Pool) surfaces a killed worker as
+            # BrokenProcessPool instead of hanging the result fetch.
             self._pools = [
-                context.Pool(
-                    processes=1,
-                    initializer=_sharded_worker_init,
-                    initargs=(spec_blob,),
-                )
-                for _ in range(self.num_workers)
+                self._make_pool(spec_blob) for _ in range(self.num_workers)
             ]
             self._pools_blob = spec_blob
         return self._pools
+
+    def _rebuild_pool(self, index: int) -> None:
+        """Replace one dead worker executor from the stored spec blob."""
+        dead = self._pools[index]
+        try:
+            dead.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken pools may refuse
+            pass
+        self._pools[index] = self._make_pool(self._pools_blob)
+        self.pool_restarts += 1
 
     def _worker_index(self, task: GroupTask) -> int:
         """Stable digest -> worker mapping (warm plan affinity)."""
@@ -963,24 +1087,74 @@ class ShardedProcessBackend(ExecutionBackend):
 
         All groups are submitted asynchronously (groups mapped to
         different workers execute concurrently), and results are
-        returned in submission order.
+        returned in submission order.  A worker process that died
+        (``BrokenProcessPool``) has its pool rebuilt from the stored
+        spec blob and the lost groups retried once on the fresh worker;
+        any other worker-side exception propagates unchanged.
         """
+        from concurrent.futures.process import BrokenProcessPool
+
         if not groups:
             return []
         pools = self._ensure_pools(
             self._spec_payload(net, precision, quantization)
         )
+        for task in groups:
+            self.spec_store.record_seed(
+                task.digest or task.coords.tobytes(), task.coords, task.shape
+            )
         self.groups_dispatched += len(groups)
         self.frames_dispatched += sum(
             task.features.shape[0] for task in groups
         )
-        pending = [
-            pools[self._worker_index(task)].apply_async(
-                _sharded_worker_run, (task,)
-            )
-            for task in groups
-        ]
-        return [result.get() for result in pending]
+        pending: List[Optional[object]] = []
+        # Failure-handling control flow over a handful of groups, not a
+        # per-element numeric path.
+        for task in groups:  # repro-lint: disable=hot-path
+            try:
+                pending.append(
+                    pools[self._worker_index(task)].submit(
+                        _sharded_worker_run, task
+                    )
+                )
+            except BrokenProcessPool:
+                # The executor noticed the dead worker before we did:
+                # submit refuses outright.  Same recovery as a failed
+                # future.
+                pending.append(None)
+        results: List[Optional[np.ndarray]] = [None] * len(groups)
+        lost: List[int] = []
+        for position, future in enumerate(pending):  # repro-lint: disable=hot-path
+            if future is None:
+                lost.append(position)
+                continue
+            try:
+                results[position] = future.result()
+            except BrokenProcessPool:
+                lost.append(position)
+        if lost:
+            # Rebuild each affected worker once, then retry its groups.
+            # A retry that breaks the fresh pool too propagates: that
+            # group reliably kills workers, and masking it would retry
+            # forever.
+            rebuilt: set = set()
+            retried = []
+            for position in lost:  # repro-lint: disable=hot-path
+                index = self._worker_index(groups[position])
+                if index not in rebuilt:
+                    self._rebuild_pool(index)
+                    rebuilt.add(index)
+                retried.append(
+                    (
+                        position,
+                        self._pools[index].submit(
+                            _sharded_worker_run, groups[position]
+                        ),
+                    )
+                )
+            for position, future in retried:
+                results[position] = future.result()
+        return results
 
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
@@ -996,18 +1170,14 @@ class ShardedProcessBackend(ExecutionBackend):
     def _shutdown_pools(self) -> None:
         if self._pools is not None:
             for pool in self._pools:
-                pool.terminate()
-            for pool in self._pools:
-                pool.join()
+                pool.shutdown(wait=True, cancel_futures=True)
             self._pools = None
             self._pools_blob = None
 
     def close(self) -> None:
         super().close()
         self._shutdown_pools()
-        self._spec_pin = None
-        self._spec_blob = None
-        self._spec_key = None
+        self.spec_store.clear()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:

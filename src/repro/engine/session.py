@@ -857,7 +857,10 @@ class InferenceSession:
             key = (tensor.shape, tensor.coords_digest())
             groups.setdefault(key, []).append(index)
         results: List[Optional[SparseTensor3D]] = [None] * len(tensors)
-        if self.backend.capabilities().sharded and len(groups) > 1:
+        capabilities = self.backend.capabilities()
+        if capabilities.sharded and (
+            len(groups) > 1 or capabilities.offload_single_group
+        ):
             self._run_batch_sharded(tensors, groups, results)
         else:
             for indices in groups.values():

@@ -67,7 +67,17 @@ class SpawnSafetyChecker(Checker):
         "lambdas pickled directly, no mutable class attributes in the "
         "sharded spec payload's reachable set"
     )
-    scope = ("*engine/*.py", "*nn/*.py", "*quant/*.py")
+    # The runtime cluster modules are in scope too: everything they
+    # pickle crosses the wire, so the same spawn/pickle safety rules
+    # apply to the coordinator, the worker, and the frame codec.
+    scope = (
+        "*engine/*.py",
+        "*nn/*.py",
+        "*quant/*.py",
+        "*runtime/wire.py",
+        "*runtime/worker.py",
+        "*runtime/cluster.py",
+    )
 
     def check(self, project: Project) -> List[Violation]:
         violations: List[Violation] = []

@@ -7,8 +7,24 @@ scene, as a spinning LiDAR sees), a streaming runner that voxelizes,
 encodes and executes each frame on the accelerator model, and an
 asyncio serving front door (:class:`SessionServer`) that micro-batches
 concurrent requests by coordinate digest into batched session runs.
+
+The cluster serving tier lives here too: :mod:`repro.runtime.wire`
+(the length-prefixed frame protocol), :mod:`repro.runtime.worker`
+(``python -m repro worker`` — warm sessions per spec digest behind a
+TCP socket), and :mod:`repro.runtime.cluster`
+(:class:`RemoteShardBackend`, the registered ``"remote"`` execution
+backend fanning ``run_batch`` digest groups across a worker fleet with
+consistent-hash routing and failover).  Importing this package
+registers the ``remote`` backend.
 """
 
+from repro.runtime.cluster import (
+    ClusterError,
+    ClusterStats,
+    HashRing,
+    LocalWorkerFleet,
+    RemoteShardBackend,
+)
 from repro.runtime.server import (
     DeadlineExceeded,
     ServerOverloaded,
@@ -24,8 +40,19 @@ from repro.runtime.stream import (
     StreamStats,
     StreamingRunner,
 )
+from repro.runtime.worker import ClusterWorker, serve_worker
+from repro.runtime.wire import RemoteWorkerError, WireError
 
 __all__ = [
+    "ClusterError",
+    "ClusterStats",
+    "ClusterWorker",
+    "HashRing",
+    "LocalWorkerFleet",
+    "RemoteShardBackend",
+    "RemoteWorkerError",
+    "WireError",
+    "serve_worker",
     "RotatingSceneSource",
     "DriftingSceneSource",
     "StreamingRunner",

@@ -1,0 +1,348 @@
+"""Cluster worker: a TCP endpoint hosting warm sessions per spec digest.
+
+``python -m repro worker --port P`` turns one process into a serving
+node of the cluster tier: it accepts coordinator connections speaking
+the :mod:`repro.runtime.wire` protocol and answers the five request
+frames —
+
+* ``SPEC_SYNC`` ships a pickled ``(net, precision, quantization)``
+  blob (the :class:`repro.engine.backend.ShardSpecStore` payload);
+  the worker builds a warm :class:`~repro.engine.session.
+  InferenceSession` for the blob's digest.  Digests are the unit of
+  deployment: a new blob is a *new* digest and a *new* session, while
+  the old one keeps serving until retired — which is exactly the
+  zero-downtime weight-swap story.
+* ``PREPARE`` warms one plan (site set ``coords``/``shape``) on a
+  spec's session — the coordinator replays these when a worker rejoins
+  so traffic lands on warm plans.
+* ``EXECUTE_BATCH`` runs one ``run_batch`` digest group and returns the
+  stacked output features, bit-identical to in-process execution (the
+  worker reconstructs frames exactly like the process-pool worker of
+  :mod:`repro.engine.backend` and runs the fused numpy engine).
+* ``HEALTH`` reports liveness and warmth (known digests, prepared
+  plans, served counters) without touching the compute path.
+* ``REFRESH`` retires spec sessions (all, or all but one digest).
+
+Request handling is one asyncio task per frame, so a long
+``EXECUTE_BATCH`` never blocks a ``HEALTH`` probe; compute itself runs
+on the default executor behind a per-worker lock (one session is not
+thread-safe, and one process has one set of cores anyway), and each
+connection's replies serialize on a write lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pickle
+import time
+from collections import OrderedDict
+from typing import Callable, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.runtime.wire import (
+    ChecksumError,
+    ConnectionClosed,
+    Frame,
+    MessageType,
+    ProtocolError,
+    error_payload,
+    read_frame,
+    write_frame,
+)
+
+DEFAULT_MAX_SESSIONS = 4
+
+
+class UnknownSpecError(RuntimeError):
+    """A request named a spec digest this worker has never been synced.
+
+    The coordinator treats this as "re-send SPEC_SYNC and retry", not as
+    a dead worker — it is the normal first contact after a rejoin or a
+    ring reroute.
+    """
+
+
+def _build_session(spec_blob: bytes):
+    """Unpickle one spec blob into a warm numpy-backed session."""
+    from repro.engine.session import InferenceSession
+
+    net, precision, quantization = pickle.loads(spec_blob)
+    return InferenceSession(
+        net=net,
+        precision=precision,
+        quantization=quantization,
+        backend="numpy",
+    )
+
+
+class ClusterWorker:
+    """One serving node: warm sessions keyed by spec digest.
+
+    ``max_sessions`` bounds how many spec generations stay warm (LRU):
+    during a weight swap both the old and the new digest serve
+    concurrently, but a worker must not accumulate every deployment it
+    has ever seen.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        self.host = host
+        self.port = int(port)  # 0 = ephemeral; rebound by start()
+        self.max_sessions = int(max_sessions)
+        self._sessions: "OrderedDict[bytes, object]" = OrderedDict()
+        #: (spec digest, coord digest) pairs whose plan is warm — via
+        #: PREPARE replay or a served EXECUTE_BATCH.
+        self._prepared: Set[Tuple[bytes, bytes]] = set()
+        self._compute_lock = asyncio.Lock()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._started_at = time.monotonic()
+        self.groups_served = 0
+        self.frames_served = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> asyncio.base_events.Server:
+        """Bind the listening socket (resolving ``port=0``) and serve."""
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._handle_client, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+            self._started_at = time.monotonic()
+        return self._server
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._sessions.clear()
+        self._prepared.clear()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        inflight: Set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except ConnectionClosed:
+                    break  # routine client disconnect
+                except (ProtocolError, ChecksumError, ConnectionError, OSError):
+                    break  # garbled or dead stream: drop the connection
+                task = asyncio.get_running_loop().create_task(
+                    self._dispatch(frame, writer, write_lock)
+                )
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
+        finally:
+            if inflight:
+                await asyncio.gather(*tuple(inflight), return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _dispatch(
+        self,
+        frame: Frame,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            payload = frame.load()
+            if frame.type == MessageType.SPEC_SYNC:
+                result = await self._spec_sync(payload)
+            elif frame.type == MessageType.PREPARE:
+                result = await self._prepare(payload)
+            elif frame.type == MessageType.EXECUTE_BATCH:
+                result = await self._execute_batch(payload)
+            elif frame.type == MessageType.HEALTH:
+                result = self._health(payload)
+            elif frame.type == MessageType.REFRESH:
+                result = self._refresh(payload)
+            else:
+                raise ProtocolError(
+                    f"{frame.type.name} is not a request frame"
+                )
+            reply_type, reply = MessageType.OK, result
+        except Exception as exc:
+            reply_type, reply = MessageType.ERROR, error_payload(exc)
+        try:
+            async with write_lock:
+                await write_frame(writer, reply_type, frame.request_id, reply)
+        except (ConnectionError, OSError):
+            pass  # client left before the answer; nothing to tell it
+
+    # ------------------------------------------------------------------
+    # Request handlers
+    # ------------------------------------------------------------------
+    def _session(self, spec_digest: bytes):
+        session = self._sessions.get(spec_digest)
+        if session is None:
+            raise UnknownSpecError(
+                f"spec {spec_digest.hex()} is not synced to this worker"
+            )
+        self._sessions.move_to_end(spec_digest)
+        return session
+
+    async def _spec_sync(self, payload: dict) -> dict:
+        digest: bytes = payload["digest"]
+        built = False
+        if digest not in self._sessions:
+            blob: bytes = payload["blob"]
+            async with self._compute_lock:
+                session = await asyncio.get_running_loop().run_in_executor(
+                    None, _build_session, blob
+                )
+            self._sessions[digest] = session
+            built = True
+            while len(self._sessions) > self.max_sessions:
+                retired, _ = self._sessions.popitem(last=False)
+                self._prepared = {
+                    pair for pair in self._prepared if pair[0] != retired
+                }
+        self._sessions.move_to_end(digest)
+        return {"digest": digest, "built": built, "specs": len(self._sessions)}
+
+    def _warm_plan(self, session, coords, shape) -> int:
+        from repro.sparse.coo import SparseTensor3D
+
+        coords = np.asarray(coords)
+        template = SparseTensor3D(
+            coords,
+            np.ones((len(coords), 1), dtype=np.float64),
+            tuple(shape),
+        )
+        session.warm(template)
+        return template.nnz
+
+    async def _prepare(self, payload: dict) -> dict:
+        spec_digest: bytes = payload["spec"]
+        session = self._session(spec_digest)
+        async with self._compute_lock:
+            nnz = await asyncio.get_running_loop().run_in_executor(
+                None,
+                self._warm_plan,
+                session,
+                payload["coords"],
+                payload["shape"],
+            )
+        self._prepared.add((spec_digest, payload.get("digest", b"")))
+        return {"nnz": nnz}
+
+    def _run_group(self, session, payload: dict) -> np.ndarray:
+        from repro.sparse.coo import SparseTensor3D
+
+        features = np.asarray(payload["features"])
+        template = SparseTensor3D(
+            np.asarray(payload["coords"]),
+            features[0],
+            tuple(payload["shape"]),
+        )
+        frames = [template] + [
+            template.with_features(features[b])
+            for b in range(1, features.shape[0])
+        ]
+        outs = session.run_batch(frames)
+        return np.stack([out.features for out in outs])
+
+    async def _execute_batch(self, payload: dict) -> dict:
+        spec_digest: bytes = payload["spec"]
+        session = self._session(spec_digest)
+        async with self._compute_lock:
+            stacked = await asyncio.get_running_loop().run_in_executor(
+                None, self._run_group, session, payload
+            )
+        self._prepared.add((spec_digest, payload.get("digest", b"")))
+        self.groups_served += 1
+        self.frames_served += int(np.asarray(payload["features"]).shape[0])
+        return {"features": stacked}
+
+    def _health(self, payload) -> dict:
+        return {
+            "pid": os.getpid(),
+            "port": self.port,
+            "uptime_s": time.monotonic() - self._started_at,
+            "specs": [digest.hex() for digest in self._sessions],
+            "prepared": sorted(
+                coord.hex() for _spec, coord in self._prepared
+            ),
+            "groups_served": self.groups_served,
+            "frames_served": self.frames_served,
+            "max_sessions": self.max_sessions,
+        }
+
+    def _refresh(self, payload) -> dict:
+        keep = None if payload is None else payload.get("keep")
+        dropped = [
+            digest for digest in self._sessions if digest != keep
+        ]
+        for digest in dropped:
+            del self._sessions[digest]
+        self._prepared = {
+            pair for pair in self._prepared if pair[0] not in set(dropped)
+        }
+        return {
+            "dropped": [digest.hex() for digest in dropped],
+            "kept": [digest.hex() for digest in self._sessions],
+        }
+
+
+READY_PREFIX = "repro-worker ready"
+
+
+def ready_line(worker: ClusterWorker) -> str:
+    """The startup announcement a fleet spawner parses for the port."""
+    return (
+        f"{READY_PREFIX} host={worker.host} port={worker.port} "
+        f"pid={os.getpid()}"
+    )
+
+
+def parse_ready_line(line: str) -> Tuple[str, int]:
+    """Extract ``(host, port)`` from a worker's readiness announcement."""
+    if not line.startswith(READY_PREFIX):
+        raise ValueError(f"not a worker readiness line: {line!r}")
+    fields = dict(
+        part.split("=", 1) for part in line.split() if "=" in part
+    )
+    return fields["host"], int(fields["port"])
+
+
+async def serve_worker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_sessions: int = DEFAULT_MAX_SESSIONS,
+    announce: Optional[Callable[[str], None]] = None,
+) -> None:
+    """Run one worker until cancelled (the ``python -m repro worker`` body).
+
+    ``announce`` receives the readiness line once the socket is bound —
+    the CLI prints it to stdout so a parent that spawned the worker with
+    ``--port 0`` can learn the ephemeral port.
+    """
+    worker = ClusterWorker(host=host, port=port, max_sessions=max_sessions)
+    server = await worker.start()
+    if announce is not None:
+        announce(ready_line(worker))
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await worker.stop()

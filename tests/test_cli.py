@@ -231,3 +231,86 @@ def test_cli_points_help_mentions_mapping(capsys):
         main(["points", "--help"])
     assert excinfo.value.code == 0
     assert "mapping-ops subsystem" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# cluster serving: serve --cluster and the worker subcommand
+# ----------------------------------------------------------------------
+def test_cli_worker_help_mentions_ready_line(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["worker", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "repro-worker" in out  # the readiness line (argparse wraps it)
+    assert "--max-sessions" in out
+
+
+def test_cli_worker_validation():
+    with pytest.raises(SystemExit):
+        main(["worker", "--port", "99999"])
+    with pytest.raises(SystemExit):
+        main(["worker", "--max-sessions", "0"])
+
+
+def test_cli_worker_misplaced_subcommand_hint(capsys):
+    with pytest.raises(SystemExit):
+        main(["table1", "worker"])
+    err = capsys.readouterr().err
+    assert "'worker' is a subcommand and must come first" in err
+
+
+def test_cli_serve_cluster_validation():
+    with pytest.raises(SystemExit):
+        main(["serve", "--cluster", "0"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--cluster", "2", "--churn", "1.5"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--cluster", "2", "--backend", "scipy"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--cluster", "2", "--delta", "0.5"])
+
+
+def test_cli_serve_cluster_demo(capsys):
+    assert main(
+        ["serve", "--cluster", "2", "--frames", "2", "--clients", "2",
+         "--resolution", "24", "--points", "800"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "2-worker loopback cluster" in out
+    assert "cluster routing" in out
+    assert "groups rerouted" in out
+    assert "bit-identical: yes" in out
+
+
+def _corrupting_serve_frames(monkeypatch):
+    """Wrap serve_frames so every served output is perturbed by +1."""
+    import repro.runtime as runtime_mod
+
+    real = runtime_mod.serve_frames
+
+    def corrupting(requests, **kwargs):
+        outputs, stats = real(requests, **kwargs)
+        bad = [out.with_features(out.features + 1.0) for out in outputs]
+        return bad, stats
+
+    monkeypatch.setattr(runtime_mod, "serve_frames", corrupting)
+
+
+def test_cli_serve_exits_nonzero_on_identity_mismatch(monkeypatch, capsys):
+    _corrupting_serve_frames(monkeypatch)
+    assert main(
+        ["serve", "--frames", "1", "--clients", "2", "--resolution", "24",
+         "--points", "800"]
+    ) == 1
+    assert "bit-identical: NO" in capsys.readouterr().out
+
+
+def test_cli_serve_cluster_exits_nonzero_on_identity_mismatch(
+    monkeypatch, capsys
+):
+    _corrupting_serve_frames(monkeypatch)
+    assert main(
+        ["serve", "--cluster", "1", "--frames", "1", "--clients", "2",
+         "--resolution", "24", "--points", "800"]
+    ) == 1
+    assert "bit-identical: NO" in capsys.readouterr().out

@@ -457,6 +457,42 @@ def test_sharded_single_group_runs_locally():
         backend.close()
 
 
+def test_sharded_pool_worker_death_rebuilds_and_retries():
+    """SIGKILLing a pool worker mid-stream loses no group.
+
+    The next dispatch sees ``BrokenProcessPool``, rebuilds the affected
+    pool from the stored spec blob, retries the lost groups once, and
+    stays bit-identical to the reference.
+    """
+    import signal
+
+    frames = batch_frames()
+    backend = ShardedProcessBackend(num_workers=2)
+    session = InferenceSession(unet_config=SMALL_CFG, backend=backend)
+    try:
+        reference = InferenceSession(unet_config=SMALL_CFG)
+        expected = reference.run_batch(frames)
+        outs = session.run_batch(frames)
+        for out, ref in zip(outs, expected):
+            assert np.array_equal(out.features, ref.features)
+        assert backend.pool_restarts == 0
+
+        for executor in backend._pools:
+            for pid in list(executor._processes):
+                os.kill(pid, signal.SIGKILL)
+
+        outs = session.run_batch(frames)
+        for out, ref in zip(outs, expected):
+            assert np.array_equal(out.features, ref.features)
+        assert backend.pool_restarts >= 1
+        # The rebuilt pools keep serving warm on the next dispatch.
+        outs = session.run_batch(frames)
+        for out, ref in zip(outs, expected):
+            assert np.array_equal(out.features, ref.features)
+    finally:
+        backend.close()
+
+
 def test_sharded_validates_workers_and_refuses_run_groups_on_numpy():
     with pytest.raises(ValueError, match="num_workers"):
         ShardedProcessBackend(num_workers=0)
@@ -736,11 +772,12 @@ def test_sharded_spec_blob_memoized_across_dispatches():
     session = InferenceSession(unet_config=SMALL_CFG, backend=backend)
     try:
         session.run_batch(frames)
-        blob = backend._spec_blob
-        key = backend._spec_key
+        store = backend.spec_store
+        blob = store.blob
+        key = store._key
         session.run_batch(frames)  # warm: same net -> no re-pickle
-        assert backend._spec_blob is blob
-        assert backend._spec_key == key
+        assert store.blob is blob
+        assert store._key == key
     finally:
         backend.close()
 
@@ -812,7 +849,7 @@ def test_sharded_spec_payload_survives_id_recycling():
     recycled = None
     for _ in range(3):  # allocator state varies; retry the scenario
         stale_id = memoize_first()
-        backend._spec_pin = None  # release the pin: the net dies for real
+        backend.spec_store._pin = None  # release the pin: the net dies for real
         gc.collect()
         for _ in range(64):
             candidate = SSUNet(cfg_second)

@@ -116,6 +116,44 @@ def test_server_drains_queue_on_stop():
     asyncio.run(scenario())
 
 
+def test_stop_drains_inflight_batches_on_slow_backend():
+    """stop() must wait out a batch already inside run_batch.
+
+    With a backend slow enough that stop() lands while a batch is
+    mid-compute on the executor, every submitted future still resolves
+    (none hang, none are dropped) and the pending count returns to
+    zero.
+    """
+    import time as time_mod
+
+    async def scenario():
+        session = small_session()
+        real_run_batch = session.run_batch
+
+        def slow_run_batch(tensors):
+            time_mod.sleep(0.1)  # outlive the stop() call below
+            return real_run_batch(tensors)
+
+        session.run_batch = slow_run_batch
+        server = SessionServer(session=session, max_delay_s=0.0, max_batch=2)
+        await server.start()
+        pending = [
+            asyncio.get_running_loop().create_task(server.submit(frame(6)))
+            for _ in range(6)
+        ]
+        await asyncio.sleep(0.03)  # first batch is now inside run_batch
+        assert server._pending > 0
+        await server.stop()
+        outs = await asyncio.gather(*pending)
+        assert len(outs) == 6
+        assert all(out.nnz == frame(6).nnz for out in outs)
+        assert server._pending == 0
+        assert server.stats.requests == 6
+        assert server.stats.micro_batches >= 3  # max_batch=2 held
+
+    asyncio.run(scenario())
+
+
 def test_server_propagates_errors_to_clients():
     async def scenario():
         server = SessionServer(session=small_session())
