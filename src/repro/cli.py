@@ -254,9 +254,51 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="scene seed (default 0)"
     )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="P",
+        help="expose Prometheus metrics for the run on "
+        "http://127.0.0.1:P/metrics — one registry shared by the "
+        "session, the server, and (with --cluster) the cluster "
+        "backend; 0 picks an ephemeral port",
+    )
+    parser.add_argument(
+        "--trace-dump", type=str, default=None, metavar="PATH",
+        help="after serving, write the recent per-micro-batch stage "
+        "timelines (queue-wait/linger/execute/respond) as JSON to PATH",
+    )
     _add_backend_argument(parser)
     _add_delta_argument(parser)
     return parser
+
+
+def _obs_setup(args):
+    """Shared registry/tracer (and HTTP endpoint) for ``serve``.
+
+    Returns ``(registry, tracer, endpoint)`` — all ``None`` when
+    neither ``--metrics-port`` nor ``--trace-dump`` was given, so the
+    plain demo keeps its per-component private registries.
+    """
+    if args.metrics_port is None and args.trace_dump is None:
+        return None, None, None
+    from repro.obs import MetricRegistry, MetricsHTTPServer, Tracer
+
+    registry = MetricRegistry()
+    tracer = Tracer()
+    endpoint = None
+    if args.metrics_port is not None:
+        endpoint = MetricsHTTPServer(
+            registry, port=args.metrics_port, tracer=tracer
+        ).start()
+        print(f"metrics endpoint: {endpoint.url}")
+    return registry, tracer, endpoint
+
+
+def _obs_teardown(args, tracer, endpoint) -> None:
+    if tracer is not None and args.trace_dump is not None:
+        tracer.dump_to(args.trace_dump)
+        print(f"  traces dumped to:   {args.trace_dump}")
+    if endpoint is not None:
+        endpoint.stop()
 
 
 def _run_serve_cluster(parser: argparse.ArgumentParser, args) -> int:
@@ -294,10 +336,11 @@ def _run_serve_cluster(parser: argparse.ArgumentParser, args) -> int:
     scene = [voxelizer.voxelize(cloud) for cloud in source]
     requests = [frame for frame in scene for _ in range(args.clients)]
 
+    registry, tracer, endpoint = _obs_setup(args)
     fleet = LocalWorkerFleet.spawn(args.cluster)
-    backend = RemoteShardBackend(workers=fleet.addresses)
+    backend = RemoteShardBackend(workers=fleet.addresses, registry=registry)
     try:
-        session = InferenceSession(backend=backend)
+        session = InferenceSession(backend=backend, registry=registry)
         session.warm(scene[0])
         outputs, stats = serve_frames(
             requests,
@@ -305,6 +348,8 @@ def _run_serve_cluster(parser: argparse.ArgumentParser, args) -> int:
             concurrency=args.clients,
             max_batch=args.max_batch,
             max_delay_s=args.max_delay_ms / 1e3,
+            registry=registry,
+            tracer=tracer,
         )
         # Single-node comparison: the same serve loop over an
         # in-process numpy session (same micro-batching, no fan-out).
@@ -364,6 +409,7 @@ def _run_serve_cluster(parser: argparse.ArgumentParser, args) -> int:
             return 1
         return 0
     finally:
+        _obs_teardown(args, tracer, endpoint)
         backend.close()
         fleet.terminate()
 
@@ -382,6 +428,8 @@ def run_serve(argv: List[str]) -> int:
         parser.error("--frames must be positive")
     if args.clients <= 0:
         parser.error("--clients must be positive")
+    if args.metrics_port is not None and not 0 <= args.metrics_port < 65536:
+        parser.error("--metrics-port must lie in [0, 65535]")
     if args.cluster is not None:
         if args.cluster < 1:
             parser.error("--cluster must be >= 1")
@@ -415,7 +463,8 @@ def run_serve(argv: List[str]) -> int:
     # dispatcher's micro-batches collapse into large digest groups.
     requests = [frame for frame in scene for _ in range(args.clients)]
 
-    session = InferenceSession(backend=backend, delta=delta)
+    registry, tracer, endpoint = _obs_setup(args)
+    session = InferenceSession(backend=backend, delta=delta, registry=registry)
     session.warm(scene[0])  # touch the lazy net outside the timed region
     outputs, stats = serve_frames(
         requests,
@@ -425,6 +474,8 @@ def run_serve(argv: List[str]) -> int:
         max_delay_s=args.max_delay_ms / 1e3,
         max_pending=args.max_pending,
         deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1e3,
+        registry=registry,
+        tracer=tracer,
     )
     print(
         f"served {stats.requests} requests ({args.frames} frames x "
@@ -455,6 +506,7 @@ def run_serve(argv: List[str]) -> int:
         )
     serve_fps = stats.fps if stats.requests else 0.0
     print(f"  serve throughput:   {serve_fps:10.2f} frames/s")
+    _obs_teardown(args, tracer, endpoint)
     if not args.no_baseline:
         baseline_session = InferenceSession(backend=backend, delta=delta)
         baseline_session.warm(scene[0])

@@ -46,6 +46,7 @@ for every precision.  The asyncio serving front door
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
@@ -77,6 +78,7 @@ from repro.engine.delta import DEFAULT_DELTA_THRESHOLD, DeltaRulebookCache
 from repro.engine.mapping import MappingResult
 from repro.engine.mapping_delta import DeltaMappingCache, MappingCache
 from repro.nn.functional import ApplyStats, normalize_weights
+from repro.obs.metrics import MetricRegistry
 from repro.nn.layers import (
     BatchNormSparse,
     ReLUSparse,
@@ -504,6 +506,14 @@ class InferenceSession:
         posture: a :class:`repro.engine.mapping_delta.DeltaMappingCache`
         at the active delta threshold when delta matching is on, else a
         plain digest-keyed :class:`MappingCache`.
+    registry:
+        The :class:`repro.obs.metrics.MetricRegistry` receiving the
+        session's telemetry (cache hit/miss counters, per-stage and
+        per-dispatch latency histograms).  ``None`` (default) creates a
+        private registry; pass a shared one to unify session, server
+        and cluster metrics on a single scrape surface (as ``python -m
+        repro serve --metrics-port`` does).  :attr:`stats` snapshots
+        stay exact regardless of whether the registry is enabled.
     """
 
     def __init__(
@@ -520,6 +530,7 @@ class InferenceSession:
         backend: Optional[object] = None,
         delta: Optional[object] = None,
         mapping_cache: Optional[MappingCache] = None,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         if net is not None and unet_config is not None and net.config != unet_config:
             raise ValueError("net and unet_config disagree; pass only one")
@@ -588,6 +599,113 @@ class InferenceSession:
         # The param object is pinned in the value to keep ids stable.
         self._param_casts: Dict[int, Tuple[Parameter, np.ndarray]] = {}
         self._param_quant: Dict[int, Tuple[Parameter, np.ndarray, float]] = {}
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._declare_metrics()
+
+    def _declare_metrics(self) -> None:
+        """Register the session's telemetry surface (idempotent).
+
+        Counters mirror the :attr:`stats` snapshot (same numbers, same
+        session era — they re-sync on :meth:`reset_stats`); the
+        histograms are the timing distributions the flat ``SessionStats``
+        fields cannot carry.
+        """
+        reg = self.registry
+        reg.gauge(
+            "repro_session_info",
+            "Session configuration marker; the value is always 1.",
+            labels=("backend", "precision"),
+        ).set(1, backend=self.backend.name, precision=self.precision)
+        self._m_frames = reg.counter(
+            "repro_session_frames_total",
+            "Frames run through the session (run + run_batch).",
+        )
+        self._m_batches = reg.counter(
+            "repro_session_batches_total",
+            "run_batch dispatches.",
+        )
+        self._m_estimates = reg.counter(
+            "repro_session_estimates_total",
+            "Analytical estimates computed.",
+        )
+        self._m_simulations = reg.counter(
+            "repro_session_simulations_total",
+            "Cycle-accurate simulations run.",
+        )
+        self._m_cache_lookups = reg.counter(
+            "repro_session_cache_lookups_total",
+            "Cache lookups by cache (rulebook/plan/mapping) and outcome.",
+            labels=("cache", "result"),
+        )
+        self._m_delta_events = reg.counter(
+            "repro_session_delta_events_total",
+            "Delta-cache digest misses served by patching vs rebuilt.",
+            labels=("cache", "event"),
+        )
+        self._m_plan_refreshes = reg.counter(
+            "repro_session_plan_refreshes_total",
+            "Backend plan refreshes: spliced in place vs re-lowered.",
+            labels=("outcome",),
+        )
+        self._m_dispatch = reg.histogram(
+            "repro_session_dispatch_seconds",
+            "End-to-end session dispatch latency by entry point.",
+            labels=("path",),
+        )
+        self._m_stage = reg.histogram(
+            "repro_session_stage_seconds",
+            "Engine stage time per dispatch (gather/gemm/scatter).",
+            labels=("stage",),
+        )
+
+    def _publish(self, snap: "SessionStats") -> None:
+        """Mirror a stats snapshot into the registry counters."""
+        lookups = self._m_cache_lookups
+        lookups.sync_to(snap.rulebook_hits, cache="rulebook", result="hit")
+        lookups.sync_to(snap.rulebook_misses, cache="rulebook", result="miss")
+        lookups.sync_to(snap.plan_hits, cache="plan", result="hit")
+        lookups.sync_to(snap.plan_misses, cache="plan", result="miss")
+        lookups.sync_to(snap.mapping_hits, cache="mapping", result="hit")
+        lookups.sync_to(snap.mapping_misses, cache="mapping", result="miss")
+        delta = self._m_delta_events
+        delta.sync_to(snap.delta_patches, cache="rulebook", event="patch")
+        delta.sync_to(snap.delta_rebuilds, cache="rulebook", event="rebuild")
+        delta.sync_to(snap.mapping_patches, cache="mapping", event="patch")
+        delta.sync_to(snap.mapping_rebuilds, cache="mapping", event="rebuild")
+        refreshes = self._m_plan_refreshes
+        refreshes.sync_to(snap.plans_spliced, outcome="spliced")
+        refreshes.sync_to(
+            snap.plans_refreshed - snap.plans_spliced, outcome="relowered"
+        )
+        self._m_frames.sync_to(snap.frames_run)
+        self._m_batches.sync_to(snap.batches_run)
+        self._m_estimates.sync_to(snap.estimates)
+        self._m_simulations.sync_to(snap.simulations)
+
+    def _observe_dispatch(
+        self,
+        path: str,
+        seconds: float,
+        stage_base: Tuple[float, float, float],
+    ) -> None:
+        """Record one dispatch: e2e latency + engine stage deltas."""
+        self._m_dispatch.observe(seconds, path=path)
+        stats = self.apply_stats
+        for stage, base in zip(
+            ("gather", "gemm", "scatter"), stage_base
+        ):
+            delta = getattr(stats, f"{stage}_seconds") - base
+            if delta > 0.0:
+                self._m_stage.observe(delta, stage=stage)
+        self._publish(self._snapshot())
+
+    def _stage_base(self) -> Tuple[float, float, float]:
+        stats = self.apply_stats
+        return (
+            stats.gather_seconds,
+            stats.gemm_seconds,
+            stats.scatter_seconds,
+        )
 
     def _resolve_delta_cache(
         self, delta: Optional[object], rulebook_cache: Optional[RulebookCache]
@@ -673,7 +791,19 @@ class InferenceSession:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> SessionStats:
-        """Point-in-time snapshot of the session's engine counters."""
+        """Point-in-time snapshot of the session's engine counters.
+
+        The same numbers are mirrored into :attr:`registry` (see
+        ``docs/observability.md``): reading ``stats`` re-syncs the
+        registry's session counters, so the Prometheus view and the
+        dataclass view never drift.
+        """
+        snap = self._snapshot()
+        if self.registry.enabled:
+            self._publish(snap)
+        return snap
+
+    def _snapshot(self) -> SessionStats:
         cache = self.rulebook_cache
         delta_patches = delta_rebuilds = 0
         if isinstance(cache, DeltaRulebookCache):
@@ -718,6 +848,10 @@ class InferenceSession:
         self._simulations = 0
         self._plans_refreshed_base = getattr(self.backend, "plans_refreshed", 0)
         self._plans_spliced_base = getattr(self.backend, "plans_spliced", 0)
+        if self.registry.enabled:
+            # Registry counters mirror the session era: a reset re-syncs
+            # them to the zeroed snapshot rather than leaving stale totals.
+            self._publish(self._snapshot())
 
     # ------------------------------------------------------------------
     # Planning
@@ -801,6 +935,17 @@ class InferenceSession:
         :mod:`repro.nn.point_layers`) return their logits array, with
         every mapping op routed through the session's mapping cache.
         """
+        if not self.registry.enabled:
+            return self._run_impl(tensor)
+        stage_base = self._stage_base()
+        start = time.perf_counter()
+        out = self._run_impl(tensor)
+        self._observe_dispatch(
+            "run", time.perf_counter() - start, stage_base
+        )
+        return out
+
+    def _run_impl(self, tensor: SparseTensor3D) -> SparseTensor3D:
         if self._mapping_network():
             self._frames_run += 1
             return self.net(tensor, mapping_cache=self.mapping_cache)
@@ -837,6 +982,19 @@ class InferenceSession:
         engine in a warm private session, so results stay bit-identical
         while groups run concurrently.
         """
+        if not self.registry.enabled:
+            return self._run_batch_impl(tensors)
+        stage_base = self._stage_base()
+        start = time.perf_counter()
+        outs = self._run_batch_impl(tensors)
+        self._observe_dispatch(
+            "run_batch", time.perf_counter() - start, stage_base
+        )
+        return outs
+
+    def _run_batch_impl(
+        self, tensors: Sequence[SparseTensor3D]
+    ) -> List[SparseTensor3D]:
         tensors = list(tensors)
         if not tensors:
             return []
@@ -985,6 +1143,17 @@ class InferenceSession:
         and each op is priced on the unified sort/merge/gather pipeline
         by :class:`repro.arch.mapping_model.MappingCostModel`.
         """
+        if not self.registry.enabled:
+            return self._estimate_impl(tensor)
+        start = time.perf_counter()
+        estimate = self._estimate_impl(tensor)
+        self._m_dispatch.observe(
+            time.perf_counter() - start, path="estimate"
+        )
+        self._publish(self._snapshot())
+        return estimate
+
+    def _estimate_impl(self, tensor: SparseTensor3D) -> NetworkEstimate:
         if self._mapping_network():
             self._estimates += 1
             return PointNetworkEstimate(
@@ -1158,6 +1327,26 @@ class InferenceSession:
         mapping ops laid out back to back on the shared sort/merge/gather
         pipeline (``verify``/``include_host_layers`` do not apply).
         """
+        if not self.registry.enabled:
+            return self._simulate_impl(
+                tensor, verify=verify, include_host_layers=include_host_layers
+            )
+        start = time.perf_counter()
+        result = self._simulate_impl(
+            tensor, verify=verify, include_host_layers=include_host_layers
+        )
+        self._m_dispatch.observe(
+            time.perf_counter() - start, path="simulate"
+        )
+        self._publish(self._snapshot())
+        return result
+
+    def _simulate_impl(
+        self,
+        tensor: SparseTensor3D,
+        verify: bool,
+        include_host_layers: bool,
+    ) -> NetworkRunResult:
         self._simulations += 1
         if self._mapping_network():
             return self.mapping_model.simulate(

@@ -16,10 +16,18 @@ definitions found in the linted sources:
   on an inferred receiver must resolve to a field, property, or method;
 * in ``docs/*.md``, every ``ClassName.attr`` reference (including the
   ``ClassName.a / b / c`` shorthand the docs use) must resolve the same
-  way.
+  way;
+* every ``repro_*`` metric name registered through the
+  :mod:`repro.obs.metrics` registry (``.counter(...)`` / ``.gauge(...)``
+  / ``.histogram(...)`` with a string-literal name) must appear
+  backticked in ``docs/observability.md``, and every backticked
+  ``repro_*`` token there must be registered somewhere in the linted
+  sources (histogram ``_bucket``/``_sum``/``_count`` series resolve to
+  their base name).
 
 Classes absent from the linted sources are skipped — fixture projects
-only validate the classes they define.
+only validate the classes they define.  The metric cross-check is
+likewise skipped when the source set registers no metrics.
 """
 
 from __future__ import annotations
@@ -44,6 +52,33 @@ _DOC_REF = re.compile(
 )
 # `X.a / b / c` continuation shorthand (possibly across backticks/lines).
 _DOC_CONTINUATION = re.compile(r"[ \t`]*/[ \t`\r\n]*(\w+)")
+
+#: Registry declaration methods whose first argument is a metric name.
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+#: Backticked metric tokens in docs — the documented catalog.
+_DOC_METRIC = re.compile(r"`(repro_[a-z0-9_]+)`")
+#: Prometheus series a histogram expands into; docs may name them.
+_SERIES_SUFFIXES = ("_bucket", "_sum", "_count")
+_METRIC_DOC = "docs/observability.md"
+
+
+def _collect_metric_names(project: Project) -> Dict[str, SourceFile]:
+    """``repro_*`` names registered via ``.counter/.gauge/.histogram``."""
+    declared: Dict[str, SourceFile] = {}
+    for source in project.iter_files(("*.py",)):
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METRIC_METHODS
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+                and node.args[0].value.startswith("repro_")
+            ):
+                continue
+            declared.setdefault(node.args[0].value, source)
+    return declared
 
 
 def _collect_surfaces(project: Project) -> Dict[str, Set[str]]:
@@ -146,7 +181,9 @@ class StatsDriftChecker(Checker):
     rule = "stats-drift"
     description = (
         "every SessionStats/StreamStats/FrameResult/ServeStats attribute "
-        "referenced in cli.py and docs/*.md exists on the dataclass"
+        "referenced in cli.py and docs/*.md exists on the dataclass, and "
+        "registered repro_* metric names stay in sync with "
+        "docs/observability.md"
     )
     scope = ("*cli.py",)
 
@@ -156,6 +193,7 @@ class StatsDriftChecker(Checker):
         for source in self.scoped_files(project):
             violations.extend(self._check_cli(source, surfaces))
         violations.extend(self._check_docs(project, surfaces))
+        violations.extend(self._check_metric_docs(project))
         return violations
 
     def _check_cli(
@@ -227,4 +265,59 @@ class StatsDriftChecker(Checker):
                             ),
                         )
                     )
+        return out
+
+    def _check_metric_docs(self, project: Project) -> List[Violation]:
+        """Registered metric names <-> the docs/observability.md catalog."""
+        declared = _collect_metric_names(project)
+        if not declared:
+            return []  # fixture projects without telemetry
+        out: List[Violation] = []
+        doc_path = Path(project.root) / _METRIC_DOC
+        try:
+            text = doc_path.read_text(encoding="utf-8")
+        except OSError:
+            text = ""
+        documented = {
+            (match.group(1), match.start(1))
+            for match in _DOC_METRIC.finditer(text)
+        }
+        documented_names = {name for name, _ in documented}
+        for name in sorted(declared):
+            if name in documented_names:
+                continue
+            out.append(
+                Violation(
+                    file=declared[name].rel,
+                    line=1,
+                    col=0,
+                    rule=self.rule,
+                    message=(
+                        f"metric {name} is registered here but missing "
+                        f"from the {_METRIC_DOC} catalog — metric-name "
+                        "drift"
+                    ),
+                )
+            )
+        for name, start in sorted(documented):
+            base = name
+            for suffix in _SERIES_SUFFIXES:
+                if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                    base = name[: -len(suffix)]
+                    break
+            if base in declared:
+                continue
+            out.append(
+                Violation(
+                    file=_METRIC_DOC,
+                    line=text.count("\n", 0, start) + 1,
+                    col=0,
+                    rule=self.rule,
+                    message=(
+                        f"{_METRIC_DOC} documents metric {name}, which is "
+                        "never registered in the linted sources — "
+                        "metric-name drift"
+                    ),
+                )
+            )
         return out

@@ -1,0 +1,64 @@
+"""repro.obs — dependency-free telemetry for the serving stack.
+
+The production instrument panel the ROADMAP's "Serving QoS +
+observability hardening" item asks for:
+
+* :mod:`repro.obs.metrics` — ``MetricRegistry`` with ``Counter`` /
+  ``Gauge`` / fixed-bucket ``Histogram`` (log-spaced latency buckets,
+  bucket-based p50/p90/p99, tuple labels, thread-safe, near-zero
+  overhead when disabled) plus Prometheus-text and JSON rendering.
+* :mod:`repro.obs.trace` — ``Span`` / ``Trace`` / ``Tracer``: bounded
+  ring buffer of per-request stage timelines with JSON export.
+* :mod:`repro.obs.exporters` — stdlib ``http.server`` metrics endpoint
+  and a periodic snapshot logger.
+* :mod:`repro.obs.loadgen` — open-loop (Poisson-arrival) load
+  generator for tail-latency benchmarking of ``SessionServer``.
+
+Every component of the stack (session, server, cluster backend,
+worker) creates a private registry by default; passing one registry
+through all tiers — as ``python -m repro serve --metrics-port`` does —
+unifies them into a single scrape surface.
+
+``loadgen`` imports the runtime tier, so it is exposed lazily to keep
+``repro.obs`` itself import-light and dependency-free.
+"""
+
+from repro.obs.exporters import MetricsHTTPServer, PeriodicSnapshotLogger
+from repro.obs.metrics import (
+    BATCH_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_S,
+    MetricRegistry,
+)
+from repro.obs.trace import Span, Trace, Tracer
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "LoadResult",
+    "MetricRegistry",
+    "MetricsHTTPServer",
+    "PeriodicSnapshotLogger",
+    "Span",
+    "Trace",
+    "Tracer",
+    "run_load",
+    "run_open_loop",
+]
+
+_LOADGEN_NAMES = {"LoadResult", "run_load", "run_open_loop"}
+
+
+def __getattr__(name):
+    if name in _LOADGEN_NAMES:
+        from repro.obs import loadgen
+
+        return getattr(loadgen, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -1,0 +1,167 @@
+"""Export surfaces for the metric registry.
+
+Two exporters, both stdlib-only:
+
+* ``MetricsHTTPServer`` — a daemon-threaded ``http.server`` exposing
+  ``/metrics`` (Prometheus text), ``/metrics.json`` (JSON render),
+  ``/traces`` (recent trace dump when a tracer is attached) and
+  ``/healthz``.  This is what ``python -m repro serve --metrics-port P``
+  binds.
+* ``PeriodicSnapshotLogger`` — a daemon thread emitting a one-line
+  counter/gauge summary every ``period_s`` seconds through a caller
+  supplied ``emit`` callable (``print`` by default).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.obs.metrics import MetricRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["MetricsHTTPServer", "PeriodicSnapshotLogger"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _make_handler(registry: MetricRegistry, tracer: Optional[Tracer]):
+    class _Handler(BaseHTTPRequestHandler):
+        def _reply(self, body: str, content_type: str,
+                   status: int = 200) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def do_GET(self):  # noqa: N802 (http.server API)
+            if self.path in ("/metrics", "/"):
+                self._reply(
+                    registry.render("prometheus"), PROMETHEUS_CONTENT_TYPE
+                )
+            elif self.path == "/metrics.json":
+                self._reply(registry.render("json"), "application/json")
+            elif self.path == "/traces":
+                body = tracer.dump_json() if tracer is not None else "[]"
+                self._reply(body, "application/json")
+            elif self.path == "/healthz":
+                self._reply("ok\n", "text/plain; charset=utf-8")
+            else:
+                self._reply("not found\n", "text/plain; charset=utf-8", 404)
+
+        def log_message(self, format, *args):  # noqa: A002
+            pass  # scrape traffic stays off stderr
+
+    return _Handler
+
+
+class MetricsHTTPServer:
+    """Serve a registry (and optional tracer) over HTTP on a thread."""
+
+    def __init__(self, registry: MetricRegistry, port: int = 0,
+                 host: str = "127.0.0.1",
+                 tracer: Optional[Tracer] = None):
+        self.registry = registry
+        self.tracer = tracer
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsHTTPServer":
+        if self._httpd is not None:
+            return self
+        handler = _make_handler(self.registry, self.tracer)
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def _summarise(registry: MetricRegistry) -> str:
+    parts = []
+    for metric in registry.metrics():
+        if metric.kind == "histogram":
+            continue
+        for key, value in sorted(metric.series().items()):
+            suffix = "{%s}" % ",".join(key) if key else ""
+            if float(value).is_integer():
+                parts.append(f"{metric.name}{suffix}={int(value)}")
+            else:
+                parts.append(f"{metric.name}{suffix}={value:.4g}")
+    return " ".join(parts) if parts else "(no series yet)"
+
+
+class PeriodicSnapshotLogger:
+    """Emit a one-line registry summary every ``period_s`` seconds."""
+
+    def __init__(self, registry: MetricRegistry, period_s: float = 10.0,
+                 emit: Callable[[str], None] = print):
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.registry = registry
+        self.period_s = period_s
+        self._emit = emit
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.period_s):
+            self._emit(f"[metrics] {_summarise(self.registry)}")
+
+    def start(self) -> "PeriodicSnapshotLogger":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-metrics-log", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "PeriodicSnapshotLogger":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

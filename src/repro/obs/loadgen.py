@@ -1,0 +1,203 @@
+"""Open-loop (Poisson-arrival) load generator for :class:`SessionServer`.
+
+Closed-loop clients (submit, await, repeat) self-throttle under
+overload: the offered rate collapses to whatever the server sustains
+and tail latency looks flatteringly bounded.  An *open-loop* generator
+keeps arriving at the configured rate regardless of completions —
+exactly how independent users behave — so queueing delay, deadline
+sheds and overload rejections actually show up in the measured
+distribution.  This is the harness behind
+``benchmarks/test_bench_observe.py`` and the
+``results/serve_tail_latency.txt`` artifact.
+
+Arrivals are a Poisson process: inter-arrival gaps are drawn from an
+exponential distribution (``random.expovariate``) with a seeded RNG so
+runs are reproducible.  Each arrival submits one frame (round-robin
+over the supplied pool) on its own task and never waits for earlier
+requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.runtime.server import (
+    DeadlineExceeded,
+    ServerOverloaded,
+    SessionServer,
+)
+
+__all__ = ["LoadResult", "run_open_loop", "run_load"]
+
+
+def _percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolation percentile (numpy's default method)."""
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lower = int(math.floor(rank))
+    upper = int(math.ceil(rank))
+    if lower == upper:
+        return float(ordered[lower])
+    fraction = rank - lower
+    return float(
+        ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+    )
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one open-loop run at a fixed offered rate."""
+
+    offered_rate_hz: float
+    submitted: int = 0
+    completed: int = 0
+    shed_overload: int = 0
+    shed_deadline: int = 0
+    errors: int = 0
+    wall_seconds: float = 0.0
+    #: Per-completed-request end-to-end seconds (submit -> result).
+    latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def shed_total(self) -> int:
+        return self.shed_overload + self.shed_deadline
+
+    @property
+    def achieved_rate_hz(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    def percentile(self, p: float) -> float:
+        return _percentile(self.latencies_s, p)
+
+    def summary_lines(self) -> List[str]:
+        p50 = self.percentile(50.0) * 1e3
+        p90 = self.percentile(90.0) * 1e3
+        p99 = self.percentile(99.0) * 1e3
+        return [
+            f"offered {self.offered_rate_hz:8.1f} req/s | "
+            f"achieved {self.achieved_rate_hz:8.1f} req/s | "
+            f"completed {self.completed:4d}/{self.submitted:<4d} | "
+            f"shed {self.shed_overload:3d} overload "
+            f"+ {self.shed_deadline:3d} deadline",
+            f"  e2e latency  p50 {p50:8.2f} ms   p90 {p90:8.2f} ms   "
+            f"p99 {p99:8.2f} ms",
+        ]
+
+
+async def run_open_loop(
+    server: SessionServer,
+    frames: Sequence,
+    rate_hz: float,
+    num_requests: int,
+    seed: int = 0,
+) -> LoadResult:
+    """Drive a *running* server with Poisson arrivals at ``rate_hz``.
+
+    Submits ``num_requests`` frames (round-robin over ``frames``) with
+    exponential inter-arrival gaps, never waiting for completions, then
+    awaits all outstanding requests and returns the tallied
+    :class:`LoadResult`.
+    """
+    if rate_hz <= 0:
+        raise ValueError(f"rate_hz must be positive, got {rate_hz}")
+    if num_requests < 1:
+        raise ValueError(
+            f"num_requests must be >= 1, got {num_requests}"
+        )
+    if not frames:
+        raise ValueError("need at least one frame to submit")
+    rng = random.Random(seed)
+    result = LoadResult(offered_rate_hz=float(rate_hz))
+
+    async def one_request(frame) -> None:
+        start = time.perf_counter()
+        try:
+            await server.submit(frame)
+        except ServerOverloaded:
+            result.shed_overload += 1
+        except DeadlineExceeded:
+            result.shed_deadline += 1
+        except Exception:
+            result.errors += 1
+        else:
+            result.completed += 1
+            result.latencies_s.append(time.perf_counter() - start)
+
+    t0 = time.perf_counter()
+    tasks = []
+    for i in range(num_requests):
+        tasks.append(
+            asyncio.get_running_loop().create_task(
+                one_request(frames[i % len(frames)])
+            )
+        )
+        result.submitted += 1
+        if i + 1 < num_requests:
+            await asyncio.sleep(rng.expovariate(rate_hz))
+    await asyncio.gather(*tasks)
+    result.wall_seconds = time.perf_counter() - t0
+    return result
+
+
+def run_load(
+    frames: Sequence,
+    rate_hz: float,
+    num_requests: int,
+    session=None,
+    seed: int = 0,
+    **server_kwargs,
+) -> tuple:
+    """Blocking convenience: build a server, run one open-loop burst.
+
+    Returns ``(LoadResult, ServeStats)`` — the client-side latency
+    tally plus the server's own accounting for the same run.
+    """
+
+    async def _run():
+        async with SessionServer(
+            session=session, **server_kwargs
+        ) as server:
+            result = await run_open_loop(
+                server, frames, rate_hz, num_requests, seed=seed
+            )
+            stats = server.stats
+        return result, stats
+
+    return asyncio.run(_run())
+
+
+def sweep_rates(
+    frames: Sequence,
+    rates_hz: Sequence[float],
+    num_requests: int,
+    session=None,
+    seed: int = 0,
+    **server_kwargs,
+) -> List[tuple]:
+    """Run one open-loop burst per offered rate; returns result pairs."""
+    out = []
+    for rate in rates_hz:
+        out.append(
+            run_load(
+                frames,
+                rate,
+                num_requests,
+                session=session,
+                seed=seed,
+                **server_kwargs,
+            )
+        )
+    return out

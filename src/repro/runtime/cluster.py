@@ -55,6 +55,7 @@ import os
 import subprocess
 import sys
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -68,6 +69,7 @@ from repro.engine.backend import (
     ShardSpecStore,
     register_backend,
 )
+from repro.obs.metrics import MetricRegistry
 from repro.runtime.wire import (
     ChecksumError,
     ConnectionClosed,
@@ -390,6 +392,13 @@ class RemoteShardBackend(ExecutionBackend):
         Optional background health-probe period.  ``None`` (default)
         disables the prober — request traffic already detects loss — so
         tests and short demos stay deterministic.
+    registry:
+        The :class:`repro.obs.metrics.MetricRegistry` receiving the
+        coordinator's ``repro_cluster_*`` telemetry: per-worker RTT
+        histograms, dispatch/reroute/rejoin counters mirroring
+        :attr:`stats`, and the per-worker queue-depth / warm-session
+        gauges fed by HEALTH reports.  ``None`` (default) creates a
+        private registry.
     """
 
     name = "remote"
@@ -403,6 +412,7 @@ class RemoteShardBackend(ExecutionBackend):
         retries: int = 2,
         replicas: int = 64,
         heartbeat_s: Optional[float] = None,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         super().__init__()
         if request_timeout_s <= 0 or connect_timeout_s <= 0:
@@ -429,6 +439,63 @@ class RemoteShardBackend(ExecutionBackend):
         self._loop_thread: Optional[_LoopThread] = None
         self._heartbeat_task: Optional[asyncio.Task] = None
         self._closed = False
+        self.registry = registry if registry is not None else MetricRegistry()
+        reg = self.registry
+        self._m_groups = reg.counter(
+            "repro_cluster_groups_total",
+            "Digest groups dispatched to the worker fleet.",
+        )
+        self._m_frames = reg.counter(
+            "repro_cluster_frames_total",
+            "Frames dispatched inside those groups.",
+        )
+        self._m_workers_lost = reg.counter(
+            "repro_cluster_workers_lost_total",
+            "Workers declared dead after a transport failure.",
+        )
+        self._m_reroutes = reg.counter(
+            "repro_cluster_reroutes_total",
+            "Groups re-routed to a ring successor after worker loss.",
+        )
+        self._m_spec_syncs = reg.counter(
+            "repro_cluster_spec_syncs_total",
+            "Spec blobs shipped to workers.",
+        )
+        self._m_rejoins = reg.counter(
+            "repro_cluster_rejoins_total",
+            "Workers revived via rejoin().",
+        )
+        self._m_rtt = reg.histogram(
+            "repro_cluster_rtt_seconds",
+            "EXECUTE_BATCH round-trip time per worker.",
+            labels=("worker",),
+        )
+        self._m_worker_depth = reg.gauge(
+            "repro_cluster_worker_queue_depth",
+            "Worker compute queue depth from its last HEALTH report.",
+            labels=("worker",),
+        )
+        self._m_worker_warm = reg.gauge(
+            "repro_cluster_worker_warm_sessions",
+            "Warm spec sessions from the worker's last HEALTH report.",
+            labels=("worker",),
+        )
+
+    def _note_health(self, address: Address, report: dict) -> None:
+        """Feed one HEALTH report into the coordinator gauges.
+
+        The telemetry fields are additive in this wire version: reports
+        from older workers lack them, so they default (queue depth 0,
+        warmth from the spec list) instead of failing to parse.
+        """
+        worker = format_address(address)
+        self._m_worker_depth.set(
+            report.get("queue_depth", 0), worker=worker
+        )
+        self._m_worker_warm.set(
+            report.get("warm_sessions", len(report.get("specs", ()))),
+            worker=worker,
+        )
 
     # ------------------------------------------------------------------
     # Local compute surface (same shape as the process-pool backend)
@@ -485,9 +552,10 @@ class RemoteShardBackend(ExecutionBackend):
             for address in tuple(self._live):
                 try:
                     link = await self._link(address)
-                    await link.request(
+                    report = await link.request(
                         MessageType.HEALTH, {}, self.connect_timeout_s
                     )
+                    self._note_health(address, report)
                 except TRANSPORT_ERRORS:
                     await self._mark_lost(address)
 
@@ -505,6 +573,7 @@ class RemoteShardBackend(ExecutionBackend):
         if address in self._live:
             self._live.discard(address)
             self.stats.workers_lost += 1
+            self._m_workers_lost.inc()
         self._synced.pop(address, None)
         link = self._links.pop(address, None)
         if link is not None:
@@ -527,6 +596,7 @@ class RemoteShardBackend(ExecutionBackend):
             )
             synced.add(digest)
             self.stats.spec_syncs += 1
+            self._m_spec_syncs.inc()
 
     # ------------------------------------------------------------------
     # Group fan-out
@@ -543,6 +613,10 @@ class RemoteShardBackend(ExecutionBackend):
         self.stats.groups_dispatched += len(groups)
         self.stats.frames_dispatched += sum(
             task.features.shape[0] for task in groups
+        )
+        self._m_groups.inc(len(groups))
+        self._m_frames.inc(
+            sum(task.features.shape[0] for task in groups)
         )
         # Generous outer bound: every group gets its own per-request
         # timeouts inside; this only guards against a wedged loop.
@@ -590,8 +664,13 @@ class RemoteShardBackend(ExecutionBackend):
             try:
                 link = await self._link(address)
                 await self._ensure_spec(address, link, digest, blob)
+                sent = time.monotonic()
                 reply = await link.request(
                     MessageType.EXECUTE_BATCH, payload, self.request_timeout_s
+                )
+                self._m_rtt.observe(
+                    time.monotonic() - sent,
+                    worker=format_address(address),
                 )
                 return np.asarray(reply["features"])
             except RemoteWorkerError as exc:
@@ -617,6 +696,7 @@ class RemoteShardBackend(ExecutionBackend):
                     ) from exc
                 reroutes += 1
                 self.stats.groups_rerouted += 1
+                self._m_reroutes.inc()
 
     # ------------------------------------------------------------------
     # Membership operations: rejoin, health, weight swap
@@ -656,8 +736,10 @@ class RemoteShardBackend(ExecutionBackend):
         report = await link.request(
             MessageType.HEALTH, {}, self.request_timeout_s
         )
+        self._note_health(address, report)
         self._live.add(address)
         self.stats.rejoins += 1
+        self._m_rejoins.inc()
         return report
 
     def worker_health(self) -> Dict[str, dict]:
@@ -672,9 +754,11 @@ class RemoteShardBackend(ExecutionBackend):
         for address in tuple(sorted(self._live)):
             try:
                 link = await self._link(address)
-                reports[format_address(address)] = await link.request(
+                report = await link.request(
                     MessageType.HEALTH, {}, self.request_timeout_s
                 )
+                self._note_health(address, report)
+                reports[format_address(address)] = report
             except TRANSPORT_ERRORS:
                 await self._mark_lost(address)
         return reports

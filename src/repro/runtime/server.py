@@ -33,6 +33,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.engine.session import InferenceSession
+from repro.obs.metrics import BATCH_SIZE_BUCKETS, MetricRegistry
+from repro.obs.trace import Tracer
 from repro.sparse.coo import SparseTensor3D
 
 
@@ -65,6 +67,13 @@ class ServeStats:
     linger and event-loop scheduling, so ``fps`` is honest sustained
     throughput.  ``busy_seconds`` is the time actually spent inside
     ``run_batch`` (the compute fraction of the span).
+
+    Instances are immutable-in-practice *snapshots*: the live counters
+    behind them are ``repro_serve_*`` metrics in the server's
+    :class:`repro.obs.metrics.MetricRegistry`, whose lock makes the
+    dispatch-loop and submit-path mutations race-free (they used to be
+    bare ``+=`` on this dataclass).  Read :attr:`SessionServer.stats`
+    for a fresh snapshot.
     """
 
     requests: int = 0
@@ -138,6 +147,21 @@ class SessionServer:
         dispatcher reaches it past the deadline is rejected with
         :class:`DeadlineExceeded` instead of being executed.  ``None``
         (default) disables deadlines.
+    registry:
+        The :class:`repro.obs.metrics.MetricRegistry` receiving the
+        server's ``repro_serve_*`` telemetry (and backing
+        :attr:`stats`).  ``None`` (default) creates a private registry,
+        keeping one server's accounting isolated even when several
+        servers serve the same session over time.  Pass the session's
+        registry (as ``python -m repro serve --metrics-port`` does) to
+        expose session + server metrics on one scrape surface; sharing
+        one registry across *concurrently live* servers merges their
+        serve counters.
+    tracer:
+        Ring buffer receiving one per-micro-batch stage timeline
+        (queue-wait → batch-linger → execute → respond).  ``None``
+        builds a private 256-deep :class:`repro.obs.trace.Tracer`;
+        tracing follows ``registry.enabled``.
     """
 
     def __init__(
@@ -147,6 +171,8 @@ class SessionServer:
         max_delay_s: float = 0.002,
         max_pending: Optional[int] = None,
         deadline_s: Optional[float] = None,
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -167,12 +193,80 @@ class SessionServer:
         self.max_delay_s = float(max_delay_s)
         self.max_pending = None if max_pending is None else int(max_pending)
         self.deadline_s = None if deadline_s is None else float(deadline_s)
-        self.stats = ServeStats()
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(capacity=256)
         self._queue: Optional[asyncio.Queue] = None
         self._dispatcher: Optional[asyncio.Task] = None
         self._closed = False
         self._span_start: Optional[float] = None
         self._pending = 0
+        # Dispatcher-owned accumulators (single task, no races): the
+        # cross-thread counters live in the registry instead.
+        self._batch_sizes: List[int] = []
+        self._busy_seconds = 0.0
+        self._wall_seconds = 0.0
+        reg = self.registry
+        self._m_requests = reg.counter(
+            "repro_serve_requests_total",
+            "Requests served to completion.",
+        )
+        self._m_batches = reg.counter(
+            "repro_serve_batches_total",
+            "Micro-batches dispatched to run_batch.",
+        )
+        self._m_shed = reg.counter(
+            "repro_serve_shed_total",
+            "Requests shed before compute, by reason.",
+            labels=("reason",),
+        )
+        self._m_depth = reg.gauge(
+            "repro_serve_queue_depth",
+            "Accepted-but-unserved requests right now.",
+        )
+        self._m_e2e = reg.histogram(
+            "repro_serve_e2e_seconds",
+            "End-to-end latency: enqueue to response.",
+        )
+        self._m_wait = reg.histogram(
+            "repro_serve_queue_wait_seconds",
+            "Queue wait: enqueue to dequeue by the dispatcher.",
+        )
+        self._m_linger = reg.histogram(
+            "repro_serve_linger_seconds",
+            "Batch-coalescing linger after the first dequeue.",
+        )
+        self._m_execute = reg.histogram(
+            "repro_serve_execute_seconds",
+            "run_batch executor time per micro-batch.",
+        )
+        self._m_batch_size = reg.histogram(
+            "repro_serve_batch_size",
+            "Dispatched micro-batch sizes.",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+
+    @property
+    def stats(self) -> ServeStats:
+        """A point-in-time :class:`ServeStats` snapshot.
+
+        Every counter is read from the registry under its lock; the
+        dispatcher-owned accumulators (batch sizes, busy/wall seconds)
+        are copied as-is.
+        """
+        return ServeStats(
+            requests=int(self._m_requests.value()),
+            micro_batches=int(self._m_batches.value()),
+            batch_sizes=list(self._batch_sizes),
+            wall_seconds=self._wall_seconds,
+            busy_seconds=self._busy_seconds,
+            rejected_overload=int(self._m_shed.value(reason="overload")),
+            rejected_deadline=int(self._m_shed.value(reason="deadline")),
+            rejected_cancelled=int(self._m_shed.value(reason="cancelled")),
+        )
+
+    def _track_pending(self, delta: int) -> None:
+        self._pending += delta
+        self._m_depth.set(self._pending)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -223,14 +317,14 @@ class SessionServer:
                 "await server.start()"
             )
         if self.max_pending is not None and self._pending >= self.max_pending:
-            self.stats.rejected_overload += 1
+            self._m_shed.inc(reason="overload")
             raise ServerOverloaded(
                 f"server backlog is full ({self._pending} pending requests, "
                 f"max_pending={self.max_pending}); shed load or retry with "
                 "backoff"
             )
         future = asyncio.get_running_loop().create_future()
-        self._pending += 1
+        self._track_pending(1)
         await self._queue.put((tensor, future, time.monotonic()))
         return await future
 
@@ -277,8 +371,8 @@ class SessionServer:
         live = []
         for item in batch:
             if item[1].done():
-                self._pending -= 1
-                self.stats.rejected_cancelled += 1
+                self._track_pending(-1)
+                self._m_shed.inc(reason="cancelled")
             else:
                 live.append(item)
         return live
@@ -298,8 +392,8 @@ class SessionServer:
             tensor, future, enqueued = item
             waited = now - enqueued
             if waited > self.deadline_s:
-                self._pending -= 1
-                self.stats.rejected_deadline += 1
+                self._track_pending(-1)
+                self._m_shed.inc(reason="deadline")
                 if not future.done():
                     future.set_exception(
                         DeadlineExceeded(
@@ -324,12 +418,15 @@ class SessionServer:
                 continue
             if self._span_start is None:
                 self._span_start = time.perf_counter()
+            dequeue_t = time.monotonic()
             batch = self._expire_overdue(
                 self._drop_cancelled(await self._collect_batch(first))
             )
             if not batch:
                 continue
+            collect_end_t = time.monotonic()
             tensors = [tensor for tensor, _, _ in batch]
+            pre = self.session.stats if self.registry.enabled else None
             start = time.perf_counter()
             try:
                 # run_batch groups the micro-batch by coordinate digest:
@@ -343,20 +440,80 @@ class SessionServer:
                 )
             except Exception as exc:  # propagate to every waiting client
                 for _, future, _ in batch:
-                    self._pending -= 1
+                    self._track_pending(-1)
                     if not future.done():
                         future.set_exception(exc)
                 continue
             end = time.perf_counter()
-            self.stats.requests += len(batch)
-            self.stats.micro_batches += 1
-            self.stats.batch_sizes.append(len(batch))
-            self.stats.busy_seconds += end - start
-            self.stats.wall_seconds = end - self._span_start
+            exec_end_t = time.monotonic()
+            self._m_requests.inc(len(batch))
+            self._m_batches.inc()
+            self._batch_sizes.append(len(batch))
+            self._busy_seconds += end - start
+            self._wall_seconds = end - self._span_start
             for (_, future, _), output in zip(batch, outputs):
-                self._pending -= 1
+                self._track_pending(-1)
                 if not future.done():
                     future.set_result(output)
+            self._record_batch(
+                batch,
+                dequeue_t=dequeue_t,
+                collect_end_t=collect_end_t,
+                execute_s=end - start,
+                exec_end_t=exec_end_t,
+                respond_t=time.monotonic(),
+                pre=pre,
+            )
+
+    def _record_batch(
+        self,
+        batch: list,
+        dequeue_t: float,
+        collect_end_t: float,
+        execute_s: float,
+        exec_end_t: float,
+        respond_t: float,
+        pre,
+    ) -> None:
+        """Histograms + one stage-timeline trace for a dispatched batch.
+
+        The timeline (queue-wait → batch-linger → execute → respond) is
+        laid out on the shared monotonic clock, origin at the earliest
+        member's enqueue.  Prepare/patch work happens *inside* the
+        execute span (the session's own ``repro_session_*`` histograms
+        carry that split); its cache activity is attached as span
+        metadata from the session-stats delta across the batch.
+        """
+        if not self.registry.enabled:
+            return
+        waits = [dequeue_t - enqueued for _, _, enqueued in batch]
+        for wait in waits:
+            self._m_wait.observe(max(wait, 0.0))
+        self._m_linger.observe(max(collect_end_t - dequeue_t, 0.0))
+        self._m_execute.observe(execute_s)
+        self._m_batch_size.observe(len(batch))
+        for _, _, enqueued in batch:
+            self._m_e2e.observe(max(respond_t - enqueued, 0.0))
+        if not self.tracer.enabled:
+            return
+        post = self.session.stats
+        origin = min(enqueued for _, _, enqueued in batch)
+        trace = self.tracer.start("micro-batch", size=len(batch))
+        trace.add_span(
+            "queue-wait", 0.0, dequeue_t - origin, max_wait_s=max(waits)
+        )
+        trace.add_span("batch-linger", dequeue_t - origin,
+                       collect_end_t - origin)
+        trace.add_span(
+            "execute",
+            collect_end_t - origin,
+            exec_end_t - origin,
+            run_batch_s=execute_s,
+            plan_misses=post.plan_misses - pre.plan_misses,
+            delta_patches=post.delta_patches - pre.delta_patches,
+            plans_spliced=post.plans_spliced - pre.plans_spliced,
+        )
+        trace.add_span("respond", exec_end_t - origin, respond_t - origin)
 
 
 async def serve(
@@ -367,6 +524,8 @@ async def serve(
     max_delay_s: float = 0.002,
     max_pending: Optional[int] = None,
     deadline_s: Optional[float] = None,
+    registry: Optional[MetricRegistry] = None,
+    tracer: Optional[Tracer] = None,
 ) -> tuple:
     """Serve ``frames`` through a :class:`SessionServer`, preserving order.
 
@@ -395,6 +554,8 @@ async def serve(
         max_delay_s=max_delay_s,
         max_pending=max_pending,
         deadline_s=deadline_s,
+        registry=registry,
+        tracer=tracer,
     ) as server:
 
         async def client() -> None:

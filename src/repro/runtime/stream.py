@@ -171,6 +171,12 @@ class StreamStats:
     """Aggregate statistics of one streaming run."""
 
     frames: List[FrameResult] = field(default_factory=list)
+    #: Preallocated per-frame latency vector, rebuilt only when the
+    #: stream grows (frames are append-only during a run), so repeated
+    #: percentile queries do not re-collect a Python list each call.
+    _latencies: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def num_frames(self) -> int:
@@ -210,8 +216,15 @@ class StreamStats:
                 "latency_percentile is undefined on an empty stream "
                 "(no frames recorded)"
             )
-        values = [frame.total_seconds for frame in self.frames]
-        return float(np.percentile(values, percentile))
+        if self._latencies is None or len(self._latencies) != len(
+            self.frames
+        ):
+            self._latencies = np.fromiter(
+                (frame.total_seconds for frame in self.frames),
+                dtype=np.float64,
+                count=len(self.frames),
+            )
+        return float(np.percentile(self._latencies, percentile))
 
     def mean_gops(self) -> float:
         if self.total_seconds == 0.0:

@@ -106,6 +106,14 @@ class ClusterWorker:
         self._started_at = time.monotonic()
         self.groups_served = 0
         self.frames_served = 0
+        #: Requests currently waiting for (or holding) the compute lock
+        #: — the worker-side queue depth HEALTH reports upstream.
+        self._compute_waiters = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Compute requests queued or running right now."""
+        return self._compute_waiters
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -206,10 +214,14 @@ class ClusterWorker:
         built = False
         if digest not in self._sessions:
             blob: bytes = payload["blob"]
-            async with self._compute_lock:
-                session = await asyncio.get_running_loop().run_in_executor(
-                    None, _build_session, blob
-                )
+            self._compute_waiters += 1
+            try:
+                async with self._compute_lock:
+                    session = await asyncio.get_running_loop().run_in_executor(
+                        None, _build_session, blob
+                    )
+            finally:
+                self._compute_waiters -= 1
             self._sessions[digest] = session
             built = True
             while len(self._sessions) > self.max_sessions:
@@ -235,14 +247,18 @@ class ClusterWorker:
     async def _prepare(self, payload: dict) -> dict:
         spec_digest: bytes = payload["spec"]
         session = self._session(spec_digest)
-        async with self._compute_lock:
-            nnz = await asyncio.get_running_loop().run_in_executor(
-                None,
-                self._warm_plan,
-                session,
-                payload["coords"],
-                payload["shape"],
-            )
+        self._compute_waiters += 1
+        try:
+            async with self._compute_lock:
+                nnz = await asyncio.get_running_loop().run_in_executor(
+                    None,
+                    self._warm_plan,
+                    session,
+                    payload["coords"],
+                    payload["shape"],
+                )
+        finally:
+            self._compute_waiters -= 1
         self._prepared.add((spec_digest, payload.get("digest", b"")))
         return {"nnz": nnz}
 
@@ -265,16 +281,23 @@ class ClusterWorker:
     async def _execute_batch(self, payload: dict) -> dict:
         spec_digest: bytes = payload["spec"]
         session = self._session(spec_digest)
-        async with self._compute_lock:
-            stacked = await asyncio.get_running_loop().run_in_executor(
-                None, self._run_group, session, payload
-            )
+        self._compute_waiters += 1
+        try:
+            async with self._compute_lock:
+                stacked = await asyncio.get_running_loop().run_in_executor(
+                    None, self._run_group, session, payload
+                )
+        finally:
+            self._compute_waiters -= 1
         self._prepared.add((spec_digest, payload.get("digest", b"")))
         self.groups_served += 1
         self.frames_served += int(np.asarray(payload["features"]).shape[0])
         return {"features": stacked}
 
     def _health(self, payload) -> dict:
+        # ``queue_depth`` and ``warm_sessions`` are additive telemetry
+        # (this wire version's coordinators read them with defaults, so
+        # frames from older workers that lack them still parse).
         return {
             "pid": os.getpid(),
             "port": self.port,
@@ -286,6 +309,8 @@ class ClusterWorker:
             "groups_served": self.groups_served,
             "frames_served": self.frames_served,
             "max_sessions": self.max_sessions,
+            "queue_depth": self.queue_depth,
+            "warm_sessions": len(self._sessions),
         }
 
     def _refresh(self, payload) -> dict:

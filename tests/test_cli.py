@@ -314,3 +314,28 @@ def test_cli_serve_cluster_exits_nonzero_on_identity_mismatch(
          "--resolution", "24", "--points", "800"]
     ) == 1
     assert "bit-identical: NO" in capsys.readouterr().out
+
+
+def test_cli_serve_metrics_port_and_trace_dump(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "traces.json"
+    assert main(
+        ["serve", "--frames", "1", "--clients", "2", "--resolution", "24",
+         "--points", "1000", "--no-baseline", "--metrics-port", "0",
+         "--trace-dump", str(trace_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "metrics endpoint: http://127.0.0.1:" in out
+    assert "traces dumped to:" in out
+    traces = json.loads(trace_path.read_text())
+    assert traces, "expected at least one micro-batch trace"
+    names = [span["name"] for span in traces[0]["spans"]]
+    assert names == ["queue-wait", "batch-linger", "execute", "respond"]
+
+
+def test_cli_serve_rejects_bad_metrics_port():
+    with pytest.raises(SystemExit):
+        main(["serve", "--metrics-port", "65536"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--metrics-port", "-1"])

@@ -466,3 +466,58 @@ def test_use_rulebook_cache_is_deprecated():
     assert "rulebook cache" in message
     # The attachment itself still works for standalone module use.
     assert layer_net.rulebook_cache is not None
+
+
+# ----------------------------------------------------------------------
+# Telemetry (repro.obs registry instrumentation)
+# ----------------------------------------------------------------------
+def test_session_metrics_mirror_stats():
+    session = small_session()
+    frames = [
+        random_sparse_tensor(seed=s, shape=(16, 16, 16), nnz=40, channels=2)
+        for s in (1, 1, 2)
+    ]
+    for frame in frames:
+        session.run(frame)
+    stats = session.stats
+    reg = session.registry
+    lookups = reg.get("repro_session_cache_lookups_total")
+    assert lookups.value(cache="plan", result="hit") == stats.plan_hits
+    assert lookups.value(cache="plan", result="miss") == stats.plan_misses
+    assert lookups.value(cache="rulebook", result="hit") == (
+        stats.rulebook_hits
+    )
+    assert reg.get("repro_session_frames_total").value() == 3
+    dispatch = reg.get("repro_session_dispatch_seconds")
+    assert dispatch.count(path="run") == 3
+    stage = reg.get("repro_session_stage_seconds")
+    assert stage.count(stage="gemm") > 0
+    text = reg.render()
+    assert 'repro_session_info{' in text
+    assert "repro_session_dispatch_seconds_bucket" in text
+
+
+def test_session_metrics_follow_reset_stats():
+    session = small_session()
+    session.run(
+        random_sparse_tensor(seed=3, shape=(16, 16, 16), nnz=40, channels=2)
+    )
+    session.reset_stats()
+    assert session.registry.get("repro_session_frames_total").value() == 0
+
+
+def test_session_disabled_registry_skips_timing():
+    from repro.obs.metrics import MetricRegistry
+
+    registry = MetricRegistry(enabled=False)
+    session = small_session(registry=registry)
+    frame = random_sparse_tensor(
+        seed=4, shape=(16, 16, 16), nnz=40, channels=2
+    )
+    out_disabled = session.run(frame)
+    assert registry.get("repro_session_dispatch_seconds").count(
+        path="run"
+    ) == 0
+    # Bit-identical output with telemetry on.
+    reference = small_session().run(frame)
+    assert np.array_equal(out_disabled.features, reference.features)

@@ -524,6 +524,76 @@ def test_stats_drift_skips_classes_outside_the_project(tmp_path):
     assert rules_of(report, "stats-drift") == []
 
 
+METRICS_MODULE = """\
+    class Thing:
+        def __init__(self, registry):
+            self._m_requests = registry.counter(
+                "repro_demo_requests_total", "Requests."
+            )
+            self._m_lat = registry.histogram(
+                "repro_demo_seconds", "Latency.", labels=("stage",)
+            )
+"""
+
+
+def test_stats_drift_flags_undocumented_and_unregistered_metrics(tmp_path):
+    write(tmp_path, "server.py", METRICS_MODULE)
+    write(
+        tmp_path,
+        "docs/observability.md",
+        """\
+        The catalog: `repro_demo_requests_total` plus the phantom
+        `repro_demo_ghost_total` nobody registers.
+        """,
+    )
+    report = run_lint(tmp_path, rules=["stats-drift"])
+    messages = [v.message for v in rules_of(report, "stats-drift")]
+    assert len(messages) == 2
+    assert any(
+        "repro_demo_seconds is registered here but missing" in m
+        for m in messages
+    )
+    assert any(
+        "repro_demo_ghost_total, which is never registered" in m
+        for m in messages
+    )
+
+
+def test_stats_drift_metric_catalog_in_sync_passes(tmp_path):
+    write(tmp_path, "server.py", METRICS_MODULE)
+    write(
+        tmp_path,
+        "docs/observability.md",
+        """\
+        `repro_demo_requests_total` counts requests and
+        `repro_demo_seconds` times them; Prometheus expands the
+        histogram into `repro_demo_seconds_bucket`,
+        `repro_demo_seconds_sum` and `repro_demo_seconds_count`.
+        """,
+    )
+    report = run_lint(tmp_path, rules=["stats-drift"])
+    assert rules_of(report, "stats-drift") == []
+
+
+def test_stats_drift_missing_catalog_flags_every_metric(tmp_path):
+    write(tmp_path, "server.py", METRICS_MODULE)
+    report = run_lint(tmp_path, rules=["stats-drift"])
+    messages = [v.message for v in rules_of(report, "stats-drift")]
+    assert len(messages) == 2
+    assert all("metric-name drift" in m for m in messages)
+
+
+def test_stats_drift_skips_metric_check_without_registrations(tmp_path):
+    write(tmp_path, "plain.py", "x = 1\n")
+    write(
+        tmp_path,
+        "docs/observability.md",
+        "`repro_whatever_total` is only prose here.\n",
+    )
+    report = run_lint(tmp_path, rules=["stats-drift"])
+    assert rules_of(report, "stats-drift") == []
+
+
 # ---------------------------------------------------------------------------
 # suppressions
 

@@ -1,0 +1,132 @@
+"""Tests for the HTTP exporter and snapshot logger (repro.obs.exporters)."""
+
+import json
+import threading
+import urllib.request
+
+from repro.obs.exporters import MetricsHTTPServer, PeriodicSnapshotLogger
+from repro.obs.metrics import MetricRegistry
+from repro.obs.trace import Tracer
+
+import pytest
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+@pytest.fixture()
+def populated():
+    registry = MetricRegistry()
+    registry.counter("repro_hits_total", "Hits.", labels=("cache",)).inc(
+        2, cache="plan"
+    )
+    tracer = Tracer()
+    tracer.start("request").add_span("execute", 0.0, 0.5)
+    return registry, tracer
+
+
+def test_http_server_serves_all_endpoints(populated):
+    registry, tracer = populated
+    with MetricsHTTPServer(registry, port=0, tracer=tracer) as server:
+        base = f"http://127.0.0.1:{server.port}"
+        assert server.url == base + "/metrics"
+
+        status, headers, body = _get(base + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert 'repro_hits_total{cache="plan"} 2' in body
+
+        status, headers, body = _get(base + "/metrics.json")
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body)["repro_hits_total"]["series"] == {
+            "plan": 2.0
+        }
+
+        status, _headers, body = _get(base + "/traces")
+        traces = json.loads(body)
+        assert traces[0]["spans"][0]["name"] == "execute"
+
+        status, _headers, body = _get(base + "/healthz")
+        assert (status, body) == (200, "ok\n")
+
+        try:
+            _get(base + "/nope")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+        else:  # pragma: no cover
+            raise AssertionError("expected a 404")
+
+
+def test_http_server_without_tracer_serves_empty_traces(populated):
+    registry, _ = populated
+    with MetricsHTTPServer(registry, port=0) as server:
+        _status, _headers, body = _get(
+            f"http://127.0.0.1:{server.port}/traces"
+        )
+        assert json.loads(body) == []
+
+
+def test_http_server_start_stop_idempotent(populated):
+    registry, _ = populated
+    server = MetricsHTTPServer(registry, port=0)
+    assert server.start() is server.start()
+    server.stop()
+    server.stop()
+
+
+def test_snapshot_logger_emits_counter_lines():
+    registry = MetricRegistry()
+    registry.counter("repro_hits_total", labels=("cache",)).inc(cache="a")
+    registry.gauge("repro_depth").set(1.5)
+    registry.histogram("repro_lat_seconds").observe(0.1)  # skipped in line
+    lines = []
+    seen = threading.Event()
+
+    def emit(line):
+        lines.append(line)
+        seen.set()
+
+    with PeriodicSnapshotLogger(registry, period_s=0.05, emit=emit):
+        assert seen.wait(timeout=5.0)
+    line = lines[0]
+    assert line.startswith("[metrics] ")
+    assert "repro_hits_total{a}=1" in line
+    assert "repro_depth=1.5" in line
+    assert "repro_lat_seconds" not in line
+
+
+def test_snapshot_logger_validates_period():
+    with pytest.raises(ValueError, match="period_s"):
+        PeriodicSnapshotLogger(MetricRegistry(), period_s=0.0)
+
+
+def test_shared_registry_unifies_session_and_server_tiers():
+    """One registry through session + server (the --metrics-port
+    wiring) exposes both tiers' histograms on one scrape surface."""
+    from repro.engine import InferenceSession
+    from repro.nn import UNetConfig
+    from repro.runtime import serve_frames
+    from tests.conftest import random_sparse_tensor
+
+    registry = MetricRegistry()
+    session = InferenceSession(
+        unet_config=UNetConfig(
+            in_channels=2, num_classes=5, base_channels=4, levels=3
+        ),
+        registry=registry,
+    )
+    frames = [
+        random_sparse_tensor(
+            seed=s, shape=(16, 16, 16), nnz=40, channels=2
+        )
+        for s in (1, 2)
+    ]
+    serve_frames(frames, session=session, registry=registry)
+    with MetricsHTTPServer(registry, port=0) as server:
+        _status, _headers, body = _get(server.url)
+    assert "repro_session_dispatch_seconds_bucket" in body
+    assert "repro_session_stage_seconds_bucket" in body
+    assert "repro_serve_e2e_seconds_bucket" in body
+    assert "repro_serve_batch_size_bucket" in body

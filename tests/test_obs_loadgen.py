@@ -1,0 +1,109 @@
+"""Tests for the open-loop load generator (repro.obs.loadgen)."""
+
+import asyncio
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine import InferenceSession
+from repro.nn import UNetConfig
+from repro.obs.loadgen import LoadResult, _percentile, run_load, run_open_loop
+from repro.runtime.server import SessionServer
+from tests.conftest import random_sparse_tensor
+
+SMALL_CFG = UNetConfig(in_channels=2, num_classes=5, base_channels=4, levels=3)
+
+
+def frames(count=2):
+    return [
+        random_sparse_tensor(
+            seed=seed, shape=(16, 16, 16), nnz=40, channels=2
+        )
+        for seed in range(1, count + 1)
+    ]
+
+
+def test_percentile_matches_numpy():
+    values = [0.010, 0.020, 0.030, 0.040, 0.050]
+    for p in (0.0, 50.0, 90.0, 99.0, 100.0):
+        assert _percentile(values, p) == pytest.approx(
+            float(np.percentile(values, p))
+        )
+    assert math.isnan(_percentile([], 50.0))
+    assert _percentile([0.25], 90.0) == 0.25
+    with pytest.raises(ValueError, match="percentile"):
+        _percentile(values, 101.0)
+
+
+def test_load_result_accounting():
+    result = LoadResult(
+        offered_rate_hz=100.0,
+        submitted=10,
+        completed=6,
+        shed_overload=3,
+        shed_deadline=1,
+        wall_seconds=2.0,
+        latencies_s=[0.01] * 6,
+    )
+    assert result.shed_total == 4
+    assert result.achieved_rate_hz == pytest.approx(3.0)
+    lines = result.summary_lines()
+    assert "offered" in lines[0] and "shed" in lines[0]
+    assert "p99" in lines[1]
+
+
+def test_run_load_completes_all_at_modest_rate():
+    session = InferenceSession(unet_config=SMALL_CFG)
+    result, stats = run_load(
+        frames(), rate_hz=200.0, num_requests=8, session=session, seed=7
+    )
+    assert result.submitted == 8
+    assert result.completed == 8
+    assert result.shed_total == 0 and result.errors == 0
+    assert len(result.latencies_s) == 8
+    assert stats.requests == 8
+    assert result.percentile(99.0) >= result.percentile(50.0)
+
+
+def test_open_loop_sheds_under_overload():
+    session = InferenceSession(unet_config=SMALL_CFG)
+
+    async def _run():
+        async with SessionServer(
+            session=session, max_batch=1, max_pending=1
+        ) as server:
+            return await run_open_loop(
+                server, frames(), rate_hz=2000.0, num_requests=30, seed=3
+            )
+
+    result = asyncio.run(_run())
+    assert result.submitted == 30
+    assert result.shed_overload > 0
+    assert (
+        result.completed + result.shed_total + result.errors
+        == result.submitted
+    )
+
+
+def test_open_loop_validates_inputs():
+    async def _run(**kwargs):
+        async with SessionServer(
+            session=InferenceSession(unet_config=SMALL_CFG)
+        ) as server:
+            await run_open_loop(server, **kwargs)
+
+    with pytest.raises(ValueError, match="rate_hz"):
+        asyncio.run(_run(frames=frames(), rate_hz=0.0, num_requests=1))
+    with pytest.raises(ValueError, match="num_requests"):
+        asyncio.run(_run(frames=frames(), rate_hz=1.0, num_requests=0))
+    with pytest.raises(ValueError, match="at least one frame"):
+        asyncio.run(_run(frames=[], rate_hz=1.0, num_requests=1))
+
+
+def test_lazy_export_through_package():
+    import repro.obs as obs
+
+    assert obs.LoadResult is LoadResult
+    with pytest.raises(AttributeError):
+        obs.does_not_exist

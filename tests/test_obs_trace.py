@@ -1,0 +1,79 @@
+"""Tests for span/trace/tracer timelines (repro.obs.trace)."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import Span, Trace, Tracer
+
+
+def test_span_seconds_and_dict():
+    span = Span(name="execute", start_s=1.0, end_s=1.5, meta={"n": 4})
+    assert span.seconds == pytest.approx(0.5)
+    data = span.to_dict()
+    assert data["name"] == "execute"
+    assert data["seconds"] == pytest.approx(0.5)
+    assert data["meta"] == {"n": 4}
+    assert Span(name="open", start_s=0.0).seconds == 0.0
+
+
+def test_trace_span_context_manager_records_duration():
+    trace = Trace("request")
+    with trace.span("execute", batch=3) as span:
+        pass
+    assert len(trace.spans) == 1
+    assert span.end_s is not None
+    assert span.end_s >= span.start_s
+    assert span.meta == {"batch": 3}
+
+
+def test_trace_add_span_uses_explicit_offsets():
+    trace = Trace("micro-batch", meta={"size": 2})
+    trace.add_span("queue-wait", 0.0, 0.25, max_wait_s=0.25)
+    trace.add_span("execute", 0.25, 1.0)
+    data = trace.to_dict()
+    assert data["name"] == "micro-batch"
+    assert data["meta"] == {"size": 2}
+    names = [s["name"] for s in data["spans"]]
+    assert names == ["queue-wait", "execute"]
+    assert data["spans"][0]["seconds"] == pytest.approx(0.25)
+
+
+def test_tracer_ring_buffer_evicts_oldest():
+    tracer = Tracer(capacity=3)
+    for i in range(5):
+        tracer.start(f"t{i}")
+    assert len(tracer) == 3
+    assert [t.name for t in tracer.recent()] == ["t2", "t3", "t4"]
+    assert [t.name for t in tracer.recent(2)] == ["t3", "t4"]
+
+
+def test_tracer_disabled_keeps_one_code_path():
+    tracer = Tracer(enabled=False)
+    trace = tracer.start("dropped")
+    with trace.span("execute"):
+        pass  # callers never branch on enabled
+    assert len(tracer) == 0
+    assert tracer.dump() == []
+
+
+def test_tracer_capacity_validation():
+    with pytest.raises(ValueError, match="capacity"):
+        Tracer(capacity=0)
+
+
+def test_tracer_dump_json_and_file(tmp_path):
+    tracer = Tracer()
+    trace = tracer.start("request", digest="abc")
+    trace.add_span("queue-wait", 0.0, 0.1)
+    parsed = json.loads(tracer.dump_json())
+    assert len(parsed) == 1
+    assert parsed[0]["meta"] == {"digest": "abc"}
+
+    path = tmp_path / "traces.json"
+    tracer.dump_to(path)
+    on_disk = json.loads(path.read_text())
+    assert on_disk == parsed
+
+    tracer.clear()
+    assert tracer.dump() == []

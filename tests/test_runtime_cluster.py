@@ -300,3 +300,80 @@ def test_all_workers_lost_raises_cluster_error():
             assert backend.stats.workers_lost == 1
         finally:
             backend.close()
+
+
+# ----------------------------------------------------------------------
+# Telemetry (HEALTH payload + coordinator registry)
+# ----------------------------------------------------------------------
+def test_health_round_trip_carries_worker_telemetry(remote_backend):
+    """HEALTH replies carry queue depth + warm-session telemetry, and
+    the coordinator mirrors them into its per-worker gauges."""
+    session = InferenceSession(
+        unet_config=SMALL_CFG, backend=remote_backend
+    )
+    session.run_batch(request_mix(4))
+    reports = remote_backend.worker_health()
+    assert len(reports) == 2
+    for worker, report in reports.items():
+        assert report["queue_depth"] >= 0  # idle workers report zero
+        assert report["warm_sessions"] == len(report["specs"])
+        depth = remote_backend.registry.get(
+            "repro_cluster_worker_queue_depth"
+        )
+        warm = remote_backend.registry.get(
+            "repro_cluster_worker_warm_sessions"
+        )
+        assert depth.value(worker=worker) == report["queue_depth"]
+        assert warm.value(worker=worker) == report["warm_sessions"]
+
+
+def test_health_from_old_worker_without_telemetry_fields():
+    """Wire compat: a report lacking the new fields must still land
+    (defaults: depth 0, warmth inferred from the spec list)."""
+    backend = RemoteShardBackend(workers=["127.0.0.1:1"])
+    try:
+        legacy = {
+            "pid": 1,
+            "port": 1,
+            "uptime_s": 0.0,
+            "specs": ["ab", "cd"],
+            "prepared": [],
+            "groups_served": 0,
+            "frames_served": 0,
+            "max_sessions": 4,
+        }
+        backend._note_health(("127.0.0.1", 1), legacy)
+        reg = backend.registry
+        depth = reg.get("repro_cluster_worker_queue_depth")
+        warm = reg.get("repro_cluster_worker_warm_sessions")
+        assert depth.value(worker="127.0.0.1:1") == 0
+        assert warm.value(worker="127.0.0.1:1") == 2
+    finally:
+        backend.close()
+
+
+def test_cluster_counters_mirror_stats(fleet):
+    backend = RemoteShardBackend(workers=fleet.addresses)
+    try:
+        session = InferenceSession(unet_config=SMALL_CFG, backend=backend)
+        session.run_batch(request_mix(4))
+        reg = backend.registry
+        stats = backend.stats
+        assert reg.get("repro_cluster_groups_total").value() == (
+            stats.groups_dispatched
+        )
+        assert reg.get("repro_cluster_frames_total").value() == (
+            stats.frames_dispatched
+        )
+        assert reg.get("repro_cluster_spec_syncs_total").value() == (
+            stats.spec_syncs
+        )
+        rtt = reg.get("repro_cluster_rtt_seconds")
+        total = sum(
+            rtt.count(worker=format_address(addr))
+            for addr in backend.ring.nodes
+        )
+        assert total == stats.groups_dispatched
+        assert "repro_cluster_rtt_seconds_bucket" in reg.render()
+    finally:
+        backend.close()

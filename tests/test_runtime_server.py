@@ -343,3 +343,124 @@ def test_serve_wall_clock_includes_linger():
     )
     assert stats.wall_seconds >= stats.busy_seconds > 0.0
     assert stats.fps > 0.0
+
+
+# ----------------------------------------------------------------------
+# Telemetry (registry-backed stats)
+# ----------------------------------------------------------------------
+def test_concurrent_submit_stress_accounting():
+    """Counters stay consistent with submits racing the dispatch loop.
+
+    The old ServeStats ints were mutated from both the submit path and
+    the dispatcher without a lock; the registry-backed counters must
+    tally exactly under cross-thread contention.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    session = small_session()
+    num_clients, per_client = 8, 6
+
+    async def _run():
+        async with SessionServer(
+            session=session, max_batch=4, max_pending=6
+        ) as server:
+            loop = asyncio.get_running_loop()
+
+            def client(seed):
+                ok = shed = 0
+                for i in range(per_client):
+                    future = asyncio.run_coroutine_threadsafe(
+                        server.submit(frame(1 + (seed + i) % 2)), loop
+                    )
+                    try:
+                        future.result(timeout=60.0)
+                        ok += 1
+                    except ServerOverloaded:
+                        shed += 1
+                return ok, shed
+
+            # A dedicated pool: the loop's default executor stays free
+            # for the dispatcher's run_batch calls.
+            with ThreadPoolExecutor(max_workers=num_clients) as pool:
+                tallies = await asyncio.gather(
+                    *(
+                        loop.run_in_executor(pool, client, seed)
+                        for seed in range(num_clients)
+                    )
+                )
+            stats = server.stats
+        return tallies, stats
+
+    tallies, stats = asyncio.run(_run())
+    ok = sum(t[0] for t in tallies)
+    shed = sum(t[1] for t in tallies)
+    assert ok + shed == num_clients * per_client
+    assert stats.requests == ok
+    assert stats.rejected_overload == shed
+    assert sum(stats.batch_sizes) == ok
+
+
+def test_serve_metrics_render_and_trace():
+    """A shared registry exposes per-stage serve histograms; the tracer
+    records one queue-wait/linger/execute/respond timeline per batch."""
+    from repro.obs.metrics import MetricRegistry
+    from repro.obs.trace import Tracer
+
+    registry = MetricRegistry()
+    tracer = Tracer()
+    requests = request_mix()
+    _, stats = serve_frames(
+        requests,
+        session=small_session(),
+        concurrency=4,
+        registry=registry,
+        tracer=tracer,
+    )
+    assert registry.get("repro_serve_requests_total").value() == len(requests)
+    assert registry.get("repro_serve_queue_depth").value() == 0
+    e2e = registry.get("repro_serve_e2e_seconds")
+    assert e2e.count() == len(requests)
+    assert registry.get("repro_serve_batch_size").count() == (
+        stats.micro_batches
+    )
+    text = registry.render()
+    for name in (
+        "repro_serve_e2e_seconds_bucket",
+        "repro_serve_queue_wait_seconds_bucket",
+        "repro_serve_linger_seconds_bucket",
+        "repro_serve_execute_seconds_bucket",
+    ):
+        assert name in text
+
+    assert len(tracer) == stats.micro_batches
+    spans = [span["name"] for span in tracer.dump()[0]["spans"]]
+    assert spans == ["queue-wait", "batch-linger", "execute", "respond"]
+
+
+def test_serve_disabled_registry_skips_histograms():
+    from repro.obs.metrics import MetricRegistry
+
+    registry = MetricRegistry(enabled=False)
+    requests = request_mix()[:4]
+    _, stats = serve_frames(
+        requests, session=small_session(), registry=registry
+    )
+    assert stats.requests == 4  # counters still track accounting
+    assert registry.get("repro_serve_e2e_seconds").count() == 0
+
+
+def test_shed_reasons_reach_registry():
+    from repro.obs.metrics import MetricRegistry
+
+    registry = MetricRegistry()
+    requests = request_mix()
+    _, stats = serve_frames(
+        requests,
+        session=small_session(),
+        concurrency=len(requests),
+        max_pending=1,
+        registry=registry,
+    )
+    shed = registry.get("repro_serve_shed_total")
+    assert shed.value(reason="overload") == stats.rejected_overload
+    assert stats.rejected_overload > 0

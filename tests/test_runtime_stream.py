@@ -111,6 +111,38 @@ def test_percentile_bounds_accepted():
     assert stats.latency_percentile(100) == pytest.approx(0.003)
 
 
+def test_percentile_pins_numpy_interpolation_values():
+    """Regression: linear-interpolated percentiles of a known sequence."""
+    latencies_ms = [10.0, 20.0, 30.0, 40.0, 50.0]
+    stats = StreamStats(
+        frames=[
+            FrameResult(i, 1, 1, 1, ms / 1e3, ms / 1e3, 100)
+            for i, ms in enumerate(latencies_ms)
+        ]
+    )
+    assert stats.latency_percentile(50) == pytest.approx(0.030)
+    assert stats.latency_percentile(90) == pytest.approx(0.046)
+    assert stats.latency_percentile(99) == pytest.approx(0.0496)
+    for p in (25, 75, 95):
+        assert stats.latency_percentile(p) == pytest.approx(
+            float(np.percentile([ms / 1e3 for ms in latencies_ms], p))
+        )
+
+
+def test_percentile_cache_refreshes_as_stream_grows():
+    stats = StreamStats(
+        frames=[FrameResult(0, 1, 1, 1, 0.010, 0.010, 100)]
+    )
+    assert stats.latency_percentile(50) == pytest.approx(0.010)
+    # Streams append frames; the preallocated vector must follow.
+    stats.frames.append(FrameResult(1, 1, 1, 1, 0.030, 0.030, 100))
+    assert stats.latency_percentile(50) == pytest.approx(0.020)
+    # Repeated queries at a fixed length reuse the same array.
+    first = stats._latencies
+    stats.latency_percentile(90)
+    assert stats._latencies is first
+
+
 def test_multichannel_frames():
     runner = StreamingRunner(resolution=64, in_channels=8, out_channels=8)
     stats = runner.run(small_source(num_frames=2))
