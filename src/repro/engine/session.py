@@ -98,7 +98,7 @@ from repro.quant.fixed_point import (
     quantize,
     saturate,
 )
-from repro.quant.quantizer import calibrate_scale
+from repro.quant.quantizer import calibrate_scale, calibrate_scale_batch
 from repro.sparse.coo import SparseTensor3D
 
 PRECISIONS = ("float64", "float32", "int")
@@ -412,19 +412,19 @@ class PlanCache:
         levels = len(net.downs) + 1
         kernel = net.config.kernel_size
         template = tensor.occupancy()
-        scales: List[ScalePlan] = []
+        scales: List[ScalePlan] = [None] * levels  # type: ignore[list-item]
         entries: List[Tuple[Hashable, object]] = []
         for level in range(levels):
             plan = ScalePlan(level=level, template=template)
             kernels = {kernel}
             if level == 0:
                 kernels.add(net.head.kernel_size)
-            for k in sorted(kernels):
-                rulebook = cache.submanifold(template, k)
-                plan.sub_rulebooks[k] = rulebook
-                entries.append(
-                    (RulebookCache.submanifold_key(template, k), rulebook)
-                )
+            sub_books = {k: cache.submanifold(template, k) for k in sorted(kernels)}
+            plan.sub_rulebooks.update(sub_books)
+            level_entries = [
+                (RulebookCache.submanifold_key(template, k), rulebook)
+                for k, rulebook in sub_books.items()
+            ]
             if level < levels - 1:
                 down = net.downs[level]
                 rulebook, down_coords = cache.sparse_conv(
@@ -434,7 +434,7 @@ class PlanCache:
                 plan.down_coords = down_coords
                 plan.down_kernel = down.kernel_size
                 plan.down_stride = down.stride
-                entries.append(
+                level_entries.append(
                     (
                         RulebookCache.sparse_conv_key(
                             template, down.kernel_size, down.stride
@@ -450,7 +450,8 @@ class PlanCache:
                     np.ones((len(down_coords), 1), dtype=np.float64),
                     down_shape,
                 )
-            scales.append(plan)
+            scales[level] = plan
+            entries.extend(level_entries)
         return NetworkPlan(
             signature=signature, scales=scales, cache_entries=entries
         )
@@ -1455,11 +1456,11 @@ class _BatchExecutor:
         net = self.session.net
         plan = self.plan
         levels = plan.num_scales
-        skips: List[np.ndarray] = []
+        skips: List[np.ndarray] = [None] * (levels - 1)  # type: ignore[list-item]
         current = stack
         for level in range(levels - 1):
             current = self._block(net.encoders[level], plan.scale(level), current)
-            skips.append(current)
+            skips[level] = current
             scale = plan.scale(level)
             down = net.downs[level]
             current = self._conv(
@@ -1572,35 +1573,35 @@ class _BatchExecutor:
         bias: Optional[Parameter],
         num_outputs: int,
     ) -> np.ndarray:
-        """Per-frame fixed-point convolution (the paper's arithmetic contract).
+        """Batched fixed-point convolution (the paper's arithmetic contract).
 
         Quantize activations (per-frame calibration), integer-accumulate
         through the rulebook, saturate to the accumulator format,
-        dequantize, then requantize the output activations.  Each frame
-        is processed independently, so batched and per-frame results are
-        identical by construction.
+        dequantize, then requantize the output activations.  The whole
+        stack runs through one ``execute_batch`` with per-frame scales
+        broadcast as ``(B, 1, 1)``: the quantize/dequantize arithmetic
+        is elementwise and the accumulation is exact integer matmul, so
+        the result is bit-identical to processing each frame alone.
         """
         session = self.session
         spec = session.quantization
         weights_q, weight_scale = session._quantized_param(weight)
         batch = stack.shape[0]
-        out = np.empty(
-            (batch, num_outputs, weights_q.shape[2]), dtype=np.float64
+        if batch == 0:
+            return np.empty(
+                (0, num_outputs, weights_q.shape[2]), dtype=np.float64
+            )
+        act_scales = calibrate_scale_batch(stack, spec.act_fmt)
+        acts_q = quantize(stack, act_scales[:, None, None], spec.act_fmt)
+        acc = session.backend.execute_batch(
+            rulebook, acts_q, weights_q, num_outputs,
+            stats=session.apply_stats,
         )
-        for b in range(batch):
-            features = stack[b]
-            act_scale = calibrate_scale(features, spec.act_fmt)
-            acts_q = quantize(features, act_scale, spec.act_fmt)
-            acc = session.backend.execute(
-                rulebook, acts_q, weights_q, num_outputs,
-                stats=session.apply_stats,
-            )
-            acc = saturate(acc, ACC_INT32)
-            real = dequantize(acc, act_scale * weight_scale)
-            if bias is not None:
-                real = real + bias.value.reshape(1, -1)
-            out_scale = calibrate_scale(real, spec.act_fmt)
-            out[b] = dequantize(
-                quantize(real, out_scale, spec.act_fmt), out_scale
-            )
-        return out
+        acc = saturate(acc, ACC_INT32)
+        real = dequantize(acc, (act_scales * weight_scale)[:, None, None])
+        if bias is not None:
+            real = real + bias.value.reshape(1, 1, -1)
+        out_scales = calibrate_scale_batch(real, spec.act_fmt)[:, None, None]
+        return dequantize(
+            quantize(real, out_scales, spec.act_fmt), out_scales
+        )

@@ -1,10 +1,12 @@
 """``repro.lint`` — AST-based invariant analyzer for this stack.
 
-Five repo-specific rules (``backend-contract``, ``hot-path``,
-``async-blocking``, ``spawn-safety``, ``stats-drift``) over a small
-checker framework; run via ``python -m repro lint``.  See
-``docs/lint.md`` for the rule catalog and the suppression/baseline
-workflow.
+Eight repo-specific rules (``backend-contract``, ``hot-path``,
+``async-blocking``, ``spawn-safety``, ``stats-drift``,
+``lock-discipline``, ``wire-drift``, ``metric-discipline``) over a
+small checker framework with a project symbol table / call graph for
+the interprocedural ones; run via ``python -m repro lint``.  See
+``docs/lint.md`` for the architecture, rule catalog, and the
+suppression/baseline workflow.
 """
 
 from repro.lint.base import (

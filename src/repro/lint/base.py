@@ -22,13 +22,29 @@ being importable.
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import re
 import tokenize
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.lint.cache import LintCache
+    from repro.lint.graph import ModuleSummary, ProjectGraph
 
 
 @dataclass(frozen=True)
@@ -108,6 +124,41 @@ def _extract_suppressions(
     return same_line, comment_only
 
 
+def _decorated_span_rules(
+    tree: ast.Module,
+    same_line: Dict[int, Set[str]],
+    comment_only: Dict[int, Set[str]],
+) -> Dict[int, Set[str]]:
+    """Bind suppressions on decorator lines to the whole decorated def.
+
+    A ``def``/``class`` with decorators is one statement spanning from
+    its first decorator line to the ``def`` line, so a marker anywhere in
+    that span (or on a comment-only line directly above it) suppresses
+    findings reported at any line of the span — in particular findings
+    anchored at the ``def`` line, which a marker on the decorator line
+    used to miss.
+    """
+    span_rules: Dict[int, Set[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if not node.decorator_list:
+            continue
+        start = min(dec.lineno for dec in node.decorator_list)
+        end = node.lineno  # the def/class line itself
+        rules: Set[str] = set()
+        rules.update(comment_only.get(start - 1, ()))
+        for line in range(start, end + 1):
+            rules.update(same_line.get(line, ()))
+        if not rules:
+            continue
+        for line in range(start, end + 1):
+            span_rules.setdefault(line, set()).update(rules)
+    return span_rules
+
+
 @dataclass
 class SourceFile:
     """One parsed source file plus its suppression map."""
@@ -116,37 +167,89 @@ class SourceFile:
     path: Path
     text: str
     tree: ast.Module
+    digest: str = ""  # sha256 of text — the cache key for derived data
     _same_line: Dict[int, Set[str]] = field(default_factory=dict)
     _comment_only: Dict[int, Set[str]] = field(default_factory=dict)
+    _span_rules: Dict[int, Set[str]] = field(default_factory=dict)
 
     @classmethod
-    def parse(cls, root: Path, path: Path) -> "SourceFile":
+    def parse(
+        cls,
+        root: Path,
+        path: Path,
+        cache: Optional["LintCache"] = None,
+    ) -> "SourceFile":
         text = path.read_text(encoding="utf-8")
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        rel = path.relative_to(root).as_posix()
         tree = ast.parse(text, filename=str(path))
-        same_line, comment_only = _extract_suppressions(text)
+        payload = (
+            cache.get_payload(rel, digest, "suppressions")
+            if cache is not None
+            else None
+        )
+        if payload is not None:
+            same_line = _rules_from_payload(payload.get("same_line", {}))
+            comment_only = _rules_from_payload(
+                payload.get("comment_only", {})
+            )
+            span_rules = _rules_from_payload(payload.get("span_rules", {}))
+        else:
+            same_line, comment_only = _extract_suppressions(text)
+            span_rules = _decorated_span_rules(tree, same_line, comment_only)
+            if cache is not None:
+                cache.put_payload(
+                    rel,
+                    digest,
+                    "suppressions",
+                    {
+                        "same_line": _rules_to_payload(same_line),
+                        "comment_only": _rules_to_payload(comment_only),
+                        "span_rules": _rules_to_payload(span_rules),
+                    },
+                )
         return cls(
-            rel=path.relative_to(root).as_posix(),
+            rel=rel,
             path=path,
             text=text,
             tree=tree,
+            digest=digest,
             _same_line=same_line,
             _comment_only=comment_only,
+            _span_rules=span_rules,
         )
 
     def suppressed(self, line: int, rule: str) -> bool:
         """Whether ``rule`` is disabled on ``line``.
 
         A suppression comment applies to its own line, or — when it is
-        the only thing on its line — to the line directly below it.
+        the only thing on its line — to the line directly below it.  On
+        a decorated ``def``/``class`` the whole decorator-to-def span is
+        one statement: a marker on any of its lines covers all of them.
         ``disable=*`` silences every rule.
         """
         for rules in (
             self._same_line.get(line),
             self._comment_only.get(line - 1),
+            self._span_rules.get(line),
         ):
             if rules and ("*" in rules or rule in rules):
                 return True
         return False
+
+
+def _rules_to_payload(rules: Dict[int, Set[str]]) -> Dict[str, List[str]]:
+    return {str(line): sorted(names) for line, names in rules.items()}
+
+
+def _rules_from_payload(payload: Dict[str, Any]) -> Dict[int, Set[str]]:
+    out: Dict[int, Set[str]] = {}
+    for line, names in payload.items():
+        try:
+            out[int(line)] = set(names)
+        except (TypeError, ValueError):
+            continue
+    return out
 
 
 class Project:
@@ -158,16 +261,24 @@ class Project:
     ``parse-error`` violations instead of aborting the run.
     """
 
-    def __init__(self, root: Path) -> None:
+    def __init__(
+        self, root: Path, cache: Optional["LintCache"] = None
+    ) -> None:
         self.root = Path(root).resolve()
         self.files: Dict[str, SourceFile] = {}
         self.parse_errors: List[Violation] = []
+        self.cache = cache
+        self._summaries: Dict[str, Optional["ModuleSummary"]] = {}
+        self._graph: Optional["ProjectGraph"] = None
 
     @classmethod
     def load(
-        cls, root: Path, targets: Optional[Sequence[Path]] = None
+        cls,
+        root: Path,
+        targets: Optional[Sequence[Path]] = None,
+        cache: Optional["LintCache"] = None,
     ) -> "Project":
-        project = cls(root)
+        project = cls(root, cache=cache)
         if targets is None:
             default = project.root / "src" / "repro"
             targets = [default if default.is_dir() else project.root]
@@ -191,7 +302,7 @@ class Project:
                 except ValueError:
                     rel = path.as_posix()
                 try:
-                    source = SourceFile.parse(project.root, path)
+                    source = SourceFile.parse(project.root, path, cache=cache)
                 except (SyntaxError, ValueError) as exc:
                     project.parse_errors.append(
                         Violation(
@@ -230,6 +341,43 @@ class Project:
         for rel in sorted(self.files):
             if any(fnmatch(rel, pattern) for pattern in patterns):
                 yield self.files[rel]
+
+    def summary_for(self, rel: str) -> Optional["ModuleSummary"]:
+        """The symbol/call summary of one file (cache-aware, memoized)."""
+        if rel in self._summaries:
+            return self._summaries[rel]
+        from repro.lint import graph as graph_mod
+
+        source = self.files.get(rel)
+        summary: Optional["ModuleSummary"] = None
+        if source is not None:
+            payload = (
+                self.cache.get_payload(rel, source.digest, "summary")
+                if self.cache is not None
+                else None
+            )
+            if payload is not None:
+                summary = graph_mod.summary_from_payload(payload)
+            if summary is None:  # cache miss or malformed payload
+                summary = graph_mod.summarize(source)
+                if self.cache is not None and summary is not None:
+                    self.cache.put_payload(
+                        rel,
+                        source.digest,
+                        "summary",
+                        graph_mod.summary_to_payload(summary),
+                    )
+        self._summaries[rel] = summary
+        return summary
+
+    @property
+    def graph(self) -> "ProjectGraph":
+        """Lazily built project symbol table + call graph."""
+        if self._graph is None:
+            from repro.lint.graph import ProjectGraph
+
+            self._graph = ProjectGraph(self)
+        return self._graph
 
 
 class Checker:
@@ -297,6 +445,9 @@ class LintReport:
     files_checked: int
     violations: List[Violation]
     suppressed: int
+    #: when --changed scoping was applied: the changed files plus every
+    #: transitive importer, i.e. the set findings were filtered to
+    changed_scope: Optional[List[str]] = None
 
     def summary(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -309,6 +460,8 @@ def run_lint(
     root: Path,
     targets: Optional[Sequence[Path]] = None,
     rules: Optional[Sequence[str]] = None,
+    changed: Optional[Sequence[str]] = None,
+    cache: Optional["LintCache"] = None,
 ) -> LintReport:
     """Lint ``targets`` (default ``src/repro``) under ``root``.
 
@@ -316,8 +469,16 @@ def run_lint(
     rule; parse failures surface as ``parse-error`` violations (never
     suppressible — a file that does not parse cannot carry a suppression
     comment that means anything).
+
+    ``changed`` (root-relative posix paths, e.g. from ``git diff
+    --name-only``) scopes the *report*, not the analysis: the whole
+    project is still loaded and every checker still sees it — an
+    interprocedural rule is only sound with the full picture — but
+    reported findings are filtered to the changed files plus every
+    transitive importer of a changed module.  ``cache`` is an optional
+    :class:`~repro.lint.cache.LintCache`; it is flushed before return.
     """
-    project = Project.load(Path(root), targets)
+    project = Project.load(Path(root), targets, cache=cache)
     checkers = [
         cls()
         for cls in all_checkers()
@@ -334,10 +495,18 @@ def run_lint(
                 suppressed += 1
             else:
                 kept.append(violation)
+    changed_scope: Optional[List[str]] = None
+    if changed is not None:
+        scope = project.graph.dependents_closure(changed)
+        kept = [v for v in kept if v.file in scope]
+        changed_scope = sorted(scope)
     kept.sort(key=lambda v: (v.file, v.line, v.rule, v.message))
+    if cache is not None:
+        cache.save()
     return LintReport(
         root=str(project.root),
         files_checked=len(project.files),
         violations=kept,
         suppressed=suppressed,
+        changed_scope=changed_scope,
     )

@@ -1,0 +1,87 @@
+"""Content-addressed per-file cache for derived lint data.
+
+Whole-repo runs spend their front-end time in three places: ``ast.parse``
+(~200 ms across ``src/repro``), the tokenize pass behind suppression
+extraction (~375 ms), and building the per-module symbol summaries the
+call graph links.  Pickling parsed trees was benchmarked and *lost* —
+``pickle.loads`` of an ``ast.Module`` is slower than re-parsing the
+source — so this cache deliberately does not store ASTs.  It stores the
+cheap-to-serialize derived data instead (suppression maps, decorated-def
+spans, :class:`~repro.lint.graph.ModuleSummary` payloads), keyed by the
+sha256 of the file's text, and the parse itself always runs.
+
+The store is one JSON file (default ``.repro-lint-cache.json`` under the
+project root, gitignored).  Any corruption, version mismatch, or digest
+miss silently degrades to recomputing — the cache can never change what
+the analyzer reports, only how fast it reports it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+CACHE_VERSION = 1
+
+#: default cache filename under the project root
+DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
+
+
+class LintCache:
+    """Digest-keyed payload store: ``(rel, digest, kind) -> payload``."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self._files: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            isinstance(raw, dict)
+            and raw.get("version") == CACHE_VERSION
+            and isinstance(raw.get("files"), dict)
+        ):
+            self._files = raw["files"]
+
+    def get_payload(
+        self, rel: str, digest: str, kind: str
+    ) -> Optional[Dict[str, Any]]:
+        """The cached ``kind`` payload for ``rel``, or ``None`` when the
+        file changed (digest mismatch) or was never cached."""
+        entry = self._files.get(rel)
+        if not isinstance(entry, dict) or entry.get("digest") != digest:
+            return None
+        payload = entry.get(kind)
+        return payload if isinstance(payload, dict) else None
+
+    def put_payload(
+        self, rel: str, digest: str, kind: str, payload: Dict[str, Any]
+    ) -> None:
+        entry = self._files.get(rel)
+        if not isinstance(entry, dict) or entry.get("digest") != digest:
+            entry = {"digest": digest}
+            self._files[rel] = entry
+        entry[kind] = payload
+        self._dirty = True
+
+    def save(self) -> None:
+        """Write the store back if anything changed; IO errors are
+        swallowed (a read-only checkout must still lint)."""
+        if not self._dirty:
+            return
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(
+                json.dumps(
+                    {"version": CACHE_VERSION, "files": self._files},
+                    sort_keys=True,
+                )
+                + "\n",
+                encoding="utf-8",
+            )
+            self._dirty = False
+        except OSError:
+            pass

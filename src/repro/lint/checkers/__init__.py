@@ -9,14 +9,20 @@ from repro.lint.checkers import (  # noqa: F401
     async_blocking,
     backend_contract,
     hot_path,
+    lock_discipline,
+    metric_discipline,
     spawn_safety,
     stats_drift,
+    wire_drift,
 )
 
 __all__ = [
     "async_blocking",
     "backend_contract",
     "hot_path",
+    "lock_discipline",
+    "metric_discipline",
     "spawn_safety",
     "stats_drift",
+    "wire_drift",
 ]

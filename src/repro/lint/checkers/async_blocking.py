@@ -17,14 +17,22 @@ every deadline check, and the dispatcher's coalescing timer.  Inside any
   loop keeps accepting, shedding, and cancelling while the backend
   computes.
 
-Only statements lexically inside the coroutine are checked; nested
-``def``s are plain functions whose call sites decide their context.
+Detection is **transitive**: beyond calls lexically inside the
+coroutine, the rule follows the project call graph through sync helpers
+(``await`` targets are coroutines with their own findings) and flags a
+call whose closure reaches a blocking primitive, naming the chain.
+Functions *passed* to ``loop.run_in_executor`` / ``asyncio.to_thread``
+are arguments, not call edges — the executor seam is exactly where
+blocking work is supposed to go, and the graph does not cross it.
+Nested ``def``s are plain functions whose call sites decide their
+context; unresolvable (dynamic) calls are treated as unknown, never
+flagged.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List
+from typing import Iterator, List, Optional, Tuple
 
 from repro.lint.base import (
     Checker,
@@ -33,6 +41,11 @@ from repro.lint.base import (
     Violation,
     register_checker,
 )
+from repro.lint.graph import FunctionInfo, ProjectGraph
+
+#: bound on helper-chain depth; real chains are 2-3 deep, this is a
+#: guard against pathological graphs, not a tuning knob
+_MAX_CHAIN = 8
 
 _PATH_IO = ("read_text", "write_text", "read_bytes", "write_bytes")
 
@@ -66,12 +79,34 @@ def _coroutine_statements(fn: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
         stack.extend(ast.iter_child_nodes(node))
 
 
+def _blocking_call_text(
+    text: str, bare_sleep: bool
+) -> Optional[str]:
+    """Short description when the dotted call ``text`` blocks, else None.
+
+    Works on the call-site *text* recorded in the graph, so it can scan
+    helper bodies without their ASTs.
+    """
+    if text == "time.sleep" or (bare_sleep and text == "sleep"):
+        return "time.sleep"
+    if text == "open":
+        return "open()"
+    if "." in text:
+        leaf = text.rsplit(".", 1)[-1]
+        if leaf in _PATH_IO:
+            return f"Path.{leaf}"
+        if leaf in ("run", "run_batch") and "session" in text.lower():
+            return f"session.{leaf}"
+    return None
+
+
 @register_checker
 class AsyncBlockingChecker(Checker):
     rule = "async-blocking"
     description = (
-        "no time.sleep, blocking file IO, or direct session.run/run_batch "
-        "compute inside async def bodies in runtime/"
+        "no time.sleep, blocking file IO, or session.run/run_batch "
+        "compute inside async def bodies in runtime/ — directly or "
+        "through any sync call chain off the executor seam"
     )
     scope = ("*runtime/*.py",)
 
@@ -84,7 +119,90 @@ class AsyncBlockingChecker(Checker):
                     violations.extend(
                         self._check_coroutine(source, node, bare_sleep)
                     )
+            violations.extend(self._check_transitive(project, source))
         return violations
+
+    # -- transitive detection through the call graph ---------------------
+
+    def _check_transitive(
+        self, project: Project, source: SourceFile
+    ) -> List[Violation]:
+        summary = project.summary_for(source.rel)
+        if summary is None:
+            return []
+        graph = project.graph
+        out: List[Violation] = []
+        for info in summary.functions.values():
+            if not info.is_async:
+                continue
+            for call in info.calls:
+                target = call.target
+                if target is None:
+                    continue  # dynamic/external: unknown, not flagged
+                callee = graph.function(target)
+                if callee is None or callee.is_async:
+                    continue  # awaited coroutines carry their own findings
+                found = self._find_blocking_chain(graph, callee)
+                if found is None:
+                    continue
+                desc, chain = found
+                path = " -> ".join(
+                    fn.qualname.split(":", 1)[1] for fn in chain
+                )
+                out.append(
+                    Violation(
+                        file=source.rel,
+                        line=call.line,
+                        col=0,
+                        rule=self.rule,
+                        message=(
+                            f"'async def {info.name}' reaches blocking "
+                            f"{desc} through sync call chain {path} — "
+                            "dispatch the chain via loop.run_in_executor "
+                            "/ asyncio.to_thread or make it non-blocking"
+                        ),
+                    )
+                )
+        return out
+
+    def _find_blocking_chain(
+        self, graph: ProjectGraph, start: FunctionInfo
+    ) -> Optional[Tuple[str, List[FunctionInfo]]]:
+        """Shortest helper chain from ``start`` to a blocking primitive,
+        breadth-first over resolved sync call edges."""
+        frontier: List[Tuple[FunctionInfo, List[FunctionInfo]]] = [
+            (start, [start])
+        ]
+        seen = {start.qualname}
+        for _ in range(_MAX_CHAIN):
+            next_frontier: List[
+                Tuple[FunctionInfo, List[FunctionInfo]]
+            ] = []
+            for info, chain in frontier:
+                bare_sleep = self._module_bare_sleep(graph, info.module)
+                for call in info.calls:
+                    desc = _blocking_call_text(call.text, bare_sleep)
+                    if desc is not None:
+                        return desc, chain
+                    target = call.target
+                    if target is None or target in seen:
+                        continue
+                    callee = graph.function(target)
+                    if callee is None or callee.is_async:
+                        continue
+                    seen.add(target)
+                    next_frontier.append((callee, chain + [callee]))
+            if not next_frontier:
+                return None
+            frontier = next_frontier
+        return None
+
+    def _module_bare_sleep(self, graph: ProjectGraph, module: str) -> bool:
+        summary = graph.modules.get(module)
+        return (
+            summary is not None
+            and summary.imports.get("sleep") == "time:sleep"
+        )
 
     def _check_coroutine(
         self,

@@ -1,0 +1,234 @@
+"""``wire-drift``: the cluster wire protocol stays closed end to end.
+
+`runtime/wire.py` is the single source of truth for the fleet protocol:
+every request constant in ``MessageType`` must have a coordinator that
+sends it (``runtime/cluster.py``), a worker branch that handles it
+(``runtime/worker.py``), and a row in the ``docs/cluster.md`` wire
+table — and the table must not advertise message types the enum no
+longer defines.  PR 8's compat rules (additive HEALTH fields, versioned
+frame header) only hold if the three views cannot drift apart; this
+rule fails the build when they do, mirroring the ``stats-drift`` idiom:
+each leg is checked only when its file is part of the linted set, so
+fixture projects exercise exactly the legs they define.
+
+Detection is deliberately syntactic and conservative: a *handler* is
+any ``MessageType.X`` inside a comparison (``frame.type ==
+MessageType.PREPARE``, ``frame.type in (MessageType.A, ...)``); a
+*sender* is any ``MessageType.X`` passed as a call argument.  The
+request set comes from the ``REQUEST_TYPES`` tuple when ``wire.py``
+defines one (falling back to every member except ``OK`` / ``ERROR``),
+so reply-only types need no handler branch.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.base import (
+    Checker,
+    Project,
+    SourceFile,
+    Violation,
+    register_checker,
+)
+
+_DOC_ROW_RE = re.compile(r"^\|\s*`([A-Z][A-Z0-9_]*)`")
+
+_REPLY_ONLY_FALLBACK = ("OK", "ERROR")
+
+
+def _message_type_refs(tree: ast.AST) -> List[Tuple[str, ast.Attribute]]:
+    """Every ``MessageType.X`` attribute access under ``tree``."""
+    out: List[Tuple[str, ast.Attribute]] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "MessageType"
+        ):
+            out.append((node.attr, node))
+    return out
+
+
+def _parse_wire(
+    source: SourceFile,
+) -> Tuple[Dict[str, int], Optional[Set[str]]]:
+    """``(members, request_types)`` of the ``MessageType`` enum.
+
+    ``members`` maps constant name to its definition line;
+    ``request_types`` comes from the ``REQUEST_TYPES`` assignment, or is
+    ``None`` when ``wire.py`` does not define one.
+    """
+    members: Dict[str, int] = {}
+    request_types: Optional[Set[str]] = None
+    for node in source.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "MessageType":
+            for item in node.body:
+                if (
+                    isinstance(item, ast.Assign)
+                    and len(item.targets) == 1
+                    and isinstance(item.targets[0], ast.Name)
+                ):
+                    members[item.targets[0].id] = item.lineno
+        elif (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "REQUEST_TYPES"
+            and isinstance(node.value, (ast.Tuple, ast.List))
+        ):
+            names = {
+                name
+                for name, _ in _message_type_refs(node.value)
+            }
+            if names:
+                request_types = names
+    return members, request_types
+
+
+class _AnchorNode:
+    """Minimal line/col carrier for :meth:`Checker.violation`."""
+
+    def __init__(self, line: int, col: int = 0) -> None:
+        self.lineno = line
+        self.col_offset = col
+
+
+@register_checker
+class WireDriftChecker(Checker):
+    rule = "wire-drift"
+    description = (
+        "every MessageType request constant has a cluster.py sender, a "
+        "worker.py handler branch, and a docs/cluster.md wire-table row "
+        "(and the table names no unknown types)"
+    )
+    scope = (
+        "*runtime/wire.py",
+        "*runtime/worker.py",
+        "*runtime/cluster.py",
+    )
+
+    def _find(self, project: Project, suffix: str) -> Optional[SourceFile]:
+        for rel in sorted(project.files):
+            if rel.endswith(suffix):
+                return project.files[rel]
+        return None
+
+    def check(self, project: Project) -> List[Violation]:
+        wire = self._find(project, "runtime/wire.py")
+        if wire is None:
+            return []  # protocol not part of this source set
+        members, request_types = _parse_wire(wire)
+        if not members:
+            return []
+        if request_types is None:
+            request_types = {
+                name
+                for name in members
+                if name not in _REPLY_ONLY_FALLBACK
+            }
+
+        worker = self._find(project, "runtime/worker.py")
+        cluster = self._find(project, "runtime/cluster.py")
+        doc_path = project.root / "docs" / "cluster.md"
+        doc_text = (
+            doc_path.read_text(encoding="utf-8")
+            if doc_path.is_file()
+            else None
+        )
+
+        violations: List[Violation] = []
+
+        def member_violation(name: str, message: str) -> None:
+            violations.append(
+                self.violation(wire, _AnchorNode(members[name]), message)
+            )
+
+        handled: Set[str] = set()
+        if worker is not None:
+            for node in ast.walk(worker.tree):
+                if isinstance(node, ast.Compare):
+                    handled.update(
+                        name for name, _ in _message_type_refs(node)
+                    )
+            for name in sorted(request_types):
+                if name in members and name not in handled:
+                    member_violation(
+                        name,
+                        f"MessageType.{name} has no handler branch in "
+                        "runtime/worker.py — workers would answer it with "
+                        "a protocol error",
+                    )
+            self._check_unknown_refs(violations, worker, members)
+
+        if cluster is not None:
+            sent: Set[str] = set()
+            for node in ast.walk(cluster.tree):
+                if isinstance(node, ast.Call):
+                    for arg in list(node.args) + [
+                        kw.value for kw in node.keywords
+                    ]:
+                        sent.update(
+                            name for name, _ in _message_type_refs(arg)
+                        )
+            for name in sorted(request_types):
+                if name in members and name not in sent:
+                    member_violation(
+                        name,
+                        f"MessageType.{name} is never sent by "
+                        "runtime/cluster.py — dead protocol surface or a "
+                        "missing coordinator path",
+                    )
+            self._check_unknown_refs(violations, cluster, members)
+
+        if doc_text is not None:
+            documented: Dict[str, int] = {}
+            for lineno, line in enumerate(doc_text.splitlines(), start=1):
+                match = _DOC_ROW_RE.match(line.strip())
+                if match:
+                    documented.setdefault(match.group(1), lineno)
+            for name in sorted(members):
+                if name not in documented:
+                    member_violation(
+                        name,
+                        f"MessageType.{name} is missing from the "
+                        "docs/cluster.md wire table",
+                    )
+            for name in sorted(documented):
+                if name not in members:
+                    violations.append(
+                        Violation(
+                            file="docs/cluster.md",
+                            line=documented[name],
+                            col=0,
+                            rule=self.rule,
+                            message=(
+                                f"docs/cluster.md wire table names "
+                                f"`{name}`, which MessageType does not "
+                                "define"
+                            ),
+                        )
+                    )
+        return violations
+
+    def _check_unknown_refs(
+        self,
+        violations: List[Violation],
+        source: SourceFile,
+        members: Dict[str, int],
+    ) -> None:
+        seen: Set[str] = set()
+        for name, node in _message_type_refs(source.tree):
+            if name not in members and name not in seen:
+                seen.add(name)
+                violations.append(
+                    self.violation(
+                        source,
+                        node,
+                        f"MessageType.{name} is referenced but not defined "
+                        "in runtime/wire.py — AttributeError at dispatch "
+                        "time",
+                    )
+                )

@@ -3,18 +3,27 @@
 Exit codes: 0 when clean against the baseline (or no findings), 1 when
 new violations appear, 2 on usage errors.  ``--update-baseline``
 rewrites the accepted snapshot from the current findings and exits 0.
+
+``--changed [REF]`` scopes the *report* to files changed against REF
+(default HEAD, per ``git diff --name-only`` plus untracked files) and
+their transitive importers — the analysis itself still sees the whole
+project, so interprocedural rules stay sound.  ``--format sarif`` /
+``--sarif PATH`` emit SARIF 2.1.0 for code-scanning UIs.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from repro.lint.base import LintReport, all_checkers, run_lint
 from repro.lint.baseline import compare, load_baseline, save_baseline
+from repro.lint.cache import DEFAULT_CACHE_NAME, LintCache
+from repro.lint.sarif import sarif_report
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -23,7 +32,9 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based invariant analyzer for the engine/backend/serving "
             "stack: backend registry contracts, hot-path purity, asyncio "
-            "blocking calls, spawn/pickle safety, stats-field drift."
+            "blocking calls (transitive), spawn/pickle safety, stats-field "
+            "drift, lock discipline, wire-protocol drift, and metric "
+            "discipline."
         ),
     )
     parser.add_argument(
@@ -40,9 +51,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--sarif",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write a SARIF 2.1.0 report to this file (any --format)",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help=(
+            "report only findings in files changed against REF (default "
+            "HEAD; git diff --name-only plus untracked) and in their "
+            "transitive importers — the analysis still sees the whole "
+            "project"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "per-file derived-data cache location (default: "
+            f"{DEFAULT_CACHE_NAME} under --root)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-file cache for this run",
     )
     parser.add_argument(
         "--baseline",
@@ -94,7 +140,7 @@ def _json_report(
             "message": violation.message,
         }
 
-    return {
+    payload = {
         "root": report.root,
         "files_checked": report.files_checked,
         "suppressed": report.suppressed,
@@ -104,6 +150,34 @@ def _json_report(
         "violations": [encode(v) for v in report.violations],
         "new_violations": [encode(v) for v in new],
     }
+    if report.changed_scope is not None:
+        payload["changed_scope"] = report.changed_scope
+    return payload
+
+
+def _changed_files(root: Path, ref: str) -> Optional[Set[str]]:
+    """Root-relative paths changed against ``ref`` plus untracked files,
+    or ``None`` when git cannot answer (not a repo, bad ref)."""
+    changed: Set[str] = set()
+    for args in (
+        ("git", "-C", str(root), "diff", "--name-only", ref),
+        ("git", "-C", str(root), "ls-files", "--others",
+         "--exclude-standard"),
+    ):
+        try:
+            proc = subprocess.run(
+                args, capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        changed.update(
+            line.strip()
+            for line in proc.stdout.splitlines()
+            if line.strip()
+        )
+    return changed
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -120,6 +194,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.update_baseline and args.baseline is None:
         parser.error("--update-baseline requires --baseline")
+    if args.update_baseline and args.changed is not None:
+        parser.error(
+            "--update-baseline needs the full picture; drop --changed"
+        )
 
     root = args.root.resolve()
     if not root.is_dir():
@@ -137,7 +215,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 2
 
-    report = run_lint(root, targets=args.targets or None, rules=args.rules)
+    changed: Optional[Set[str]] = None
+    if args.changed is not None:
+        changed = _changed_files(root, args.changed)
+        if changed is None:
+            print(
+                f"repro lint: --changed {args.changed}: git diff failed "
+                f"under {root}",
+                file=sys.stderr,
+            )
+            return 2
+
+    cache: Optional[LintCache] = None
+    if not args.no_cache:
+        cache_path = args.cache or (root / DEFAULT_CACHE_NAME)
+        cache = LintCache(cache_path)
+
+    report = run_lint(
+        root,
+        targets=args.targets or None,
+        rules=args.rules,
+        changed=sorted(changed) if changed is not None else None,
+        cache=cache,
+    )
 
     if args.update_baseline:
         save_baseline(args.baseline, report.violations)
@@ -164,9 +264,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.output.write_text(
             json.dumps(payload, indent=2) + "\n", encoding="utf-8"
         )
+    if args.sarif is not None:
+        args.sarif.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif.write_text(
+            json.dumps(sarif_report(report, new), indent=2) + "\n",
+            encoding="utf-8",
+        )
 
     if args.format == "json":
         print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(sarif_report(report, new), indent=2))
     else:
         for violation in new:
             print(violation.format())
@@ -177,6 +285,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{report.suppressed} suppressed",
             f"{len(new)} new",
         ]
+        if report.changed_scope is not None:
+            parts.append(
+                f"scoped to {len(report.changed_scope)} changed+dependent "
+                "file(s)"
+            )
         if stale:
             parts.append(
                 f"{stale} baselined finding(s) no longer present "

@@ -1,0 +1,647 @@
+"""Project symbol table and call graph for interprocedural lint rules.
+
+Per-file AST checks cannot see the contracts that actually bite this
+stack — a helper method mutating registry state that is only safe under
+``self._lock``, or a coroutine reaching ``time.sleep`` three sync calls
+deep.  This module builds, from the already-parsed :class:`Project`
+source set and nothing else (no imports executed), the two structures
+those rules need:
+
+* a **symbol table**: every module, class, method, and function keyed by
+  qualified name (``module:Class.method`` / ``module:function``), with
+  import aliases resolved (``from engine.cache import RulebookCache as
+  RC`` makes ``RC`` mean ``engine.cache:RulebookCache``);
+* a **call graph**: for each function, the calls it makes, each resolved
+  to a project qualname where resolution is sound — ``self.helper()``
+  through the class and its project-local bases, bare names through
+  module scope and imports, ``module.fn()`` / ``Class.method()``
+  through aliases — and degraded to *unknown* (``target=None``)
+  everywhere else.  Unknown is a first-class answer: dynamic dispatch,
+  builtins, third-party calls, and ``getattr`` tricks must never crash
+  a checker or let it claim something false.
+
+Module names derive from root-relative paths (``src/`` stripped,
+``.py`` dropped, ``/`` → ``.``, trailing ``.__init__`` removed), so the
+same resolution works for the real tree (``repro.obs.metrics``) and for
+test fixture packages (``engine.helpers``).  Import cycles are fine —
+summaries are built per file first and linked after, so there is no
+recursive resolution to diverge.
+
+Summaries are pure data (names and line numbers, no AST nodes), which
+lets :mod:`repro.lint.cache` persist them per content digest and skip
+re-deriving them for unchanged files.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.base import Project, SourceFile
+
+#: Cap on transitive traversals (reachability, dependent expansion).  The
+#: graph is small; this is a defensive bound, not a tuning knob.
+MAX_DEPTH = 64
+
+
+def module_name_for(rel: str) -> Optional[str]:
+    """Dotted module name for a root-relative posix path, or ``None``.
+
+    ``src/repro/obs/metrics.py`` → ``repro.obs.metrics``;
+    ``engine/__init__.py`` → ``engine``; non-Python paths → ``None``.
+    """
+    if not rel.endswith(".py"):
+        return None
+    parts = rel[: -len(".py")].split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts or not all(parts):
+        return None
+    return ".".join(parts)
+
+
+@dataclass
+class CallSite:
+    """One call made inside a function body.
+
+    ``target`` is the resolved project qualname, or ``None`` when the
+    callee is dynamic, external, or otherwise unresolvable — checkers
+    must treat ``None`` as "anything could happen", never as "safe".
+    ``text`` is the source-ish rendering used in messages (``self.flush``,
+    ``time.sleep``); ``in_lock`` records whether the call site is
+    lexically inside a ``with self._lock`` block (the lock-discipline
+    rule keys on it).
+    """
+
+    text: str
+    line: int
+    target: Optional[str] = None
+    in_lock: bool = False
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the symbol table."""
+
+    qualname: str  # module:Class.method or module:function
+    module: str
+    rel: str
+    name: str
+    cls: Optional[str]  # owning class name, None for module-level defs
+    line: int
+    is_async: bool = False
+    calls: List[CallSite] = field(default_factory=list)
+    #: bare attribute mentions (``self.fn`` / ``mod.fn`` *not* called) —
+    #: callback registrations keep their targets "reachable".
+    mentions: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    module: str
+    line: int
+    bases: List[str] = field(default_factory=list)  # raw base expressions
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> qualname
+
+
+@dataclass
+class ModuleSummary:
+    """Everything graph construction needs from one file, as pure data."""
+
+    module: str
+    rel: str
+    #: local alias -> dotted target ("pkg.mod" or "pkg.mod:Symbol")
+    imports: Dict[str, str] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: dotted module names this module imports (edges for --changed)
+    imported_modules: List[str] = field(default_factory=list)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` attribute chain as a dotted string, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_self_lock_with(stmt: ast.With) -> bool:
+    """Whether ``stmt`` is ``with self._lock:`` (possibly among others)."""
+    for item in stmt.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Attribute)
+            and expr.attr == "_lock"
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return True
+    return False
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Collect calls and bare-callable mentions inside one function body.
+
+    Nested ``def``s are skipped (they run when *called*, not here), and
+    only ``node.func`` positions count as calls — a function passed as an
+    argument to ``run_in_executor`` / ``to_thread`` is a mention, not a
+    call edge, which is exactly the executor seam the async-blocking
+    rule must not cross.
+    """
+
+    def __init__(self, info: FunctionInfo) -> None:
+        self.info = info
+        self._lock_depth = 0
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scope: its call sites belong to it, not to us
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.AST) -> None:
+        locked = _is_self_lock_with(node)
+        if locked:
+            self._lock_depth += 1
+        self.generic_visit(node)
+        if locked:
+            self._lock_depth -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        text = _dotted(node.func)
+        self.info.calls.append(
+            CallSite(
+                text=text or "<dynamic>",
+                line=node.lineno,
+                in_lock=self._lock_depth > 0,
+            )
+        )
+        # The callee expression itself is not a "mention"; arguments are.
+        for child in list(node.args) + [kw.value for kw in node.keywords]:
+            self.visit(child)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        text = _dotted(node)
+        if text is not None:
+            self.info.mentions.append(text)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.info.mentions.append(node.id)
+
+
+def summarize(source: SourceFile) -> Optional[ModuleSummary]:
+    """Build the :class:`ModuleSummary` of one parsed file."""
+    module = module_name_for(source.rel)
+    if module is None:
+        return None
+    summary = ModuleSummary(module=module, rel=source.rel)
+    package_parts = module.split(".")
+
+    def record_import_from(node: ast.ImportFrom) -> None:
+        if node.level:
+            # relative import: resolve against the containing package
+            base = package_parts[: len(package_parts) - node.level]
+            target = ".".join(base + ([node.module] if node.module else []))
+        else:
+            target = node.module or ""
+        if not target:
+            return
+        summary.imported_modules.append(target)
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            summary.imports[alias.asname or alias.name] = (
+                f"{target}:{alias.name}"
+            )
+
+    def scan_function(
+        node: ast.AST, cls: Optional[ClassInfo]
+    ) -> FunctionInfo:
+        qual = (
+            f"{module}:{cls.name}.{node.name}"
+            if cls is not None
+            else f"{module}:{node.name}"
+        )
+        info = FunctionInfo(
+            qualname=qual,
+            module=module,
+            rel=source.rel,
+            name=node.name,
+            cls=cls.name if cls is not None else None,
+            line=node.lineno,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+        )
+        scanner = _FunctionScanner(info)
+        for stmt in node.body:
+            scanner.visit(stmt)
+        return info
+
+    for node in source.tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                summary.imported_modules.append(alias.name)
+                if alias.asname:
+                    summary.imports[alias.asname] = alias.name
+                else:
+                    # ``import pkg.mod`` binds the top-level package name
+                    root_name = alias.name.split(".")[0]
+                    summary.imports[root_name] = root_name
+        elif isinstance(node, ast.ImportFrom):
+            record_import_from(node)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = scan_function(node, None)
+            summary.functions[node.name] = info
+        elif isinstance(node, ast.ClassDef):
+            cls = ClassInfo(name=node.name, module=module, line=node.lineno)
+            for base in node.bases:
+                text = _dotted(base)
+                if text is not None:
+                    cls.bases.append(text)
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info = scan_function(item, cls)
+                    cls.methods[item.name] = info.qualname
+                    summary.functions[f"{cls.name}.{item.name}"] = info
+            summary.classes[node.name] = cls
+    return summary
+
+
+def summary_to_payload(summary: ModuleSummary) -> Dict[str, object]:
+    """JSON-safe snapshot of a summary for :mod:`repro.lint.cache`.
+
+    Call targets are *not* persisted — they depend on every other file
+    in the project, so :meth:`ProjectGraph._link` recomputes them each
+    run from the (cheap) per-file data serialized here.
+    """
+    return {
+        "module": summary.module,
+        "rel": summary.rel,
+        "imports": dict(summary.imports),
+        "imported_modules": list(summary.imported_modules),
+        "classes": {
+            name: {
+                "line": cls.line,
+                "bases": list(cls.bases),
+                "methods": dict(cls.methods),
+            }
+            for name, cls in summary.classes.items()
+        },
+        "functions": {
+            key: {
+                "qualname": fn.qualname,
+                "name": fn.name,
+                "cls": fn.cls,
+                "line": fn.line,
+                "is_async": fn.is_async,
+                "calls": [
+                    {"text": c.text, "line": c.line, "in_lock": c.in_lock}
+                    for c in fn.calls
+                ],
+                "mentions": list(fn.mentions),
+            }
+            for key, fn in summary.functions.items()
+        },
+    }
+
+
+def summary_from_payload(payload: Dict[str, object]) -> Optional[ModuleSummary]:
+    """Inverse of :func:`summary_to_payload`; ``None`` on malformed data."""
+    try:
+        summary = ModuleSummary(
+            module=str(payload["module"]),
+            rel=str(payload["rel"]),
+            imports={
+                str(k): str(v) for k, v in dict(payload["imports"]).items()
+            },
+            imported_modules=[
+                str(m) for m in list(payload["imported_modules"])
+            ],
+        )
+        for name, raw in dict(payload["classes"]).items():
+            summary.classes[str(name)] = ClassInfo(
+                name=str(name),
+                module=summary.module,
+                line=int(raw["line"]),
+                bases=[str(b) for b in raw["bases"]],
+                methods={str(k): str(v) for k, v in raw["methods"].items()},
+            )
+        for key, raw in dict(payload["functions"]).items():
+            cls_name = raw["cls"]
+            summary.functions[str(key)] = FunctionInfo(
+                qualname=str(raw["qualname"]),
+                module=summary.module,
+                rel=summary.rel,
+                name=str(raw["name"]),
+                cls=str(cls_name) if cls_name is not None else None,
+                line=int(raw["line"]),
+                is_async=bool(raw["is_async"]),
+                calls=[
+                    CallSite(
+                        text=str(c["text"]),
+                        line=int(c["line"]),
+                        in_lock=bool(c["in_lock"]),
+                    )
+                    for c in raw["calls"]
+                ],
+                mentions=[str(m) for m in raw["mentions"]],
+            )
+        return summary
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+class ProjectGraph:
+    """Linked symbol table + call graph over a loaded :class:`Project`.
+
+    Construction is two-phase: per-file summaries first (cacheable, no
+    cross-file state), then link — resolve every recorded call site to a
+    project qualname or leave it unknown.  All lookups return ``None`` /
+    empty rather than raising when a name cannot be resolved.
+    """
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.modules: Dict[str, ModuleSummary] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self._rel_by_module: Dict[str, str] = {}
+        for rel in sorted(project.files):
+            summary = project.summary_for(rel)
+            if summary is None:
+                continue
+            self.modules[summary.module] = summary
+            self._rel_by_module[summary.module] = rel
+            for info in summary.functions.values():
+                self.functions[info.qualname] = info
+        self._link()
+
+    # -- symbol lookups -------------------------------------------------
+
+    def function(self, qualname: str) -> Optional[FunctionInfo]:
+        return self.functions.get(qualname)
+
+    def class_info(self, module: str, name: str) -> Optional[ClassInfo]:
+        summary = self.modules.get(module)
+        return summary.classes.get(name) if summary else None
+
+    def resolve_symbol(self, module: str, name: str) -> Optional[str]:
+        """Resolve ``name`` in ``module`` scope to ``module:Symbol``.
+
+        Follows ``from x import y as z`` chains across files (bounded, so
+        import cycles terminate).  Returns ``None`` for anything the
+        project does not define.
+        """
+        seen: Set[Tuple[str, str]] = set()
+        for _ in range(MAX_DEPTH):
+            if (module, name) in seen:
+                return None
+            seen.add((module, name))
+            summary = self.modules.get(module)
+            if summary is None:
+                return None
+            if name in summary.classes or name in summary.functions:
+                return f"{module}:{name}"
+            target = summary.imports.get(name)
+            if target is None:
+                return None
+            if ":" in target:
+                next_module, next_name = target.split(":", 1)
+                if next_module in self.modules:
+                    module, name = next_module, next_name
+                    continue
+                # ``from pkg import mod`` where pkg.mod is a project module
+                if f"{next_module}.{next_name}" in self.modules:
+                    return f"{next_module}.{next_name}"
+                return None
+            # plain ``import pkg.mod`` — the alias names a module
+            return target if target in self.modules else None
+        return None
+
+    def resolve_method(
+        self, module: str, cls_name: str, method: str
+    ) -> Optional[str]:
+        """Resolve ``cls_name.method`` through project-local bases (MRO-
+        light: depth-first over the written base order).  ``None`` when
+        the class or an implementing base is outside the project."""
+        seen: Set[str] = set()
+
+        def walk(mod: str, name: str) -> Optional[str]:
+            key = f"{mod}:{name}"
+            if key in seen:
+                return None
+            seen.add(key)
+            cls = self.class_info(mod, name)
+            if cls is None:
+                return None
+            if method in cls.methods:
+                return cls.methods[method]
+            for base in cls.bases:
+                resolved = self._resolve_class_expr(mod, base)
+                if resolved is None:
+                    continue
+                base_mod, base_name = resolved
+                found = walk(base_mod, base_name)
+                if found is not None:
+                    return found
+            return None
+
+        return walk(module, cls_name)
+
+    def base_chain(self, module: str, cls_name: str) -> List[Tuple[str, str]]:
+        """``(module, class)`` of the class plus every project-resolved
+        ancestor, depth-first over the written base order; bases outside
+        the project are silently absent (unknown, not an error)."""
+        out: List[Tuple[str, str]] = []
+        seen: Set[Tuple[str, str]] = set()
+
+        def walk(mod: str, name: str) -> None:
+            if (mod, name) in seen or len(seen) > MAX_DEPTH:
+                return
+            seen.add((mod, name))
+            cls = self.class_info(mod, name)
+            if cls is None:
+                return
+            out.append((mod, name))
+            for base in cls.bases:
+                resolved = self._resolve_class_expr(mod, base)
+                if resolved is not None:
+                    walk(*resolved)
+
+        walk(module, cls_name)
+        return out
+
+    def _resolve_class_expr(
+        self, module: str, text: str
+    ) -> Optional[Tuple[str, str]]:
+        """``text`` (``Base`` / ``mod.Base``) → ``(module, class)``."""
+        if "." not in text:
+            qual = self.resolve_symbol(module, text)
+            if qual is None or ":" not in qual:
+                return None
+            mod, name = qual.split(":", 1)
+            return (mod, name) if self.class_info(mod, name) else None
+        head, attr = text.rsplit(".", 1)
+        summary = self.modules.get(module)
+        if summary is None:
+            return None
+        target = summary.imports.get(head.split(".")[0])
+        mod = None
+        if target is not None and ":" not in target:
+            mod = ".".join([target] + head.split(".")[1:])
+        elif head in self.modules:
+            mod = head
+        if mod is not None and self.class_info(mod, attr) is not None:
+            return (mod, attr)
+        return None
+
+    # -- call graph -----------------------------------------------------
+
+    def _link(self) -> None:
+        for summary in self.modules.values():
+            for info in summary.functions.values():
+                for call in info.calls:
+                    call.target = self._resolve_call(summary, info, call)
+
+    def _resolve_call(
+        self, summary: ModuleSummary, info: FunctionInfo, call: CallSite
+    ) -> Optional[str]:
+        text = call.text
+        if text == "<dynamic>" or not text:
+            return None
+        parts = text.split(".")
+        if parts[0] == "self" and info.cls is not None:
+            if len(parts) != 2:
+                return None  # self.attr.method(): instance-typed, unknown
+            return self.resolve_method(summary.module, info.cls, parts[1])
+        if len(parts) == 1:
+            qual = self.resolve_symbol(summary.module, parts[0])
+            if qual is None:
+                return None
+            # a bare call of a class is its constructor
+            if ":" in qual:
+                mod, name = qual.split(":", 1)
+                cls = self.class_info(mod, name)
+                if cls is not None:
+                    return cls.methods.get("__init__", qual)
+            return qual
+        # mod.fn(...) / Class.method(...) / pkg.mod.fn(...)
+        head = self.resolve_symbol(summary.module, parts[0])
+        if head is None:
+            return None
+        if ":" in head:
+            mod, name = head.split(":", 1)
+            if self.class_info(mod, name) is not None and len(parts) == 2:
+                return self.resolve_method(mod, name, parts[1])
+            return None
+        # head is a module: walk the remaining dotted path
+        mod = head
+        for mid in parts[1:-1]:
+            if f"{mod}.{mid}" in self.modules:
+                mod = f"{mod}.{mid}"
+            else:
+                return None
+        summary2 = self.modules.get(mod)
+        if summary2 is None:
+            return None
+        leaf = parts[-1]
+        if leaf in summary2.functions:
+            return f"{mod}:{leaf}"
+        if leaf in summary2.classes:
+            cls = summary2.classes[leaf]
+            return cls.methods.get("__init__", f"{mod}:{leaf}")
+        return None
+
+    def callees(self, qualname: str) -> List[str]:
+        info = self.functions.get(qualname)
+        if info is None:
+            return []
+        seen: Set[str] = set()
+        out: List[str] = []
+        for call in info.calls:
+            if call.target and call.target not in seen:
+                seen.add(call.target)
+                out.append(call.target)
+        return out
+
+    def callers_of(self, qualname: str) -> List[Tuple[FunctionInfo, CallSite]]:
+        """Every known call site targeting ``qualname``."""
+        out: List[Tuple[FunctionInfo, CallSite]] = []
+        for info in self.functions.values():
+            for call in info.calls:
+                if call.target == qualname:
+                    out.append((info, call))
+        return out
+
+    def reachable_from(self, roots: Iterable[str]) -> Set[str]:
+        """Transitive closure of resolved call edges from ``roots``."""
+        seen: Set[str] = set()
+        frontier = [q for q in roots if q in self.functions]
+        while frontier:
+            nxt: List[str] = []
+            for qual in frontier:
+                if qual in seen:
+                    continue
+                seen.add(qual)
+                nxt.extend(
+                    t for t in self.callees(qual) if t not in seen
+                )
+            frontier = nxt
+        return seen
+
+    # -- import graph (for --changed) -----------------------------------
+
+    def importers_of(self, module: str) -> Set[str]:
+        out: Set[str] = set()
+        for summary in self.modules.values():
+            for imported in summary.imported_modules:
+                # ``from pkg.mod import X`` records pkg.mod; ``import
+                # pkg.mod`` ditto; importing a package pulls its
+                # __init__ in as well.
+                if imported == module or imported.startswith(module + "."):
+                    out.add(summary.module)
+        return out
+
+    def dependents_closure(self, rels: Iterable[str]) -> Set[str]:
+        """Root-relative paths of ``rels`` plus every transitive importer.
+
+        Non-module paths (docs, configs) pass through unchanged so
+        ``--changed`` can still scope doc-drift findings to them.
+        """
+        out: Set[str] = set()
+        frontier: List[str] = []
+        for rel in rels:
+            out.add(rel)
+            module = module_name_for(rel)
+            if module is not None and module in self.modules:
+                frontier.append(module)
+        for _ in range(MAX_DEPTH):
+            if not frontier:
+                break
+            nxt: List[str] = []
+            for module in frontier:
+                for importer in self.importers_of(module):
+                    rel = self._rel_by_module.get(importer)
+                    if rel is not None and rel not in out:
+                        out.add(rel)
+                        nxt.append(importer)
+            frontier = nxt
+        return out

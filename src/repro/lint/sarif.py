@@ -1,0 +1,84 @@
+"""SARIF 2.1.0 emission for ``repro lint`` findings.
+
+SARIF is the interchange format CI code-scanning UIs ingest (GitHub
+code scanning, VS Code SARIF viewers), so the analyzer's findings can
+annotate pull requests instead of living in a job log.  One run, one
+tool (``repro-lint``), every registered rule in the driver catalog;
+findings that are new against the baseline are ``error`` level, known
+baselined ones ``note`` — a viewer shows both, CI only fails on new.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.lint.base import LintReport, Violation, all_checkers
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def sarif_report(
+    report: LintReport, new: Iterable[Violation]
+) -> Dict[str, object]:
+    """The findings of ``report`` as a SARIF 2.1.0 document (a dict —
+    callers serialize).  ``new`` marks which violations fail the build."""
+    new_set: Set[Violation] = set(new)
+    rules: List[Dict[str, object]] = [
+        {
+            "id": cls.rule,
+            "shortDescription": {"text": cls.description or cls.rule},
+        }
+        for cls in all_checkers()
+    ]
+    rule_ids = {cls.rule for cls in all_checkers()}
+    # parse-error is synthesized by the loader, not a registered checker
+    extra = sorted(
+        {v.rule for v in report.violations} - rule_ids
+    )
+    rules.extend(
+        {"id": rule, "shortDescription": {"text": rule}} for rule in extra
+    )
+
+    results: List[Dict[str, object]] = []
+    for violation in report.violations:
+        results.append(
+            {
+                "ruleId": violation.rule,
+                "level": "error" if violation in new_set else "note",
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": violation.file,
+                                "uriBaseId": "ROOT",
+                            },
+                            "region": {
+                                "startLine": max(1, violation.line),
+                                "startColumn": violation.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "ROOT": {"uri": "file:///" + report.root.strip("/") + "/"}
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -18,6 +18,7 @@ from repro.quant.quantizer import (
     QuantizedSubConv,
     QuantizedTensor,
     calibrate_scale,
+    calibrate_scale_batch,
     fold_batchnorm,
     quantize_tensor,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "dequantize",
     "saturate",
     "calibrate_scale",
+    "calibrate_scale_batch",
     "fold_batchnorm",
     "QuantizedTensor",
     "quantize_tensor",

@@ -49,20 +49,28 @@ def saturate(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
     return np.clip(values, fmt.min_value, fmt.max_value)
 
 
-def quantize(values: np.ndarray, scale: float, fmt: FixedPointFormat) -> np.ndarray:
+def quantize(values: np.ndarray, scale, fmt: FixedPointFormat) -> np.ndarray:
     """Quantize real ``values`` to integers: ``round(values / scale)``, saturated.
 
-    ``scale`` is the real value of one least-significant bit.
+    ``scale`` is the real value of one least-significant bit — a scalar,
+    or an array broadcasting against ``values`` (e.g. per-frame scales
+    shaped ``(B, 1, 1)`` against a ``(B, N, C)`` stack; the division is
+    elementwise either way, so the batched result is bit-identical to
+    quantizing each frame with its own scalar).
     """
-    if scale <= 0.0 or not np.isfinite(scale):
+    scale_arr = np.asarray(scale, dtype=np.float64)
+    if np.any(scale_arr <= 0.0) or not np.all(np.isfinite(scale_arr)):
         raise ValueError(f"scale must be positive and finite, got {scale}")
-    q = np.rint(np.asarray(values, dtype=np.float64) / scale)
+    q = np.rint(np.asarray(values, dtype=np.float64) / scale_arr)
     return saturate(q, fmt).astype(np.int64)
 
 
-def dequantize(values: np.ndarray, scale: float) -> np.ndarray:
-    """Map integers back to reals: ``values * scale``."""
-    return np.asarray(values, dtype=np.float64) * scale
+def dequantize(values: np.ndarray, scale) -> np.ndarray:
+    """Map integers back to reals: ``values * scale`` (scalar or
+    broadcastable per-frame scale array)."""
+    return np.asarray(values, dtype=np.float64) * np.asarray(
+        scale, dtype=np.float64
+    )
 
 
 def quantization_error(values: np.ndarray, scale: float, fmt: FixedPointFormat) -> float:

@@ -851,6 +851,776 @@ def test_repro_cli_dispatches_lint(tmp_path, capsys):
 
 
 # ---------------------------------------------------------------------------
+# lock-discipline
+
+
+LOCKED_CLASS = """\
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._values = {{}}
+
+    def set(self, key, value):
+        with self._lock:
+            self._values[key] = value
+
+    def reset(self):
+        {reset_body}
+"""
+
+
+def test_lock_discipline_flags_unlocked_mutation(tmp_path):
+    write(
+        tmp_path,
+        "obs/state.py",
+        LOCKED_CLASS.format(reset_body="self._values.clear()"),
+    )
+    report = run_lint(tmp_path, rules=["lock-discipline"])
+    (found,) = rules_of(report, "lock-discipline")
+    assert "self._values" in found.message
+    assert "Registry.reset" in found.message
+
+
+def test_lock_discipline_passes_locked_mutation_and_init(tmp_path):
+    write(
+        tmp_path,
+        "obs/state.py",
+        LOCKED_CLASS.format(
+            reset_body="with self._lock:\n            self._values.clear()"
+        ),
+    )
+    report = run_lint(tmp_path, rules=["lock-discipline"])
+    assert rules_of(report, "lock-discipline") == []
+
+
+def test_lock_discipline_skips_lock_free_classes(tmp_path):
+    write(
+        tmp_path,
+        "obs/state.py",
+        """\
+        class Accumulator:
+            def __init__(self):
+                self._values = {}
+
+            def bump(self, key):
+                self._values[key] = self._values.get(key, 0) + 1
+        """,
+    )
+    report = run_lint(tmp_path, rules=["lock-discipline"])
+    assert rules_of(report, "lock-discipline") == []
+
+
+HELPER_CLASS = """\
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._values = {{}}
+
+    def set(self, key, value):
+        with self._lock:
+            self._values[key] = value
+
+    def clear_all(self):
+        with self._lock:
+            self._wipe()
+
+    def _wipe(self):
+        self._values.clear()
+{extra}"""
+
+
+def test_lock_discipline_helper_reached_only_under_lock_passes(tmp_path):
+    write(tmp_path, "obs/state.py", HELPER_CLASS.format(extra=""))
+    report = run_lint(tmp_path, rules=["lock-discipline"])
+    assert rules_of(report, "lock-discipline") == []
+
+
+def test_lock_discipline_helper_with_unlocked_caller_fails(tmp_path):
+    write(
+        tmp_path,
+        "obs/state.py",
+        HELPER_CLASS.format(
+            extra="\n    def sloppy(self):\n        self._wipe()\n"
+        ),
+    )
+    report = run_lint(tmp_path, rules=["lock-discipline"])
+    (found,) = rules_of(report, "lock-discipline")
+    assert "Registry._wipe" in found.message
+
+
+def test_lock_discipline_sees_inherited_lock(tmp_path):
+    write(
+        tmp_path,
+        "obs/base.py",
+        """\
+        import threading
+
+
+        class Locked:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._series = {}
+
+            def record(self, key, value):
+                with self._lock:
+                    self._series[key] = value
+        """,
+    )
+    write(
+        tmp_path,
+        "obs/child.py",
+        """\
+        from obs.base import Locked
+
+
+        class Child(Locked):
+            def drop(self, key):
+                self._series.pop(key, None)
+        """,
+    )
+    report = run_lint(tmp_path, rules=["lock-discipline"])
+    (found,) = rules_of(report, "lock-discipline")
+    assert found.file == "obs/child.py"
+    assert "Child.drop" in found.message
+
+
+# ---------------------------------------------------------------------------
+# wire-drift
+
+
+WIRE_OK = """\
+from enum import IntEnum
+
+
+class MessageType(IntEnum):
+    PREPARE = 1
+    EXECUTE = 2
+    OK = 3
+    ERROR = 4
+
+
+REQUEST_TYPES = (MessageType.PREPARE, MessageType.EXECUTE)
+"""
+
+WORKER_OK = """\
+from runtime.wire import MessageType
+
+
+def dispatch(frame):
+    if frame.type == MessageType.PREPARE:
+        return 1
+    if frame.type == MessageType.EXECUTE:
+        return 2
+    return None
+"""
+
+CLUSTER_OK = """\
+from runtime.wire import MessageType
+
+
+def send_all(link, payload):
+    link.request(MessageType.PREPARE, payload)
+    link.request(MessageType.EXECUTE, payload)
+"""
+
+DOC_OK = """\
+# cluster
+
+| type | payload |
+|------|---------|
+| `PREPARE` | `{}` |
+| `EXECUTE` | `{}` |
+| `OK` | reply |
+| `ERROR` | reply |
+"""
+
+
+def write_wire_project(tmp_path, wire=WIRE_OK, worker=WORKER_OK,
+                       cluster=CLUSTER_OK, doc=DOC_OK):
+    write(tmp_path, "runtime/wire.py", wire)
+    write(tmp_path, "runtime/worker.py", worker)
+    write(tmp_path, "runtime/cluster.py", cluster)
+    write(tmp_path, "docs/cluster.md", doc)
+
+
+def test_wire_drift_closed_protocol_passes(tmp_path):
+    write_wire_project(tmp_path)
+    report = run_lint(tmp_path, rules=["wire-drift"])
+    assert rules_of(report, "wire-drift") == []
+
+
+def test_wire_drift_missing_handler_branch_fails(tmp_path):
+    write_wire_project(
+        tmp_path,
+        worker=WORKER_OK.replace(
+            "    if frame.type == MessageType.EXECUTE:\n        return 2\n",
+            "",
+        ),
+    )
+    report = run_lint(tmp_path, rules=["wire-drift"])
+    (found,) = rules_of(report, "wire-drift")
+    assert found.file == "runtime/wire.py"
+    assert "EXECUTE has no handler branch" in found.message
+
+
+def test_wire_drift_missing_sender_fails(tmp_path):
+    write_wire_project(
+        tmp_path,
+        cluster=CLUSTER_OK.replace(
+            "    link.request(MessageType.PREPARE, payload)\n", ""
+        ),
+    )
+    report = run_lint(tmp_path, rules=["wire-drift"])
+    (found,) = rules_of(report, "wire-drift")
+    assert "PREPARE is never sent" in found.message
+
+
+def test_wire_drift_doc_table_both_directions(tmp_path):
+    write_wire_project(
+        tmp_path,
+        doc=DOC_OK.replace("| `EXECUTE` | `{}` |\n", "")
+        + "| `RETIRED` | gone |\n",
+    )
+    report = run_lint(tmp_path, rules=["wire-drift"])
+    found = rules_of(report, "wire-drift")
+    messages = sorted(v.message for v in found)
+    assert len(found) == 2
+    assert "EXECUTE is missing from the docs/cluster.md" in messages[0]
+    assert "`RETIRED`" in messages[1]
+    assert found[1].file == "docs/cluster.md" or found[0].file == "docs/cluster.md"
+
+
+def test_wire_drift_unknown_member_reference_fails(tmp_path):
+    write_wire_project(
+        tmp_path,
+        worker=WORKER_OK
+        + "\n\ndef extra(frame):\n"
+        "    return frame.type == MessageType.RETIRED\n",
+    )
+    report = run_lint(tmp_path, rules=["wire-drift"])
+    found = rules_of(report, "wire-drift")
+    assert any(
+        "MessageType.RETIRED is referenced but not defined" in v.message
+        for v in found
+    )
+
+
+def test_wire_drift_skips_projects_without_wire(tmp_path):
+    write(tmp_path, "runtime/worker.py", "def dispatch(frame):\n    return 1\n")
+    report = run_lint(tmp_path, rules=["wire-drift"])
+    assert rules_of(report, "wire-drift") == []
+
+
+def test_wire_drift_reply_only_types_need_no_handler(tmp_path):
+    # without REQUEST_TYPES the rule falls back to members minus OK/ERROR
+    write_wire_project(
+        tmp_path,
+        wire=WIRE_OK.replace(
+            "REQUEST_TYPES = (MessageType.PREPARE, MessageType.EXECUTE)\n",
+            "",
+        ),
+    )
+    report = run_lint(tmp_path, rules=["wire-drift"])
+    assert rules_of(report, "wire-drift") == []
+
+
+# ---------------------------------------------------------------------------
+# metric-discipline
+
+
+METRIC_SERVER = """\
+import asyncio
+
+
+class Server:
+    def __init__(self, registry):
+        self._stop_event = asyncio.Event()
+        self._m_requests = registry.counter(
+            "repro_requests_total", "requests", labels=("route",)
+        )
+        self._m_depth = registry.gauge("repro_depth", "queue depth")
+{extra_decl}
+    def handle(self, route):
+        self._m_requests.inc(route=route)
+        depth = self._m_depth
+        depth.set(3.0)
+
+    def stop(self):
+        self._stop_event.set()
+{extra_body}"""
+
+
+def metric_project(tmp_path, extra_decl="", extra_body=""):
+    write(
+        tmp_path,
+        "runtime/server.py",
+        METRIC_SERVER.format(extra_decl=extra_decl, extra_body=extra_body),
+    )
+    return run_lint(tmp_path, rules=["metric-discipline"])
+
+
+def test_metric_discipline_live_metrics_pass(tmp_path):
+    report = metric_project(tmp_path)
+    assert rules_of(report, "metric-discipline") == []
+
+
+def test_metric_discipline_flags_dead_metric(tmp_path):
+    report = metric_project(
+        tmp_path,
+        extra_decl=(
+            '        self._m_dead = registry.counter('
+            '"repro_dead_total", "never touched")\n'
+        ),
+    )
+    (found,) = rules_of(report, "metric-discipline")
+    assert "repro_dead_total is declared but never" in found.message
+
+
+def test_metric_discipline_flags_label_mismatch(tmp_path):
+    report = metric_project(
+        tmp_path,
+        extra_body=(
+            "\n    def mislabeled(self):\n"
+            "        self._m_requests.inc(verb=1)\n"
+        ),
+    )
+    (found,) = rules_of(report, "metric-discipline")
+    assert "declared with labels (route)" in found.message
+    assert "(verb)" in found.message
+
+
+def test_metric_discipline_star_kwargs_skip_label_check(tmp_path):
+    report = metric_project(
+        tmp_path,
+        extra_body=(
+            "\n    def forward(self, **labels):\n"
+            "        self._m_requests.inc(**labels)\n"
+        ),
+    )
+    assert rules_of(report, "metric-discipline") == []
+
+
+def test_metric_discipline_flags_unreachable_only_mutation(tmp_path):
+    report = metric_project(
+        tmp_path,
+        extra_decl=(
+            '        self._m_ghost = registry.counter('
+            '"repro_ghost_total", "x")\n'
+        ),
+        extra_body=(
+            "\n    def _never_called(self):\n"
+            "        self._m_ghost.inc()\n"
+        ),
+    )
+    (found,) = rules_of(report, "metric-discipline")
+    assert "repro_ghost_total is only mutated in code unreachable" in (
+        found.message
+    )
+
+
+def test_metric_discipline_callback_mention_keeps_target_reachable(tmp_path):
+    report = metric_project(
+        tmp_path,
+        extra_decl=(
+            '        self._m_tick = registry.counter("repro_tick_total", "x")\n'
+        ),
+        extra_body=(
+            "\n    def _on_tick(self):\n"
+            "        self._m_tick.inc()\n"
+            "\n    def install(self, loop):\n"
+            "        loop.call_soon(self._on_tick)\n"
+        ),
+    )
+    assert rules_of(report, "metric-discipline") == []
+
+
+def test_metric_discipline_chained_use_counts(tmp_path):
+    write(
+        tmp_path,
+        "obs/boot.py",
+        'def boot(registry):\n'
+        '    registry.counter("repro_boot_total", "boots").inc()\n',
+    )
+    report = run_lint(tmp_path, rules=["metric-discipline"])
+    assert rules_of(report, "metric-discipline") == []
+
+
+def test_metric_discipline_skips_projects_without_metrics(tmp_path):
+    write(
+        tmp_path,
+        "runtime/plain.py",
+        "def noop(event):\n    event.set()\n",
+    )
+    report = run_lint(tmp_path, rules=["metric-discipline"])
+    assert rules_of(report, "metric-discipline") == []
+
+
+# ---------------------------------------------------------------------------
+# async-blocking, transitive
+
+
+def test_async_blocking_transitive_chain_flagged_with_path(tmp_path):
+    write(
+        tmp_path,
+        "runtime/loop.py",
+        """\
+        import time
+
+
+        def slow_helper():
+            time.sleep(0.1)
+
+
+        def middle():
+            slow_helper()
+
+
+        async def tick():
+            middle()
+        """,
+    )
+    report = run_lint(tmp_path, rules=["async-blocking"])
+    (found,) = rules_of(report, "async-blocking")
+    assert "'async def tick'" in found.message
+    assert "time.sleep" in found.message
+    assert "middle -> slow_helper" in found.message
+
+
+def test_async_blocking_executor_seam_is_not_a_call_edge(tmp_path):
+    write(
+        tmp_path,
+        "runtime/loop.py",
+        """\
+        import time
+
+
+        def middle():
+            time.sleep(0.1)
+
+
+        async def ok(loop):
+            await loop.run_in_executor(None, middle)
+
+
+        async def also_ok():
+            await asyncio.to_thread(middle)
+        """,
+    )
+    report = run_lint(tmp_path, rules=["async-blocking"])
+    assert rules_of(report, "async-blocking") == []
+
+
+def test_async_blocking_transitive_crosses_modules(tmp_path):
+    write(
+        tmp_path,
+        "runtime/io_helpers.py",
+        "def write_report(path, text):\n    path.write_text(text)\n",
+    )
+    write(
+        tmp_path,
+        "runtime/front.py",
+        """\
+        from runtime.io_helpers import write_report
+
+
+        async def save(path):
+            write_report(path, "x")
+        """,
+    )
+    report = run_lint(tmp_path, rules=["async-blocking"])
+    (found,) = rules_of(report, "async-blocking")
+    assert found.file == "runtime/front.py"
+    assert "Path.write_text" in found.message
+
+
+def test_async_blocking_dynamic_calls_degrade_to_unknown(tmp_path):
+    write(
+        tmp_path,
+        "runtime/dyn.py",
+        """\
+        async def dispatch(handlers, key):
+            handlers[key]()
+            getattr(handlers, key)()
+        """,
+    )
+    report = run_lint(tmp_path, rules=["async-blocking"])
+    assert rules_of(report, "async-blocking") == []
+
+
+def test_async_blocking_async_callees_carry_their_own_findings(tmp_path):
+    write(
+        tmp_path,
+        "runtime/nested.py",
+        """\
+        import time
+
+
+        async def inner():
+            time.sleep(1)
+
+
+        async def outer():
+            await inner()
+        """,
+    )
+    report = run_lint(tmp_path, rules=["async-blocking"])
+    found = rules_of(report, "async-blocking")
+    assert len(found) == 1  # inner's direct finding; outer not re-blamed
+    assert "'async def inner'" in found[0].message
+
+
+# ---------------------------------------------------------------------------
+# suppression binding on decorated defs
+
+
+from repro.lint.base import Checker, register_checker  # noqa: E402
+import ast as _ast  # noqa: E402
+
+
+@register_checker
+class _ProbeDefChecker(Checker):
+    """Test-only probe reporting one finding at every ``def`` line; its
+    scope glob matches no real source tree."""
+
+    rule = "probe-def"
+    description = "test-only probe: one finding per def line"
+    scope = ("*probe_pkg/*.py",)
+
+    def check(self, project):
+        out = []
+        for source in self.scoped_files(project):
+            for node in _ast.walk(source.tree):
+                if isinstance(node, _ast.FunctionDef):
+                    out.append(
+                        self.violation(source, node, f"def {node.name}")
+                    )
+        return out
+
+
+def test_suppression_on_decorator_line_covers_the_def_line(tmp_path):
+    write(
+        tmp_path,
+        "probe_pkg/dec.py",
+        """\
+        import functools
+
+
+        @functools.lru_cache(maxsize=None)  # repro-lint: disable=probe-def
+        def cached():
+            return 1
+
+
+        # repro-lint: disable=probe-def
+        @functools.lru_cache(maxsize=None)
+        @functools.lru_cache(maxsize=None)
+        def above():
+            return 2
+
+
+        @functools.lru_cache(maxsize=None)
+        def flagged():
+            return 3
+        """,
+    )
+    report = run_lint(tmp_path, rules=["probe-def"])
+    found = rules_of(report, "probe-def")
+    assert [v.message for v in found] == ["def flagged"]
+    assert report.suppressed == 2
+
+
+def test_suppression_undecorated_def_unchanged(tmp_path):
+    write(
+        tmp_path,
+        "probe_pkg/plain.py",
+        """\
+        # repro-lint: disable=probe-def
+        def above():
+            return 1
+
+
+        def flagged():
+            return 2
+        """,
+    )
+    report = run_lint(tmp_path, rules=["probe-def"])
+    found = rules_of(report, "probe-def")
+    assert [v.message for v in found] == ["def flagged"]
+
+
+# ---------------------------------------------------------------------------
+# SARIF, --changed, cache
+
+
+def test_cli_sarif_format_and_file(tmp_path, capsys):
+    violation_file(tmp_path)
+    sarif_path = tmp_path / "out" / "report.sarif"
+    code = lint_main(
+        [
+            "--root",
+            str(tmp_path),
+            "--format",
+            "sarif",
+            "--sarif",
+            str(sarif_path),
+        ]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"hot-path", "wire-drift", "lock-discipline",
+            "metric-discipline", "async-blocking"} <= rule_ids
+    (result,) = run["results"]
+    assert result["ruleId"] == "hot-path"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "engine/hot.py"
+    assert location["region"]["startLine"] >= 1
+    assert json.loads(sarif_path.read_text(encoding="utf-8")) == payload
+
+
+def test_cli_sarif_marks_baselined_findings_as_notes(tmp_path, capsys):
+    violation_file(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert (
+        lint_main(
+            [
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    code = lint_main(
+        [
+            "--root",
+            str(tmp_path),
+            "--baseline",
+            str(baseline),
+            "--format",
+            "sarif",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    (result,) = payload["runs"][0]["results"]
+    assert result["level"] == "note"
+
+
+def _git(tmp_path, *args):
+    import subprocess
+
+    proc = subprocess.run(
+        ("git", "-C", str(tmp_path)) + args,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_cli_changed_scopes_to_dependents(tmp_path, capsys):
+    write(tmp_path, "engine/util.py", "def helper():\n    return 1\n")
+    write(
+        tmp_path,
+        "engine/hot.py",
+        """\
+        import numpy as np
+
+        from engine.util import helper
+
+
+        def scatter(out, rows, contribution):
+            helper()
+            np.add.at(out, rows, contribution)
+            return out
+        """,
+    )
+    write(tmp_path, "engine/unrelated.py", "VALUE = 1\n")
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", "-A")
+    _git(
+        tmp_path,
+        "-c", "user.email=t@t", "-c", "user.name=t",
+        "commit", "-qm", "seed",
+    )
+
+    # touching an unrelated file hides hot.py's finding from the report
+    write(tmp_path, "engine/unrelated.py", "VALUE = 2\n")
+    assert lint_main(["--root", str(tmp_path), "--changed", "HEAD"]) == 0
+    out = capsys.readouterr().out
+    assert "scoped to" in out
+
+    # touching a module hot.py imports pulls hot.py back into scope
+    write(tmp_path, "engine/util.py", "def helper():\n    return 2\n")
+    assert lint_main(["--root", str(tmp_path), "--changed", "HEAD"]) == 1
+    assert "hot-path" in capsys.readouterr().out
+
+
+def test_cli_changed_rejects_bad_ref(tmp_path, capsys):
+    violation_file(tmp_path)
+    _git(tmp_path, "init", "-q")
+    code = lint_main(
+        ["--root", str(tmp_path), "--changed", "no-such-ref"]
+    )
+    capsys.readouterr()
+    assert code == 2
+
+
+def test_cache_warm_run_reports_identically(tmp_path):
+    from repro.lint.cache import LintCache
+
+    violation_file(tmp_path)
+    write(
+        tmp_path,
+        "probe_pkg/dec.py",
+        "# repro-lint: disable=probe-def\ndef above():\n    return 1\n",
+    )
+    cache_path = tmp_path / "cache.json"
+    cold = run_lint(tmp_path, cache=LintCache(cache_path))
+    assert cache_path.is_file()
+    warm = run_lint(tmp_path, cache=LintCache(cache_path))
+    assert [v.format() for v in warm.violations] == [
+        v.format() for v in cold.violations
+    ]
+    assert warm.suppressed == cold.suppressed
+
+    # editing a file invalidates only its entry; results stay correct
+    write(
+        tmp_path,
+        "probe_pkg/dec.py",
+        "def above():\n    return 1\n",
+    )
+    edited = run_lint(
+        tmp_path, rules=["probe-def"], cache=LintCache(cache_path)
+    )
+    assert [v.message for v in rules_of(edited, "probe-def")] == [
+        "def above"
+    ]
+
+
+def test_cache_corruption_degrades_to_recompute(tmp_path):
+    from repro.lint.cache import LintCache
+
+    violation_file(tmp_path)
+    cache_path = tmp_path / "cache.json"
+    cache_path.write_text("{not json", encoding="utf-8")
+    report = run_lint(tmp_path, cache=LintCache(cache_path))
+    assert len(rules_of(report, "hot-path")) == 1
+
+
+# ---------------------------------------------------------------------------
 # the real repo
 
 
@@ -861,6 +1631,7 @@ def test_repo_is_clean_against_committed_baseline():
             str(REPO_ROOT),
             "--baseline",
             str(REPO_ROOT / "results" / "lint_baseline.json"),
+            "--no-cache",
         ]
     )
     assert code == 0

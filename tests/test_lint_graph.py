@@ -1,0 +1,280 @@
+"""Tests for ``repro.lint.graph`` — the project symbol table / call graph.
+
+Fixture packages are written into ``tmp_path`` and loaded through
+:class:`~repro.lint.base.Project`; nothing is imported or executed, so
+cyclic imports and unresolvable dynamic calls are plain text, not
+hazards.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import Project
+from repro.lint.graph import module_name_for
+
+
+def write(root: Path, rel: str, text: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return path
+
+
+def graph_of(tmp_path):
+    return Project.load(tmp_path).graph
+
+
+# ---------------------------------------------------------------------------
+# module naming
+
+
+def test_module_name_strips_src_and_init():
+    assert module_name_for("src/repro/obs/metrics.py") == "repro.obs.metrics"
+    assert module_name_for("engine/hot.py") == "engine.hot"
+    assert module_name_for("pkg/__init__.py") == "pkg"
+    assert module_name_for("src/repro/__init__.py") == "repro"
+
+
+def test_module_name_rejects_non_python():
+    assert module_name_for("docs/cluster.md") is None
+
+
+# ---------------------------------------------------------------------------
+# aliasing
+
+
+def test_from_import_as_alias_resolves_call(tmp_path):
+    write(tmp_path, "mod_a.py", "def target():\n    return 1\n")
+    write(
+        tmp_path,
+        "mod_b.py",
+        """\
+        from mod_a import target as t
+
+
+        def caller():
+            return t()
+        """,
+    )
+    graph = graph_of(tmp_path)
+    assert graph.resolve_symbol("mod_b", "t") == "mod_a:target"
+    assert graph.callees("mod_b:caller") == ["mod_a:target"]
+    callers = graph.callers_of("mod_a:target")
+    assert [info.qualname for info, _ in callers] == ["mod_b:caller"]
+
+
+def test_alias_chain_across_modules(tmp_path):
+    write(tmp_path, "origin.py", "def fn():\n    return 1\n")
+    write(tmp_path, "hop.py", "from origin import fn as middle\n")
+    write(
+        tmp_path,
+        "end.py",
+        "from hop import middle as renamed\n\n\ndef use():\n"
+        "    return renamed()\n",
+    )
+    graph = graph_of(tmp_path)
+    assert graph.resolve_symbol("end", "renamed") == "origin:fn"
+    assert graph.callees("end:use") == ["origin:fn"]
+
+
+def test_relative_import_resolves_inside_package(tmp_path):
+    write(tmp_path, "pkg/__init__.py", "")
+    write(tmp_path, "pkg/b.py", "def f():\n    return 1\n")
+    write(
+        tmp_path,
+        "pkg/a.py",
+        "from .b import f\n\n\ndef g():\n    return f()\n",
+    )
+    graph = graph_of(tmp_path)
+    assert graph.callees("pkg.a:g") == ["pkg.b:f"]
+
+
+# ---------------------------------------------------------------------------
+# import cycles
+
+
+def test_import_cycle_terminates_and_resolves_both_ways(tmp_path):
+    write(
+        tmp_path,
+        "cyc_a.py",
+        """\
+        from cyc_b import beta
+
+
+        def alpha():
+            return beta()
+        """,
+    )
+    write(
+        tmp_path,
+        "cyc_b.py",
+        """\
+        from cyc_a import alpha
+
+
+        def beta():
+            return alpha()
+        """,
+    )
+    graph = graph_of(tmp_path)
+    assert graph.callees("cyc_a:alpha") == ["cyc_b:beta"]
+    assert graph.callees("cyc_b:beta") == ["cyc_a:alpha"]
+
+
+def test_pure_alias_cycle_resolves_to_none(tmp_path):
+    # ``a.x`` re-exports ``b.x`` which re-exports ``a.x`` — no definition
+    # anywhere; resolution must terminate with None, not recurse.
+    write(tmp_path, "loop_a.py", "from loop_b import x\n")
+    write(tmp_path, "loop_b.py", "from loop_a import x\n")
+    graph = graph_of(tmp_path)
+    assert graph.resolve_symbol("loop_a", "x") is None
+
+
+# ---------------------------------------------------------------------------
+# inheritance
+
+
+def test_method_resolution_walks_project_bases(tmp_path):
+    write(
+        tmp_path,
+        "shapes/base.py",
+        """\
+        class Shape:
+            def area(self):
+                return 0
+
+            def describe(self):
+                return self.area()
+        """,
+    )
+    write(
+        tmp_path,
+        "shapes/square.py",
+        """\
+        from shapes.base import Shape
+
+
+        class Square(Shape):
+            def area(self):
+                return 4
+
+
+        def demo(sq):
+            return Square().describe()
+        """,
+    )
+    graph = graph_of(tmp_path)
+    # inherited method found through the base
+    assert (
+        graph.resolve_method("shapes.square", "Square", "describe")
+        == "shapes.base:Shape.describe"
+    )
+    # override shadows the base implementation
+    assert (
+        graph.resolve_method("shapes.square", "Square", "area")
+        == "shapes.square:Square.area"
+    )
+    assert graph.base_chain("shapes.square", "Square") == [
+        ("shapes.square", "Square"),
+        ("shapes.base", "Shape"),
+    ]
+
+
+def test_external_base_is_unknown_not_an_error(tmp_path):
+    write(
+        tmp_path,
+        "ext.py",
+        """\
+        import enum
+
+
+        class Kind(enum.Enum):
+            A = 1
+
+            def label(self):
+                return self.name
+        """,
+    )
+    graph = graph_of(tmp_path)
+    assert graph.resolve_method("ext", "Kind", "label") == "ext:Kind.label"
+    assert graph.resolve_method("ext", "Kind", "missing") is None
+    assert graph.base_chain("ext", "Kind") == [("ext", "Kind")]
+
+
+# ---------------------------------------------------------------------------
+# dynamic calls degrade to unknown
+
+
+def test_dynamic_calls_are_unknown_without_crash(tmp_path):
+    write(
+        tmp_path,
+        "dyn.py",
+        """\
+        import numpy as np
+
+
+        def run(handlers, key, obj):
+            handlers[key]()
+            getattr(obj, key)()
+            np.add.at(obj, key, 1)
+            (lambda: 1)()
+            return known()
+
+
+        def known():
+            return 1
+        """,
+    )
+    graph = graph_of(tmp_path)
+    info = graph.function("dyn:run")
+    assert info is not None
+    resolved = [c.target for c in info.calls if c.target is not None]
+    assert resolved == ["dyn:known"]  # everything else is unknown, kept
+    unresolved = [c for c in info.calls if c.target is None]
+    assert unresolved  # the dynamic sites are recorded, target-less
+
+
+def test_unknown_callees_never_extend_reachability(tmp_path):
+    write(
+        tmp_path,
+        "reach.py",
+        """\
+        def entry(table):
+            table["x"]()
+
+
+        def _orphan():
+            return 1
+        """,
+    )
+    graph = graph_of(tmp_path)
+    reachable = graph.reachable_from(["reach:entry"])
+    assert "reach:entry" in reachable
+    assert "reach:_orphan" not in reachable
+
+
+# ---------------------------------------------------------------------------
+# import graph / dependents
+
+
+def test_dependents_closure_follows_importer_chain(tmp_path):
+    write(tmp_path, "dep_base.py", "VALUE = 1\n")
+    write(tmp_path, "dep_mid.py", "from dep_base import VALUE\n")
+    write(tmp_path, "dep_top.py", "import dep_mid\n")
+    write(tmp_path, "dep_aside.py", "OTHER = 2\n")
+    graph = graph_of(tmp_path)
+    closure = graph.dependents_closure(["dep_base.py"])
+    assert {"dep_base.py", "dep_mid.py", "dep_top.py"} <= closure
+    assert "dep_aside.py" not in closure
+    # non-module paths pass through untouched so --changed can scope docs
+    assert "docs/cluster.md" in graph.dependents_closure(["docs/cluster.md"])
+
+
+def test_importers_of_sees_plain_and_from_imports(tmp_path):
+    write(tmp_path, "lib.py", "def f():\n    return 1\n")
+    write(tmp_path, "user_from.py", "from lib import f\n")
+    write(tmp_path, "user_plain.py", "import lib\n")
+    graph = graph_of(tmp_path)
+    assert graph.importers_of("lib") == {"user_from", "user_plain"}
